@@ -1,0 +1,49 @@
+//! App. A.3: per-HG certificate lifetime ("expiration times") analysis.
+//! Validity periods vary across HGs and across time — Google's steady
+//! ~3-month certificates vs Netflix's 2019 shift to short-lived ones.
+
+use hgsim::Hg;
+use offnet_core::StudySeries;
+
+/// Median certificate lifetime (days) per snapshot for one HG; `None`
+/// where no valid certificates were observed.
+pub fn lifetime_series(series: &StudySeries, hg: Hg) -> Vec<Option<f64>> {
+    series
+        .snapshots
+        .iter()
+        .map(|s| s.per_hg[&hg].median_cert_lifetime_days)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::study;
+
+    #[test]
+    fn netflix_shifts_to_short_lived() {
+        let series = lifetime_series(study(), Hg::Netflix);
+        let early = series[2].expect("netflix certs observed in 2014");
+        let late = series[30].expect("netflix certs observed in 2021");
+        // "median Netflix expiry times dropped within 2019, reaching 35
+        // days" from 8 months - 2 years earlier.
+        assert!(early > 300.0, "early lifetime {early}");
+        assert!(late < 120.0, "late lifetime {late}");
+    }
+
+    #[test]
+    fn google_stays_short() {
+        let series = lifetime_series(study(), Hg::Google);
+        for (i, v) in series.iter().enumerate() {
+            let v = v.expect("google certs in every snapshot");
+            assert!((30.0..200.0).contains(&v), "idx {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn microsoft_longer_than_google() {
+        let ms = lifetime_series(study(), Hg::Microsoft)[30].expect("ms certs");
+        let g = lifetime_series(study(), Hg::Google)[30].expect("google certs");
+        assert!(ms > g, "microsoft {ms} !> google {g}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Table 2 (corpus comparison across scan engines) and Figure 2 (raw IP
+//! counts plus HG certificate shares).
+
+use hgsim::{Hg, HgWorld, TOP4};
+use netsim::AsId;
+use offnet_core::{process_snapshot, PipelineContext, StudySeries};
+use scanner::{observe_snapshot, EngineId, ScanEngine};
+use std::collections::HashSet;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub engine: EngineId,
+    /// IPs with certificates (raw corpus).
+    pub ips_with_certs: usize,
+    /// ASes with at least one certificate-bearing IP.
+    pub ases_with_certs: usize,
+    /// ASes with certificates seen by this engine only.
+    pub unique_ases: usize,
+    /// ASes with any studied HG's certificates (candidates, §4.3).
+    pub hg_any: usize,
+    pub google: usize,
+    pub netflix: usize,
+    pub facebook: usize,
+    pub akamai: usize,
+}
+
+/// Compute Table 2: compare the three corpuses at one snapshot
+/// (the paper uses November 2019 = snapshot 24).
+pub fn table2(world: &HgWorld, ctx: &PipelineContext, t: usize) -> Vec<Table2Row> {
+    let engines = [
+        ScanEngine::rapid7(),
+        ScanEngine::censys(),
+        ScanEngine::certigo(),
+    ];
+    // Collect per-engine AS sets first for the "unique" column.
+    let mut rows = Vec::new();
+    let mut as_sets: Vec<HashSet<AsId>> = Vec::new();
+    let mut results = Vec::new();
+    for engine in &engines {
+        let obs = observe_snapshot(world, engine, t).expect("corpus covers t");
+        let result = process_snapshot(&obs, ctx);
+        let mut ases = HashSet::new();
+        for r in &obs.cert.records {
+            for a in obs.ip_to_as.lookup(r.ip) {
+                ases.insert(*a);
+            }
+        }
+        as_sets.push(ases);
+        results.push((engine.id, obs.cert.records.len(), result));
+    }
+    for (i, (engine, n_ips, result)) in results.iter().enumerate() {
+        let unique_ases = as_sets[i]
+            .iter()
+            .filter(|a| {
+                as_sets
+                    .iter()
+                    .enumerate()
+                    .all(|(j, s)| j == i || !s.contains(*a))
+            })
+            .count();
+        let mut any: HashSet<AsId> = HashSet::new();
+        for hg in TOP4 {
+            any.extend(result.per_hg[&hg].candidate_ases.iter().copied());
+        }
+        for (hg, r) in &result.per_hg {
+            if !TOP4.contains(hg) {
+                any.extend(r.candidate_ases.iter().copied());
+            }
+        }
+        rows.push(Table2Row {
+            engine: *engine,
+            ips_with_certs: *n_ips,
+            ases_with_certs: as_sets[i].len(),
+            unique_ases,
+            hg_any: any.len(),
+            google: result.per_hg[&Hg::Google].candidate_ases.len(),
+            netflix: result.per_hg[&Hg::Netflix].candidate_ases.len(),
+            facebook: result.per_hg[&Hg::Facebook].candidate_ases.len(),
+            akamai: result.per_hg[&Hg::Akamai].candidate_ases.len(),
+        });
+    }
+    rows
+}
+
+/// One point of Figure 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Point {
+    pub snapshot_idx: usize,
+    /// Raw IPs with certificates in the corpus.
+    pub raw_ips: usize,
+    /// % of those IPs holding an HG certificate, hosted inside HG ASes.
+    pub pct_in_hg_ases: f64,
+    /// % hosted outside HG ASes (potential off-nets).
+    pub pct_outside_hg_ases: f64,
+}
+
+/// Compute Figure 2's series from a study.
+pub fn fig2(series: &StudySeries) -> Vec<Fig2Point> {
+    series
+        .snapshots
+        .iter()
+        .map(|s| {
+            let (inside, outside) = s.any_hg_ip_split();
+            let total = s.total_ips_with_certs.max(1) as f64;
+            Fig2Point {
+                snapshot_idx: s.snapshot_idx,
+                raw_ips: s.total_ips_with_certs,
+                pct_in_hg_ases: 100.0 * inside as f64 / total,
+                pct_outside_hg_ases: 100.0 * outside as f64 / total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{ctx, study, world};
+
+    #[test]
+    fn table2_engines_similar_as_counts() {
+        let rows = table2(world(), ctx(), 24);
+        assert_eq!(rows.len(), 3);
+        let anys: Vec<usize> = rows.iter().map(|r| r.hg_any).collect();
+        let max = *anys.iter().max().unwrap() as f64;
+        let min = *anys.iter().min().unwrap() as f64;
+        // Engines' HG-AS counts agree within ~15% (paper: 3788-3974).
+        assert!(min / max > 0.85, "{anys:?}");
+        // Certigo sees the most IPs (its scan has the fewest exclusions).
+        let ac = rows.iter().find(|r| r.engine == EngineId::Certigo).unwrap();
+        let r7 = rows.iter().find(|r| r.engine == EngineId::Rapid7).unwrap();
+        assert!(ac.ips_with_certs > r7.ips_with_certs);
+        // Unique-AS counts are tiny relative to the corpus (paper: 84-519
+        // of ~58k) and certigo, with the fewest exclusions, leads.
+        let total_unique: usize = rows.iter().map(|r| r.unique_ases).sum();
+        assert!(total_unique > 0, "{rows:?}");
+        for r in &rows {
+            assert!(
+                r.unique_ases * 50 < r.ases_with_certs,
+                "unique not small: {rows:?}"
+            );
+        }
+        let ac_unique = rows.iter().find(|r| r.engine == EngineId::Certigo).unwrap().unique_ases;
+        assert!(rows.iter().all(|r| ac_unique >= r.unique_ases), "{rows:?}");
+    }
+
+    #[test]
+    fn table2_hg_ordering() {
+        let rows = table2(world(), ctx(), 24);
+        for r in &rows {
+            assert!(r.google > r.netflix, "google {} netflix {}", r.google, r.netflix);
+            assert!(r.google > r.akamai);
+            assert!(r.hg_any >= r.google);
+            assert!(r.ases_with_certs > r.hg_any);
+        }
+    }
+
+    #[test]
+    fn fig2_share_grows() {
+        let points = fig2(study());
+        assert_eq!(points.len(), 31);
+        // Raw corpus grows substantially.
+        assert!(points[30].raw_ips as f64 / points[0].raw_ips as f64 > 2.0);
+        // The off-net share (outside HG ASes) grows over the study.
+        let early = points[0].pct_outside_hg_ases;
+        let late = points[30].pct_outside_hg_ases;
+        assert!(late > early, "outside share {early} -> {late}");
+    }
+}

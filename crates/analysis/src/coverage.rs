@@ -1,0 +1,161 @@
+//! Figures 7-9 and 12 (§6.5, App. A.6): the fraction of each country's
+//! Internet users inside ASes hosting an HG's off-nets — directly, and
+//! when serving extends into the hosting ASes' customer cones.
+
+use hgsim::HgWorld;
+use netsim::{AsId, CountryId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Coverage of one country.
+#[derive(Debug, Clone)]
+pub struct CountryCoverage {
+    pub country: CountryId,
+    pub code: String,
+    /// Fraction [0,1] of the country's measured users inside hosting ASes.
+    pub fraction: f64,
+    /// The country's Internet users (for population-weighted aggregation).
+    pub users: f64,
+}
+
+/// Per-country coverage of a hosting-AS set at snapshot `t`, using the
+/// APNIC-style population snapshot (§6.5's methodology, including its
+/// ≥25%-of-month presence filter).
+pub fn coverage_by_country(
+    world: &HgWorld,
+    hosting: &BTreeSet<AsId>,
+    t: usize,
+) -> Vec<CountryCoverage> {
+    let snap = world.population().apnic_snapshot(t, world.config().seed);
+    let hosting_set: HashSet<AsId> = hosting.iter().copied().collect();
+    world
+        .topology()
+        .world()
+        .countries()
+        .iter()
+        .map(|c| CountryCoverage {
+            country: c.id,
+            code: c.code.clone(),
+            fraction: snap.country_coverage(c.id, &hosting_set),
+            users: c.internet_users,
+        })
+        .collect()
+}
+
+/// Expand a hosting set with the customer cones of its members (alive ASes
+/// only) — Figure 8/12's "serving into the customer cone" scenario.
+pub fn expand_with_cones(world: &HgWorld, hosting: &BTreeSet<AsId>, t: usize) -> BTreeSet<AsId> {
+    let topo = world.topology();
+    let mut out = hosting.clone();
+    for asn in hosting {
+        for member in topo.cone_members(*asn) {
+            if topo.alive_at(member, t) {
+                out.insert(member);
+            }
+        }
+    }
+    out
+}
+
+/// Per-country coverage when customer-cone users are served too.
+pub fn coverage_with_cone(
+    world: &HgWorld,
+    hosting: &BTreeSet<AsId>,
+    t: usize,
+) -> Vec<CountryCoverage> {
+    let expanded = expand_with_cones(world, hosting, t);
+    coverage_by_country(world, &expanded, t)
+}
+
+/// Population-weighted worldwide coverage (fraction of all Internet users).
+pub fn worldwide_coverage(per_country: &[CountryCoverage]) -> f64 {
+    let total_users: f64 = per_country.iter().map(|c| c.users).sum();
+    if total_users == 0.0 {
+        return 0.0;
+    }
+    per_country
+        .iter()
+        .map(|c| c.fraction * c.users)
+        .sum::<f64>()
+        / total_users
+}
+
+/// Countries where coverage exceeds a threshold.
+pub fn countries_above(per_country: &[CountryCoverage], threshold: f64) -> usize {
+    per_country.iter().filter(|c| c.fraction > threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{study, world};
+    use hgsim::Hg;
+
+    fn hosting(hg: Hg, t: usize) -> BTreeSet<AsId> {
+        study().confirmed_at(hg, t).clone()
+    }
+
+    #[test]
+    fn coverage_in_unit_interval() {
+        let cov = coverage_by_country(world(), &hosting(Hg::Google, 30), 30);
+        assert_eq!(cov.len(), 150);
+        for c in &cov {
+            assert!((0.0..=1.0).contains(&c.fraction), "{}: {}", c.code, c.fraction);
+        }
+    }
+
+    #[test]
+    fn google_covers_substantial_population() {
+        let cov = coverage_by_country(world(), &hosting(Hg::Google, 30), 30);
+        let ww = worldwide_coverage(&cov);
+        // The paper reports 57.8% worldwide for Google in 2021 at full
+        // scale; the small scenario deploys 5% of the ASes, so coverage is
+        // lower but must still be material (off-nets target big eyeballs).
+        assert!(ww > 0.08, "worldwide {ww}");
+    }
+
+    #[test]
+    fn cone_expansion_increases_coverage() {
+        let direct = coverage_by_country(world(), &hosting(Hg::Google, 30), 30);
+        let cone = coverage_with_cone(world(), &hosting(Hg::Google, 30), 30);
+        let (d, c) = (worldwide_coverage(&direct), worldwide_coverage(&cone));
+        assert!(c >= d, "cone {c} < direct {d}");
+        assert!(c > d * 1.05, "no meaningful cone gain: {d} -> {c}");
+    }
+
+    #[test]
+    fn facebook_coverage_grows_2017_to_2021() {
+        // Figure 9: 2017-10 (idx 16) vs 2021-04 (idx 30).
+        let early = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Facebook, 16), 16));
+        let late = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Facebook, 30), 30));
+        assert!(late > early * 1.3, "facebook coverage {early} -> {late}");
+    }
+
+    #[test]
+    fn akamai_coverage_resilient_despite_shrinking() {
+        // §6.5: Akamai's AS count declines but population coverage holds,
+        // because it stays in large eyeballs.
+        let peak_t = {
+            let series = study().confirmed_series(Hg::Akamai);
+            series
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, v)| **v)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let at_peak =
+            worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Akamai, peak_t), peak_t));
+        let at_end = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Akamai, 30), 30));
+        assert!(
+            at_end > at_peak * 0.6,
+            "coverage collapsed with footprint: peak {at_peak} end {at_end}"
+        );
+    }
+
+    #[test]
+    fn empty_hosting_covers_nothing() {
+        let cov = coverage_by_country(world(), &BTreeSet::new(), 30);
+        assert_eq!(worldwide_coverage(&cov), 0.0);
+        assert_eq!(countries_above(&cov, 0.0), 0);
+    }
+}

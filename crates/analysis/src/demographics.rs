@@ -1,0 +1,171 @@
+//! Figure 5 (growth by AS size category) and Figure 13 (growth by region ×
+//! category), plus the baseline category shares of the whole Internet.
+
+use hgsim::{Hg, HgWorld};
+use netsim::{Region, SizeCategory, ALL_CATEGORIES};
+use offnet_core::StudySeries;
+
+/// Per-snapshot counts of hosting ASes per size category, stacked order
+/// `[Stub, Small, Medium, Large, XLarge]`.
+pub fn fig5(series: &StudySeries, world: &HgWorld, hg: Hg) -> Vec<[usize; 5]> {
+    series
+        .snapshots
+        .iter()
+        .map(|snap| {
+            let t = snap.snapshot_idx;
+            let mut counts = [0usize; 5];
+            for asn in &snap.per_hg[&hg].confirmed_ases {
+                let cat = world.topology().size_category_at(*asn, t);
+                counts[cat as usize] += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+/// Category shares of the footprint at one snapshot (fractions).
+pub fn footprint_category_shares(series: &StudySeries, world: &HgWorld, hg: Hg, idx: usize) -> [f64; 5] {
+    let counts = &fig5(series, world, hg)[idx];
+    let total: usize = counts.iter().sum();
+    let mut out = [0.0; 5];
+    if total > 0 {
+        for (i, c) in counts.iter().enumerate() {
+            out[i] = *c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Baseline: category shares over *all* alive ASes at a snapshot —
+/// the "demographics of the Internet" §6.3 contrasts against
+/// (~85% Stub, ~12% Small, ~2.6% Medium, <0.5% Large, <0.1% XLarge).
+pub fn internet_category_shares(world: &HgWorld, t: usize) -> [f64; 5] {
+    let topo = world.topology();
+    let mut counts = [0usize; 5];
+    let mut total = 0usize;
+    for a in topo.ases() {
+        if a.birth as usize > t || a.level == netsim::LEVEL_CONTENT {
+            continue;
+        }
+        total += 1;
+        counts[topo.size_category_at(a.id, t) as usize] += 1;
+    }
+    let mut out = [0.0; 5];
+    for (i, c) in counts.iter().enumerate() {
+        out[i] = *c as f64 / total.max(1) as f64;
+    }
+    out
+}
+
+/// Figure 13: per-snapshot counts of hosting ASes of one size category,
+/// broken down by region (order = [`netsim::ALL_REGIONS`]).
+pub fn fig13(
+    series: &StudySeries,
+    world: &HgWorld,
+    hg: Hg,
+    category: SizeCategory,
+) -> Vec<[usize; 6]> {
+    series
+        .snapshots
+        .iter()
+        .map(|snap| {
+            let t = snap.snapshot_idx;
+            let mut counts = [0usize; 6];
+            for asn in &snap.per_hg[&hg].confirmed_ases {
+                if world.topology().size_category_at(*asn, t) != category {
+                    continue;
+                }
+                let region = world.topology().region_of(*asn);
+                let i = netsim::ALL_REGIONS
+                    .iter()
+                    .position(|r| *r == region)
+                    .expect("region listed");
+                counts[i] += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+/// Convenience: the category list in stacking order.
+pub fn categories() -> [SizeCategory; 5] {
+    ALL_CATEGORIES
+}
+
+/// Region helper for rendering.
+pub fn regions() -> [Region; 6] {
+    netsim::ALL_REGIONS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{study, world};
+
+    #[test]
+    fn internet_shares_stub_dominated() {
+        let shares = internet_category_shares(world(), 30);
+        assert!(shares[0] > 0.7, "stub share {}", shares[0]);
+        assert!(shares[3] + shares[4] < 0.02);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_overrepresents_big_ases() {
+        let internet = internet_category_shares(world(), 30);
+        let google = footprint_category_shares(study(), world(), Hg::Google, 30);
+        // Stub ASes under-represented relative to their base rate...
+        assert!(
+            google[0] < internet[0] * 0.7,
+            "google stub {} vs internet {}",
+            google[0],
+            internet[0]
+        );
+        // ...Large+XLarge over-represented by an order of magnitude.
+        assert!(
+            google[3] + google[4] > (internet[3] + internet[4]) * 3.0,
+            "google large+ {} vs internet {}",
+            google[3] + google[4],
+            internet[3] + internet[4]
+        );
+        // Small+Medium dominate with Stub (§6.3: 93-96% for the big three).
+        let small_side = google[0] + google[1] + google[2];
+        assert!(small_side > 0.75, "stub+small+medium {small_side}");
+    }
+
+    #[test]
+    fn akamai_prefers_large_ases() {
+        let akamai = footprint_category_shares(study(), world(), Hg::Akamai, 30);
+        let google = footprint_category_shares(study(), world(), Hg::Google, 30);
+        assert!(
+            akamai[0] < google[0],
+            "akamai stub {} !< google stub {}",
+            akamai[0],
+            google[0]
+        );
+        assert!(akamai[3] + akamai[4] > google[3] + google[4]);
+    }
+
+    #[test]
+    fn fig5_counts_sum_to_footprint() {
+        let f = fig5(study(), world(), Hg::Netflix);
+        for (i, counts) in f.iter().enumerate() {
+            let total: usize = counts.iter().sum();
+            assert_eq!(total, study().confirmed_series(Hg::Netflix)[i]);
+        }
+    }
+
+    #[test]
+    fn fig13_partitions_fig5() {
+        let by_cat: usize = categories()
+            .iter()
+            .map(|c| {
+                fig13(study(), world(), Hg::Facebook, *c)[30]
+                    .iter()
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(by_cat, study().confirmed_series(Hg::Facebook)[30]);
+    }
+}

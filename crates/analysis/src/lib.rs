@@ -1,0 +1,39 @@
+//! Analyses reproducing every table and figure in the paper's evaluation
+//! (§5, §6, App. A.6-A.8) from a [`offnet_core::StudySeries`] plus the
+//! simulated world's auxiliary datasets.
+//!
+//! Each module owns one family of artifacts:
+//! - [`corpus`] — Table 2 (scan-corpus comparison) and Figure 2 (raw IP
+//!   counts and HG shares).
+//! - [`series`] — Table 3 (per-HG footprints) and Figures 3-4
+//!   (longitudinal growth, engine/header comparisons).
+//! - [`demographics`] — Figure 5 (AS size categories) and Figure 13
+//!   (region × type growth).
+//! - [`regions`] — Figure 6 (per-continent growth).
+//! - [`coverage`] — Figures 7-9 and 12 (user-population coverage, direct
+//!   and via customer cones).
+//! - [`overlap`] — Figures 10 and 14 (top-4 co-hosting and willingness).
+//! - [`certgroups`] — Figure 11 (certificate IP-group concentration).
+//! - [`truth`] — §5's validations: oracle precision/recall (the operator
+//!   survey stand-in) and the ZGrab2 active-measurement experiments.
+//! - [`render`] — fixed-width table/series rendering for reports.
+
+pub mod certgroups;
+pub mod certlifetimes;
+pub mod corpus;
+pub mod coverage;
+pub mod demographics;
+pub mod overlap;
+pub mod regions;
+pub mod render;
+pub mod series;
+pub mod truth;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use corpus::{fig2, table2, Fig2Point, Table2Row};
+pub use coverage::{coverage_by_country, coverage_with_cone, worldwide_coverage, CountryCoverage};
+pub use overlap::{fig10a, fig10b, fig14, OverlapDistribution};
+pub use series::{fig3, fig4, table3, Fig4Series, Table3Row};
+pub use truth::{survey_metrics, zgrab_cross_hg, zgrab_non_inferred, TruthMetrics};

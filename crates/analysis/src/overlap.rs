@@ -1,0 +1,218 @@
+//! Figures 10 and 14 (§6.6, App. A.8): co-hosting of the top-4 HGs and
+//! networks' willingness to host more over time.
+
+use hgsim::{ALL_HGS, TOP4};
+use netsim::AsId;
+use offnet_core::StudySeries;
+use std::collections::{HashMap, HashSet};
+
+/// Distribution of hosting multiplicity at one snapshot: `counts[k-1]` =
+/// number of ASes hosting exactly `k` of the top-4 HGs; `pct_top4` = share
+/// of all HG-hosting ASes that host at least one top-4 HG.
+#[derive(Debug, Clone)]
+pub struct OverlapDistribution {
+    pub snapshot_idx: usize,
+    pub counts: [usize; 4],
+    pub pct_top4: f64,
+}
+
+impl OverlapDistribution {
+    pub fn total_top4_hosting(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+fn top4_counts_at(series: &StudySeries, idx: usize) -> HashMap<AsId, usize> {
+    let snap = &series.snapshots[idx];
+    let mut per_as: HashMap<AsId, usize> = HashMap::new();
+    for hg in TOP4 {
+        for asn in &snap.per_hg[&hg].confirmed_ases {
+            *per_as.entry(*asn).or_insert(0) += 1;
+        }
+    }
+    per_as
+}
+
+fn any_hg_hosting_at(series: &StudySeries, idx: usize) -> HashSet<AsId> {
+    let snap = &series.snapshots[idx];
+    let mut all = HashSet::new();
+    for hg in ALL_HGS {
+        all.extend(snap.per_hg[&hg].confirmed_ases.iter().copied());
+    }
+    all
+}
+
+/// Figure 10b: per-snapshot multiplicity distribution over all ASes that
+/// host any studied HG.
+pub fn fig10b(series: &StudySeries) -> Vec<OverlapDistribution> {
+    (0..series.snapshots.len())
+        .map(|idx| {
+            let per_as = top4_counts_at(series, idx);
+            let mut counts = [0usize; 4];
+            for k in per_as.values() {
+                counts[(*k - 1).min(3)] += 1;
+            }
+            let all = any_hg_hosting_at(series, idx);
+            let pct = if all.is_empty() {
+                0.0
+            } else {
+                100.0 * per_as.len() as f64 / all.len() as f64
+            };
+            OverlapDistribution {
+                snapshot_idx: series.snapshots[idx].snapshot_idx,
+                counts,
+                pct_top4: pct,
+            }
+        })
+        .collect()
+}
+
+/// Figure 10a: the persistent cohort — ASes hosting at least one top-4 HG
+/// in *every* snapshot — and their multiplicity distribution per snapshot.
+pub fn fig10a(series: &StudySeries) -> (usize, Vec<OverlapDistribution>) {
+    let cohort = cohort_hosting_at_least(series, 1.0);
+    (cohort.len(), distribution_over(series, &cohort))
+}
+
+/// Figure 14: ASes hosting ≥1 top-4 HG in at least `min_fraction` of the
+/// snapshots. Returns the cohort size and per-snapshot distributions, plus
+/// the share each snapshot's cohort hosting represents of all ASes that
+/// ever hosted any HG.
+pub fn fig14(series: &StudySeries, min_fraction: f64) -> (usize, Vec<OverlapDistribution>) {
+    let cohort = cohort_hosting_at_least(series, min_fraction);
+    (cohort.len(), distribution_over(series, &cohort))
+}
+
+/// App. A.8: the fraction of each snapshot's hosting ASes never seen
+/// hosting in any earlier snapshot ("about 5% ... are newcomers").
+pub fn newcomer_fractions(series: &StudySeries) -> Vec<f64> {
+    let mut seen: HashSet<AsId> = HashSet::new();
+    let mut out = Vec::with_capacity(series.snapshots.len());
+    for idx in 0..series.snapshots.len() {
+        let hosting: Vec<AsId> = top4_counts_at(series, idx).keys().copied().collect();
+        let newcomers = hosting.iter().filter(|a| !seen.contains(*a)).count();
+        out.push(if hosting.is_empty() {
+            0.0
+        } else {
+            newcomers as f64 / hosting.len() as f64
+        });
+        seen.extend(hosting);
+    }
+    out
+}
+
+fn cohort_hosting_at_least(series: &StudySeries, min_fraction: f64) -> HashSet<AsId> {
+    let n = series.snapshots.len();
+    let mut presence: HashMap<AsId, usize> = HashMap::new();
+    for idx in 0..n {
+        for asn in top4_counts_at(series, idx).keys() {
+            *presence.entry(*asn).or_insert(0) += 1;
+        }
+    }
+    let needed = ((n as f64) * min_fraction).ceil() as usize;
+    presence
+        .into_iter()
+        .filter(|(_, c)| *c >= needed)
+        .map(|(a, _)| a)
+        .collect()
+}
+
+fn distribution_over(series: &StudySeries, cohort: &HashSet<AsId>) -> Vec<OverlapDistribution> {
+    // Union of ASes ever hosting any HG, for the percentage denominators.
+    let mut ever_any: HashSet<AsId> = HashSet::new();
+    for idx in 0..series.snapshots.len() {
+        ever_any.extend(any_hg_hosting_at(series, idx));
+    }
+    (0..series.snapshots.len())
+        .map(|idx| {
+            let per_as = top4_counts_at(series, idx);
+            let mut counts = [0usize; 4];
+            for (asn, k) in &per_as {
+                if cohort.contains(asn) {
+                    counts[(*k - 1).min(3)] += 1;
+                }
+            }
+            let total: usize = counts.iter().sum();
+            OverlapDistribution {
+                snapshot_idx: series.snapshots[idx].snapshot_idx,
+                counts,
+                pct_top4: 100.0 * total as f64 / ever_any.len().max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::study;
+
+    #[test]
+    fn most_hosting_ases_host_top4() {
+        let dist = fig10b(study());
+        assert_eq!(dist.len(), 31);
+        // ">97%" in the paper for the early years, ">95%" late.
+        for d in &dist {
+            assert!(d.pct_top4 > 90.0, "t={} pct {}", d.snapshot_idx, d.pct_top4);
+        }
+    }
+
+    #[test]
+    fn multi_hosting_grows() {
+        let dist = fig10b(study());
+        let multi_share = |d: &OverlapDistribution| {
+            let multi: usize = d.counts[1..].iter().sum();
+            multi as f64 / d.total_top4_hosting().max(1) as f64
+        };
+        let early = multi_share(&dist[0]);
+        let late = multi_share(&dist[29]);
+        assert!(
+            late > early + 0.15,
+            "multi-hosting share {early} -> {late}"
+        );
+        // By 2020 the majority of hosting ASes host 2+ (paper: >70%).
+        assert!(late > 0.5, "late multi share {late}");
+    }
+
+    #[test]
+    fn all_four_hosting_emerges() {
+        let dist = fig10b(study());
+        assert_eq!(dist[0].counts[3], 0, "nobody hosts all four in 2013");
+        assert!(
+            dist[30].counts[3] > 5,
+            "all-four hosts at end: {}",
+            dist[30].counts[3]
+        );
+    }
+
+    #[test]
+    fn persistent_cohort_nonempty_and_loyal() {
+        let (cohort_n, dist) = fig10a(study());
+        assert!(cohort_n > 10, "cohort {cohort_n}");
+        // The cohort, by construction, hosts in every snapshot.
+        for d in &dist {
+            assert_eq!(d.total_top4_hosting(), cohort_n, "t={}", d.snapshot_idx);
+        }
+    }
+
+    #[test]
+    fn newcomers_settle_to_small_fraction() {
+        let fracs = newcomer_fractions(study());
+        assert_eq!(fracs[0], 1.0, "everything is new at the first snapshot");
+        // After the early ramp the newcomer share stays modest (A.8: ~5%
+        // on average at paper scale; growth phases push it higher).
+        let late_avg: f64 = fracs[20..].iter().sum::<f64>() / 11.0;
+        assert!(late_avg < 0.25, "late newcomer share {late_avg}");
+        assert!(late_avg > 0.0);
+    }
+
+    #[test]
+    fn fig14_thresholds_nested() {
+        let (n25, _) = fig14(study(), 0.25);
+        let (n50, _) = fig14(study(), 0.50);
+        let (n100, _) = fig14(study(), 1.0);
+        assert!(n25 >= n50);
+        assert!(n50 >= n100);
+        assert!(n100 > 0);
+    }
+}

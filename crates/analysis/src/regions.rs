@@ -1,0 +1,91 @@
+//! Figure 6: off-net footprint growth per continent.
+
+use hgsim::{Hg, HgWorld};
+use netsim::{Region, ALL_REGIONS};
+use offnet_core::StudySeries;
+
+/// Per-snapshot hosting-AS counts of one HG in one region.
+pub fn region_series(series: &StudySeries, world: &HgWorld, hg: Hg, region: Region) -> Vec<usize> {
+    series
+        .snapshots
+        .iter()
+        .map(|snap| {
+            snap.per_hg[&hg]
+                .confirmed_ases
+                .iter()
+                .filter(|a| world.topology().region_of(**a) == region)
+                .count()
+        })
+        .collect()
+}
+
+/// Figure 6 for one region: series for Google, Akamai, Netflix, Facebook,
+/// and Alibaba (the HGs the paper plots).
+pub fn fig6(series: &StudySeries, world: &HgWorld, region: Region) -> Vec<(Hg, Vec<usize>)> {
+    [Hg::Google, Hg::Akamai, Hg::Netflix, Hg::Facebook, Hg::Alibaba]
+        .into_iter()
+        .map(|hg| (hg, region_series(series, world, hg, region)))
+        .collect()
+}
+
+/// All regions in the paper's panel order.
+pub fn panel_regions() -> [Region; 6] {
+    ALL_REGIONS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{study, world};
+
+    #[test]
+    fn regions_partition_footprint() {
+        let total: usize = ALL_REGIONS
+            .iter()
+            .map(|r| region_series(study(), world(), Hg::Google, *r)[30])
+            .sum();
+        assert_eq!(total, study().confirmed_series(Hg::Google)[30]);
+    }
+
+    #[test]
+    fn south_america_grows_fastest_relatively() {
+        let sa = region_series(study(), world(), Hg::Google, Region::SouthAmerica);
+        let na = region_series(study(), world(), Hg::Google, Region::NorthAmerica);
+        let ratio = |v: &Vec<usize>| v[30] as f64 / v[0].max(1) as f64;
+        assert!(
+            ratio(&sa) > ratio(&na) * 1.5,
+            "SA ratio {} vs NA ratio {}",
+            ratio(&sa),
+            ratio(&na)
+        );
+    }
+
+    #[test]
+    fn alibaba_concentrated_in_asia() {
+        let asia = region_series(study(), world(), Hg::Alibaba, Region::Asia)[30];
+        let total = study().confirmed_series(Hg::Alibaba)[30];
+        assert!(total > 0);
+        assert!(
+            asia as f64 / total as f64 > 0.7,
+            "alibaba asia {asia}/{total}"
+        );
+    }
+
+    #[test]
+    fn oceania_smallest_market() {
+        let oc = region_series(study(), world(), Hg::Google, Region::Oceania)[30];
+        let eu = region_series(study(), world(), Hg::Google, Region::Europe)[30];
+        assert!(oc < eu);
+    }
+
+    #[test]
+    fn akamai_na_shrinks() {
+        let na = region_series(study(), world(), Hg::Akamai, Region::NorthAmerica);
+        let peak = *na.iter().max().unwrap();
+        assert!(
+            na[30] < peak,
+            "akamai NA did not shrink: end {} peak {peak}",
+            na[30]
+        );
+    }
+}

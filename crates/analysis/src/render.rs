@@ -1,0 +1,146 @@
+//! Minimal fixed-width rendering for report output (tables and series).
+
+use timebase::Snapshot;
+
+/// Render an ASCII table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a labelled numeric series with snapshot labels every `step`.
+pub fn series_block(label: &str, snapshot_idxs: &[usize], values: &[usize]) -> String {
+    let mut out = format!("{label}:\n");
+    for (idx, value) in snapshot_idxs.iter().zip(values) {
+        out.push_str(&format!("  {}  {:>6}\n", snapshot_label(*idx), value));
+    }
+    out
+}
+
+/// Compact one-line series.
+pub fn series_line(label: &str, values: &[usize]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("{label}: [{}]", cells.join(", "))
+}
+
+/// `2013-10`-style label for a study snapshot index.
+pub fn snapshot_label(idx: usize) -> String {
+    let mut s = Snapshot::study_start();
+    for _ in 0..idx {
+        s = s.next();
+    }
+    s.label()
+}
+
+/// Percentage with one decimal.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", 100.0 * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = table(
+            &["HG", "2013", "2021"],
+            &[
+                vec!["google".into(), "1044".into(), "3810".into()],
+                vec!["facebook".into(), "0".into(), "2214".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("HG"));
+        assert!(lines[2].contains("google"));
+        // All data lines equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(snapshot_label(0), "2013-10");
+        assert_eq!(snapshot_label(30), "2021-04");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.578), "57.8%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn series_line_format() {
+        assert_eq!(series_line("x", &[1, 2]), "x: [1, 2]");
+    }
+}
+
+/// Render rows as RFC 4180-ish CSV (quoting cells containing commas or
+/// quotes) for downstream plotting.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::csv;
+
+    #[test]
+    fn plain_cells() {
+        let out = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let out = csv(&["x"], &[vec!["he said \"hi\", twice".into()]]);
+        assert_eq!(out, "x\n\"he said \"\"hi\"\", twice\"\n");
+    }
+
+    #[test]
+    fn empty_rows() {
+        assert_eq!(csv(&["only"], &[]), "only\n");
+    }
+}

@@ -1,0 +1,241 @@
+//! Table 3 and Figures 3-4: longitudinal per-HG footprint series.
+
+use hgsim::{Hg, ALL_HGS, TOP4};
+use offnet_core::StudySeries;
+use timebase::Snapshot;
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    pub hg: Hg,
+    /// Header-validated ASes at the first snapshot.
+    pub start_confirmed: usize,
+    /// Certificates-only ASes at the first snapshot (parenthesized column).
+    pub start_certs_only: usize,
+    /// Maximum validated footprint over the study.
+    pub max_confirmed: usize,
+    /// Label of the snapshot where the maximum occurred, e.g. `2018-04`.
+    pub max_snapshot: String,
+    /// Validated ASes at the last snapshot.
+    pub end_confirmed: usize,
+    /// Certificates-only ASes at the last snapshot.
+    pub end_certs_only: usize,
+}
+
+/// Compute Table 3, sorted by maximum validated footprint (descending),
+/// excluding HGs with no observed footprint — as the paper's table does.
+pub fn table3(series: &StudySeries) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for hg in ALL_HGS {
+        let confirmed = series.confirmed_series(hg);
+        let certs_only = series.candidate_series(hg);
+        let (max_idx, max_val) = confirmed
+            .iter()
+            .enumerate()
+            // On ties prefer the latest snapshot, matching a footprint that
+            // is still at its maximum at the end of the study.
+            .max_by_key(|(i, v)| (**v, *i))
+            .map(|(i, v)| (i, *v))
+            .unwrap_or((0, 0));
+        if max_val == 0 && *certs_only.iter().max().unwrap_or(&0) == 0 {
+            continue; // the paper omits HGs with no inferred footprint
+        }
+        let max_snapshot_label = {
+            let mut s = Snapshot::study_start();
+            for _ in 0..(series.snapshots[max_idx].snapshot_idx) {
+                s = s.next();
+            }
+            s.label()
+        };
+        rows.push(Table3Row {
+            hg,
+            start_confirmed: confirmed[0],
+            start_certs_only: certs_only[0],
+            max_confirmed: max_val,
+            max_snapshot: max_snapshot_label,
+            end_confirmed: *confirmed.last().unwrap_or(&0),
+            end_certs_only: *certs_only.last().unwrap_or(&0),
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.max_confirmed));
+    rows
+}
+
+/// Figure 3's series: validated footprints for the top-4, plus the three
+/// Netflix restoration variants.
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    pub google: Vec<usize>,
+    pub facebook: Vec<usize>,
+    pub akamai: Vec<usize>,
+    pub netflix_initial: Vec<usize>,
+    pub netflix_with_expired: Vec<usize>,
+    pub netflix_with_non_tls: Vec<usize>,
+}
+
+pub fn fig3(series: &StudySeries) -> Fig3Series {
+    Fig3Series {
+        google: series.confirmed_series(Hg::Google),
+        facebook: series.confirmed_series(Hg::Facebook),
+        akamai: series.confirmed_series(Hg::Akamai),
+        netflix_initial: series.netflix.initial.clone(),
+        netflix_with_expired: series.netflix.with_expired.clone(),
+        netflix_with_non_tls: series.netflix.with_non_tls.clone(),
+    }
+}
+
+/// Figure 4's per-HG comparison of inference variants for one engine:
+/// certificates only, certificates + (HTTP or HTTPS), certificates +
+/// (HTTP and HTTPS).
+#[derive(Debug, Clone)]
+pub struct Fig4Series {
+    pub hg: Hg,
+    pub engine: scanner::EngineId,
+    /// Snapshot indices covered by this engine's corpus.
+    pub snapshot_idxs: Vec<usize>,
+    pub certs_only: Vec<usize>,
+    pub certs_http_or_https: Vec<usize>,
+    pub certs_http_and_https: Vec<usize>,
+}
+
+pub fn fig4(series: &StudySeries, hg: Hg) -> Fig4Series {
+    Fig4Series {
+        hg,
+        engine: series.engine,
+        snapshot_idxs: series.snapshots.iter().map(|s| s.snapshot_idx).collect(),
+        certs_only: series.candidate_series(hg),
+        certs_http_or_https: series.confirmed_series(hg),
+        certs_http_and_https: series
+            .snapshots
+            .iter()
+            .map(|s| s.per_hg[&hg].confirmed_and_ases.len())
+            .collect(),
+    }
+}
+
+/// The total number of distinct ASes hosting at least one top-4 HG at the
+/// study's end — the paper's headline "4.5k networks".
+pub fn total_hosting_ases_at_end(series: &StudySeries) -> usize {
+    let last = series.snapshots.last().expect("non-empty study");
+    let mut all = std::collections::HashSet::new();
+    for hg in TOP4 {
+        all.extend(last.per_hg[&hg].confirmed_ases.iter().copied());
+    }
+    all.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::study;
+
+    #[test]
+    fn table3_ordering_matches_paper() {
+        let rows = table3(study());
+        // Top-4 must lead the table in the paper's order.
+        let order: Vec<Hg> = rows.iter().take(4).map(|r| r.hg).collect();
+        assert_eq!(order, vec![Hg::Google, Hg::Facebook, Hg::Netflix, Hg::Akamai]);
+    }
+
+    #[test]
+    fn table3_certs_only_bounds_confirmed() {
+        for row in table3(study()) {
+            assert!(
+                row.end_certs_only >= row.end_confirmed,
+                "{}: {} < {}",
+                row.hg,
+                row.end_certs_only,
+                row.end_confirmed
+            );
+        }
+    }
+
+    #[test]
+    fn table3_akamai_max_in_middle() {
+        let rows = table3(study());
+        let akamai = rows.iter().find(|r| r.hg == Hg::Akamai).unwrap();
+        assert!(akamai.max_confirmed > akamai.end_confirmed);
+        assert!(
+            akamai.max_snapshot.starts_with("2017")
+                || akamai.max_snapshot.starts_with("2018")
+                || akamai.max_snapshot.starts_with("2019"),
+            "{}",
+            akamai.max_snapshot
+        );
+    }
+
+    #[test]
+    fn table3_apple_gap() {
+        let rows = table3(study());
+        if let Some(apple) = rows.iter().find(|r| r.hg == Hg::Apple) {
+            // Apple: large certificate-only footprint, nearly nothing
+            // validated (third-party CDN hosting).
+            assert!(apple.end_certs_only > apple.end_confirmed * 3);
+        }
+    }
+
+    #[test]
+    fn fig3_google_dominates() {
+        let f = fig3(study());
+        assert!(f.google[30] > f.facebook[30]);
+        assert!(f.facebook[30] > f.akamai[30]);
+    }
+
+    #[test]
+    fn fig4_variants_ordered() {
+        let f = fig4(study(), Hg::Google);
+        for i in 0..f.certs_only.len() {
+            assert!(f.certs_only[i] >= f.certs_http_or_https[i], "idx {i}");
+            assert!(
+                f.certs_http_or_https[i] >= f.certs_http_and_https[i],
+                "idx {i}"
+            );
+        }
+        // The variants converge (differences are minimal, §6.2/Fig. 4).
+        let last = f.certs_only.len() - 1;
+        assert!(
+            f.certs_http_or_https[last] as f64 / f.certs_only[last] as f64 > 0.85,
+            "{} vs {}",
+            f.certs_http_or_https[last],
+            f.certs_only[last]
+        );
+    }
+
+    #[test]
+    fn headline_total_hosting() {
+        // ~4.5k at paper scale; the small scenario scales by 0.05 => ~225.
+        let total = total_hosting_ases_at_end(study());
+        assert!((150..320).contains(&total), "total {total}");
+    }
+}
+
+#[cfg(test)]
+mod cross_engine_tests {
+    use super::*;
+    use crate::test_support::{study, study_censys};
+
+    #[test]
+    fn censys_and_rapid7_agree_where_they_overlap() {
+        let r7 = study();
+        let cs = study_censys();
+        // Censys covers 2019-10 (idx 24) onward.
+        assert_eq!(cs.snapshots[0].snapshot_idx, 24);
+        for (i, cs_snap) in cs.snapshots.iter().enumerate() {
+            let r7_idx = cs_snap.snapshot_idx;
+            let r7_google = r7.snapshots[r7_idx].per_hg[&Hg::Google].confirmed_ases.len();
+            let cs_google = cs_snap.per_hg[&Hg::Google].confirmed_ases.len();
+            let ratio = cs_google as f64 / r7_google.max(1) as f64;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "idx {i}: r7 {r7_google} cs {cs_google}"
+            );
+        }
+    }
+
+    #[test]
+    fn censys_fig4_has_short_series() {
+        let f = fig4(study_censys(), Hg::Facebook);
+        assert_eq!(f.snapshot_idxs.len(), 7);
+        assert_eq!(f.engine, scanner::EngineId::Censys);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared lazily-built fixtures for analysis tests: one small world and
+//! one full Rapid7 study, reused by every test module.
+
+use hgsim::{HgWorld, ScenarioConfig};
+use offnet_core::study::learn_reference_fingerprints;
+use offnet_core::{run_study, PipelineContext, StudyConfig, StudySeries};
+use scanner::ScanEngine;
+use std::sync::OnceLock;
+
+pub fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+pub fn ctx() -> &'static PipelineContext {
+    static C: OnceLock<PipelineContext> = OnceLock::new();
+    C.get_or_init(|| {
+        let w = world();
+        let fps = learn_reference_fingerprints(w, &ScanEngine::rapid7(), 28);
+        PipelineContext::new(w.pki().root_store().clone(), w.org_db(), fps)
+    })
+}
+
+pub fn study() -> &'static StudySeries {
+    static S: OnceLock<StudySeries> = OnceLock::new();
+    S.get_or_init(|| run_study(world(), &ScanEngine::rapid7(), &StudyConfig::default()))
+}
+
+pub fn study_censys() -> &'static StudySeries {
+    static S: OnceLock<StudySeries> = OnceLock::new();
+    S.get_or_init(|| run_study(world(), &ScanEngine::censys(), &StudyConfig::default()))
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors produced while reading or writing DER.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before a complete TLV could be read.
+    UnexpectedEof,
+    /// A tag other than the expected one was encountered.
+    UnexpectedTag { expected: u8, found: u8 },
+    /// Length octets were malformed, non-minimal, or indefinite.
+    InvalidLength,
+    /// The element's content bytes violate the type's encoding rules.
+    InvalidContent(&'static str),
+    /// Trailing bytes remained after the outermost element.
+    TrailingBytes,
+    /// An OID had fewer than two arcs or an arc overflowed.
+    InvalidOid,
+    /// A time string was malformed or out of range.
+    InvalidTime,
+    /// A value was too large for this implementation (e.g. > 16 MiB element).
+    Oversized,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of DER input"),
+            Error::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}")
+            }
+            Error::InvalidLength => write!(f, "invalid or non-minimal DER length"),
+            Error::InvalidContent(what) => write!(f, "invalid DER content: {what}"),
+            Error::TrailingBytes => write!(f, "trailing bytes after DER element"),
+            Error::InvalidOid => write!(f, "invalid object identifier"),
+            Error::InvalidTime => write!(f, "invalid ASN.1 time"),
+            Error::Oversized => write!(f, "DER element exceeds implementation limit"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;

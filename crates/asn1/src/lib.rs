@@ -1,0 +1,62 @@
+//! Minimal, strict DER (Distinguished Encoding Rules) reader and writer.
+//!
+//! This crate implements the ASN.1 subset required by the simulated X.509
+//! PKI: definite-length TLV framing, universal types (BOOLEAN, INTEGER, BIT
+//! STRING, OCTET STRING, NULL, OBJECT IDENTIFIER, UTF8String,
+//! PrintableString, IA5String, SEQUENCE, SET, UTCTime, GeneralizedTime) and
+//! context-specific tagging. Encoding is canonical: the writer always emits
+//! minimal lengths, and the reader rejects non-minimal or indefinite forms,
+//! matching how production TLS stacks treat certificates.
+
+mod error;
+mod oid;
+mod reader;
+mod tag;
+mod time;
+mod writer;
+
+pub use error::{Error, Result};
+pub use oid::Oid;
+pub use reader::Reader;
+pub use tag::{Class, Tag};
+pub use time::{decode_generalized_time, decode_utc_time, encode_generalized_time, encode_utc_time};
+pub use writer::Writer;
+
+/// Well-known object identifiers used by the `x509` crate.
+pub mod oids {
+    use crate::Oid;
+
+    /// id-at-commonName (2.5.4.3)
+    pub fn common_name() -> Oid {
+        Oid::from_arcs(&[2, 5, 4, 3]).expect("static OID")
+    }
+    /// id-at-organizationName (2.5.4.10)
+    pub fn organization() -> Oid {
+        Oid::from_arcs(&[2, 5, 4, 10]).expect("static OID")
+    }
+    /// id-at-countryName (2.5.4.6)
+    pub fn country() -> Oid {
+        Oid::from_arcs(&[2, 5, 4, 6]).expect("static OID")
+    }
+    /// id-ce-subjectAltName (2.5.29.17)
+    pub fn subject_alt_name() -> Oid {
+        Oid::from_arcs(&[2, 5, 29, 17]).expect("static OID")
+    }
+    /// id-ce-basicConstraints (2.5.29.19)
+    pub fn basic_constraints() -> Oid {
+        Oid::from_arcs(&[2, 5, 29, 19]).expect("static OID")
+    }
+    /// id-ce-keyUsage (2.5.29.15)
+    pub fn key_usage() -> Oid {
+        Oid::from_arcs(&[2, 5, 29, 15]).expect("static OID")
+    }
+    /// Simulated signature algorithm "simsig-hmac-sha256" parked in a private
+    /// enterprise arc (1.3.6.1.4.1.99999.1.1).
+    pub fn simsig_hmac_sha256() -> Oid {
+        Oid::from_arcs(&[1, 3, 6, 1, 4, 1, 99999, 1, 1]).expect("static OID")
+    }
+    /// Simulated public key algorithm (1.3.6.1.4.1.99999.1.2).
+    pub fn simsig_key() -> Oid {
+        Oid::from_arcs(&[1, 3, 6, 1, 4, 1, 99999, 1, 2]).expect("static OID")
+    }
+}

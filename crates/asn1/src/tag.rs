@@ -1,0 +1,83 @@
+/// ASN.1 tag class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    Universal,
+    Application,
+    ContextSpecific,
+    Private,
+}
+
+/// A single-octet ASN.1 tag (low-tag-number form only, sufficient for X.509).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    pub const BOOLEAN: Tag = Tag(0x01);
+    pub const INTEGER: Tag = Tag(0x02);
+    pub const BIT_STRING: Tag = Tag(0x03);
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    pub const NULL: Tag = Tag(0x05);
+    pub const OID: Tag = Tag(0x06);
+    pub const UTF8_STRING: Tag = Tag(0x0c);
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    pub const IA5_STRING: Tag = Tag(0x16);
+    pub const UTC_TIME: Tag = Tag(0x17);
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    pub const SEQUENCE: Tag = Tag(0x30);
+    pub const SET: Tag = Tag(0x31);
+
+    /// Context-specific constructed tag `[n]`, e.g. X.509 `[0]` version.
+    pub const fn context_constructed(n: u8) -> Tag {
+        Tag(0xa0 | n)
+    }
+
+    /// Context-specific primitive tag `[n]`, e.g. SAN dNSName `[2]`.
+    pub const fn context_primitive(n: u8) -> Tag {
+        Tag(0x80 | n)
+    }
+
+    pub fn class(&self) -> Class {
+        match self.0 >> 6 {
+            0 => Class::Universal,
+            1 => Class::Application,
+            2 => Class::ContextSpecific,
+            _ => Class::Private,
+        }
+    }
+
+    pub fn is_constructed(&self) -> bool {
+        self.0 & 0x20 != 0
+    }
+
+    /// The tag number within its class.
+    pub fn number(&self) -> u8 {
+        self.0 & 0x1f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(Tag::SEQUENCE.class(), Class::Universal);
+        assert_eq!(Tag::context_constructed(3).class(), Class::ContextSpecific);
+        assert_eq!(Tag(0xc0).class(), Class::Private);
+        assert_eq!(Tag(0x40).class(), Class::Application);
+    }
+
+    #[test]
+    fn constructed_bit() {
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+        assert!(Tag::context_constructed(0).is_constructed());
+        assert!(!Tag::context_primitive(2).is_constructed());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(Tag::SEQUENCE.number(), 16);
+        assert_eq!(Tag::context_primitive(2).number(), 2);
+    }
+}

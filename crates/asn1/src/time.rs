@@ -1,0 +1,155 @@
+use crate::{Error, Result};
+use timebase::{Date, Timestamp};
+
+/// Encode a timestamp as a DER UTCTime string (`YYMMDDHHMMSSZ`).
+///
+/// Returns `None` outside the RFC 5280 UTCTime window (1950-2049).
+pub fn encode_utc_time(t: Timestamp) -> Option<String> {
+    let (y, mo, d, h, mi, s) = t.civil();
+    if !(1950..=2049).contains(&y) {
+        return None;
+    }
+    let yy = y % 100;
+    Some(format!("{yy:02}{mo:02}{d:02}{h:02}{mi:02}{s:02}Z"))
+}
+
+/// Encode a timestamp as a DER GeneralizedTime string (`YYYYMMDDHHMMSSZ`).
+pub fn encode_generalized_time(t: Timestamp) -> String {
+    let (y, mo, d, h, mi, s) = t.civil();
+    format!("{y:04}{mo:02}{d:02}{h:02}{mi:02}{s:02}Z")
+}
+
+/// Decode a UTCTime content string. Per RFC 5280, two-digit years `>= 50`
+/// map to 19xx and `< 50` map to 20xx.
+pub fn decode_utc_time(content: &[u8]) -> Result<Timestamp> {
+    if content.len() != 13 || content[12] != b'Z' {
+        return Err(Error::InvalidTime);
+    }
+    let yy = parse_2(&content[0..2])?;
+    let year = if yy >= 50 { 1900 + yy } else { 2000 + yy };
+    decode_components(year, &content[2..12])
+}
+
+/// Decode a GeneralizedTime content string (whole-second, Zulu form only,
+/// as DER requires for X.509).
+pub fn decode_generalized_time(content: &[u8]) -> Result<Timestamp> {
+    if content.len() != 15 || content[14] != b'Z' {
+        return Err(Error::InvalidTime);
+    }
+    let year = parse_4(&content[0..4])?;
+    decode_components(year, &content[4..14])
+}
+
+fn decode_components(year: i32, rest: &[u8]) -> Result<Timestamp> {
+    let month = parse_2(rest.get(0..2).ok_or(Error::InvalidTime)?)? as u8;
+    let day = parse_2(&rest[2..4])? as u8;
+    let hour = parse_2(&rest[4..6])? as u8;
+    let minute = parse_2(&rest[6..8])? as u8;
+    let second = parse_2(&rest[8..10])? as u8;
+    if hour > 23 || minute > 59 || second > 59 {
+        return Err(Error::InvalidTime);
+    }
+    let date = Date::try_new(year, month, day).ok_or(Error::InvalidTime)?;
+    Ok(date
+        .midnight()
+        .plus_seconds(i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second)))
+}
+
+fn parse_2(b: &[u8]) -> Result<i32> {
+    parse_digits(b)
+}
+
+fn parse_4(b: &[u8]) -> Result<i32> {
+    parse_digits(b)
+}
+
+fn parse_digits(b: &[u8]) -> Result<i32> {
+    let mut acc = 0i32;
+    for &c in b {
+        if !c.is_ascii_digit() {
+            return Err(Error::InvalidTime);
+        }
+        acc = acc * 10 + i32::from(c - b'0');
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn utc_time_roundtrip() {
+        let t = Timestamp::from_civil(2019, 11, 18, 7, 30, 0);
+        let s = encode_utc_time(t).unwrap();
+        assert_eq!(s, "191118073000Z");
+        assert_eq!(decode_utc_time(s.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn utc_time_century_pivot() {
+        // 50 -> 1950, 49 -> 2049
+        assert_eq!(
+            decode_utc_time(b"500101000000Z").unwrap(),
+            Timestamp::from_civil(1950, 1, 1, 0, 0, 0)
+        );
+        assert_eq!(
+            decode_utc_time(b"491231235959Z").unwrap(),
+            Timestamp::from_civil(2049, 12, 31, 23, 59, 59)
+        );
+    }
+
+    #[test]
+    fn utc_time_rejects_out_of_window_encode() {
+        assert!(encode_utc_time(Timestamp::from_civil(2050, 1, 1, 0, 0, 0)).is_none());
+        assert!(encode_utc_time(Timestamp::from_civil(1949, 1, 1, 0, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn generalized_time_roundtrip() {
+        let t = Timestamp::from_civil(2051, 6, 15, 23, 59, 59);
+        let s = encode_generalized_time(t);
+        assert_eq!(s, "20510615235959Z");
+        assert_eq!(decode_generalized_time(s.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_times_rejected() {
+        assert!(decode_utc_time(b"19111807300Z").is_err()); // too short
+        assert!(decode_utc_time(b"191118073000X").is_err()); // no Z
+        assert!(decode_utc_time(b"191318073000Z").is_err()); // month 13
+        assert!(decode_utc_time(b"190230073000Z").is_err()); // Feb 30
+        assert!(decode_utc_time(b"1911180730a0Z").is_err()); // non-digit
+        assert!(decode_generalized_time(b"20191118073000").is_err()); // no Z
+        assert!(decode_utc_time(b"191118243000Z").is_err()); // hour 24
+    }
+
+    proptest! {
+        #[test]
+        fn utc_roundtrip_in_window(
+            year in 1950i32..=2049, month in 1u8..=12, day in 1u8..=28,
+            hour in 0u8..24, minute in 0u8..60, second in 0u8..60
+        ) {
+            let t = Timestamp::from_civil(year, month, day, hour, minute, second);
+            let s = encode_utc_time(t).unwrap();
+            prop_assert_eq!(decode_utc_time(s.as_bytes()).unwrap(), t);
+        }
+
+        #[test]
+        fn generalized_roundtrip(
+            year in 1000i32..=9999, month in 1u8..=12, day in 1u8..=28,
+            hour in 0u8..24, minute in 0u8..60, second in 0u8..60
+        ) {
+            let t = Timestamp::from_civil(year, month, day, hour, minute, second);
+            let s = encode_generalized_time(t);
+            prop_assert_eq!(decode_generalized_time(s.as_bytes()).unwrap(), t);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..20)) {
+            let _ = decode_utc_time(&bytes);
+            let _ = decode_generalized_time(&bytes);
+        }
+    }
+}

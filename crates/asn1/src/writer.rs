@@ -1,0 +1,334 @@
+use crate::{Oid, Tag};
+use timebase::Timestamp;
+
+/// Maximum element size this implementation will produce or accept (16 MiB).
+pub(crate) const MAX_LEN: usize = 16 * 1024 * 1024;
+
+/// An append-only DER writer producing canonical encodings.
+///
+/// Composite structures are written with [`Writer::write_constructed`], which
+/// buffers the body and back-patches the definite length:
+///
+/// ```
+/// use offnet_asn1::{Writer, Tag};
+/// let mut w = Writer::new();
+/// w.write_constructed(Tag::SEQUENCE, |w| {
+///     w.write_integer(5);
+///     w.write_utf8_string("hi");
+/// });
+/// let der = w.finish();
+/// assert_eq!(der[0], 0x30);
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Finish and return the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Write a primitive TLV with the given content octets.
+    pub fn write_primitive(&mut self, tag: Tag, content: &[u8]) {
+        assert!(content.len() <= MAX_LEN, "DER element too large");
+        self.out.push(tag.0);
+        write_length(&mut self.out, content.len());
+        self.out.extend_from_slice(content);
+    }
+
+    /// Write a constructed TLV whose body is produced by `f`.
+    pub fn write_constructed(&mut self, tag: Tag, f: impl FnOnce(&mut Writer)) {
+        let mut inner = Writer::new();
+        f(&mut inner);
+        self.write_primitive(tag, &inner.out);
+    }
+
+    /// Append pre-encoded DER verbatim (must already be a valid TLV run).
+    pub fn write_raw(&mut self, der: &[u8]) {
+        self.out.extend_from_slice(der);
+    }
+
+    pub fn write_boolean(&mut self, value: bool) {
+        self.write_primitive(Tag::BOOLEAN, &[if value { 0xff } else { 0x00 }]);
+    }
+
+    /// Write a non-negative INTEGER in minimal two's-complement form.
+    pub fn write_integer(&mut self, value: u64) {
+        let bytes = value.to_be_bytes();
+        let mut start = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+        // A leading byte with the high bit set needs a 0x00 prefix to stay
+        // non-negative.
+        let mut buf = Vec::with_capacity(9);
+        if bytes[start] & 0x80 != 0 {
+            buf.push(0);
+        }
+        while start < 8 {
+            buf.push(bytes[start]);
+            start += 1;
+        }
+        self.write_primitive(Tag::INTEGER, &buf);
+    }
+
+    /// Write an INTEGER from big-endian magnitude bytes (e.g. serial numbers).
+    pub fn write_integer_bytes(&mut self, magnitude: &[u8]) {
+        let trimmed: &[u8] = {
+            let mut s = magnitude;
+            while s.len() > 1 && s[0] == 0 {
+                s = &s[1..];
+            }
+            s
+        };
+        let mut buf = Vec::with_capacity(trimmed.len() + 1);
+        if trimmed.is_empty() || trimmed[0] & 0x80 != 0 {
+            buf.push(0);
+        }
+        buf.extend_from_slice(trimmed);
+        self.write_primitive(Tag::INTEGER, &buf);
+    }
+
+    pub fn write_null(&mut self) {
+        self.write_primitive(Tag::NULL, &[]);
+    }
+
+    pub fn write_oid(&mut self, oid: &Oid) {
+        self.write_primitive(Tag::OID, oid.der_content());
+    }
+
+    pub fn write_octet_string(&mut self, bytes: &[u8]) {
+        self.write_primitive(Tag::OCTET_STRING, bytes);
+    }
+
+    /// Write a BIT STRING with zero unused bits (the only form X.509 needs
+    /// for keys and signatures).
+    pub fn write_bit_string(&mut self, bytes: &[u8]) {
+        let mut content = Vec::with_capacity(bytes.len() + 1);
+        content.push(0); // unused-bits count
+        content.extend_from_slice(bytes);
+        self.write_primitive(Tag::BIT_STRING, &content);
+    }
+
+    pub fn write_utf8_string(&mut self, s: &str) {
+        self.write_primitive(Tag::UTF8_STRING, s.as_bytes());
+    }
+
+    pub fn write_printable_string(&mut self, s: &str) {
+        debug_assert!(
+            s.bytes().all(is_printable_char),
+            "non-printable characters in PrintableString"
+        );
+        self.write_primitive(Tag::PRINTABLE_STRING, s.as_bytes());
+    }
+
+    pub fn write_ia5_string(&mut self, s: &str) {
+        debug_assert!(s.bytes().all(|b| b < 0x80), "non-ASCII in IA5String");
+        self.write_primitive(Tag::IA5_STRING, s.as_bytes());
+    }
+
+    /// Write a UTCTime (`YYMMDDHHMMSSZ`); valid only for years 1950-2049.
+    pub fn write_utc_time(&mut self, t: Timestamp) {
+        let s = crate::encode_utc_time(t).expect("timestamp out of UTCTime range");
+        self.write_primitive(Tag::UTC_TIME, s.as_bytes());
+    }
+
+    /// Write a GeneralizedTime (`YYYYMMDDHHMMSSZ`).
+    pub fn write_generalized_time(&mut self, t: Timestamp) {
+        let s = crate::encode_generalized_time(t);
+        self.write_primitive(Tag::GENERALIZED_TIME, s.as_bytes());
+    }
+}
+
+pub(crate) fn is_printable_char(b: u8) -> bool {
+    matches!(b,
+        b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9'
+        | b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?')
+}
+
+/// Write a definite length in minimal form.
+fn write_length(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u64).to_be_bytes();
+        let skip = bytes.iter().position(|&b| b != 0).expect("len > 0");
+        let n = 8 - skip;
+        out.push(0x80 | n as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_form_length() {
+        let mut w = Writer::new();
+        w.write_octet_string(&[1, 2, 3]);
+        assert_eq!(w.finish(), vec![0x04, 0x03, 1, 2, 3]);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let mut w = Writer::new();
+        w.write_octet_string(&vec![0xabu8; 300]);
+        let der = w.finish();
+        assert_eq!(&der[..4], &[0x04, 0x82, 0x01, 0x2c]);
+        assert_eq!(der.len(), 4 + 300);
+    }
+
+    #[test]
+    fn integer_minimal_encoding() {
+        let cases: [(u64, &[u8]); 5] = [
+            (0, &[0x02, 0x01, 0x00]),
+            (127, &[0x02, 0x01, 0x7f]),
+            (128, &[0x02, 0x02, 0x00, 0x80]),
+            (256, &[0x02, 0x02, 0x01, 0x00]),
+            (65535, &[0x02, 0x03, 0x00, 0xff, 0xff]),
+        ];
+        for (value, expected) in cases {
+            let mut w = Writer::new();
+            w.write_integer(value);
+            assert_eq!(w.finish(), expected, "value={value}");
+        }
+    }
+
+    #[test]
+    fn integer_bytes_strips_leading_zeros() {
+        let mut w = Writer::new();
+        w.write_integer_bytes(&[0x00, 0x00, 0x01, 0x02]);
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x01, 0x02]);
+
+        let mut w = Writer::new();
+        w.write_integer_bytes(&[0xff]);
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x00, 0xff]);
+    }
+
+    #[test]
+    fn booleans() {
+        let mut w = Writer::new();
+        w.write_boolean(true);
+        w.write_boolean(false);
+        assert_eq!(w.finish(), vec![0x01, 0x01, 0xff, 0x01, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn nested_sequence() {
+        let mut w = Writer::new();
+        w.write_constructed(Tag::SEQUENCE, |w| {
+            w.write_integer(1);
+            w.write_constructed(Tag::SEQUENCE, |w| {
+                w.write_null();
+            });
+        });
+        assert_eq!(
+            w.finish(),
+            vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]
+        );
+    }
+
+    #[test]
+    fn bit_string_has_unused_bits_prefix() {
+        let mut w = Writer::new();
+        w.write_bit_string(&[0xde, 0xad]);
+        assert_eq!(w.finish(), vec![0x03, 0x03, 0x00, 0xde, 0xad]);
+    }
+}
+
+#[cfg(test)]
+mod structure_proptests {
+    use super::*;
+    use crate::Reader;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn nested_sequences_roundtrip(
+            ints in proptest::collection::vec(any::<u64>(), 0..8),
+            strings in proptest::collection::vec("[a-zA-Z0-9 .-]{0,24}", 0..6),
+            depth in 1usize..4
+        ) {
+            // Build SEQUENCE( ints..., SEQUENCE( ... SEQUENCE(strings...) ) ).
+            fn build(w: &mut Writer, ints: &[u64], strings: &[String], depth: usize) {
+                w.write_constructed(Tag::SEQUENCE, |w| {
+                    for v in ints {
+                        w.write_integer(*v);
+                    }
+                    if depth > 1 {
+                        build(w, ints, strings, depth - 1);
+                    } else {
+                        for s in strings {
+                            w.write_utf8_string(s);
+                        }
+                    }
+                });
+            }
+            let mut w = Writer::new();
+            build(&mut w, &ints, &strings, depth);
+            let der = w.finish();
+
+            fn check(r: &mut Reader<'_>, ints: &[u64], strings: &[String], depth: usize) {
+                let mut seq = r.read_sequence().unwrap();
+                for v in ints {
+                    assert_eq!(seq.read_integer_u64().unwrap(), *v);
+                }
+                if depth > 1 {
+                    check(&mut seq, ints, strings, depth - 1);
+                } else {
+                    for s in strings {
+                        assert_eq!(seq.read_utf8_string().unwrap(), s.as_str());
+                    }
+                }
+                seq.expect_end().unwrap();
+            }
+            let mut r = Reader::new(&der);
+            check(&mut r, &ints, &strings, depth);
+            r.expect_end().unwrap();
+        }
+
+        #[test]
+        fn truncating_any_der_never_panics(
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            cut_frac in 0.0f64..1.0
+        ) {
+            let mut w = Writer::new();
+            w.write_constructed(Tag::SEQUENCE, |w| {
+                w.write_octet_string(&payload);
+                w.write_integer(payload.len() as u64);
+            });
+            let der = w.finish();
+            let cut = ((der.len() as f64) * cut_frac) as usize;
+            let mut r = Reader::new(&der[..cut]);
+            // Whatever happens, no panic; a full parse only succeeds on the
+            // full buffer.
+            let ok = r.read_sequence().and_then(|mut s| {
+                s.read_octet_string()?;
+                s.read_integer_u64()?;
+                s.expect_end()
+            });
+            if cut < der.len() {
+                prop_assert!(ok.is_err());
+            }
+        }
+    }
+}

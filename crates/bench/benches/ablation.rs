@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! dNSName-subset rule, the Cloudflare SAN filter, and the IP-to-AS
+//! stability filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offnet_bench::{small_ctx, small_world};
+use offnet_core::candidates::CandidateOptions;
+use offnet_core::process_snapshot;
+use scanner::{observe_snapshot, ScanEngine};
+
+fn bench_ablation(c: &mut Criterion) {
+    let world = small_world();
+    let engine = ScanEngine::rapid7();
+    let obs = observe_snapshot(world, &engine, 30).expect("snapshot in corpus");
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (label, options) in [
+        ("full_rules", CandidateOptions::default()),
+        (
+            "no_san_subset",
+            CandidateOptions {
+                require_san_subset: false,
+                cloudflare_filter: true,
+            },
+        ),
+        (
+            "no_cf_filter",
+            CandidateOptions {
+                require_san_subset: true,
+                cloudflare_filter: false,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut ctx = small_ctx().clone();
+            ctx.candidate_options = options.clone();
+            b.iter(|| process_snapshot(std::hint::black_box(&obs), &ctx))
+        });
+    }
+    group.bench_function("ip2as_with_stability_filter", |b| {
+        let rib = netsim::MonthlyRib::build(
+            world.topology(),
+            30,
+            &world.config().bgp_noise,
+            world.config().seed,
+        );
+        b.iter(|| netsim::IpToAsMap::build(std::hint::black_box(&rib)))
+    });
+    group.bench_function("ip2as_without_stability_filter", |b| {
+        let rib = netsim::MonthlyRib::build(
+            world.topology(),
+            30,
+            &world.config().bgp_noise,
+            world.config().seed,
+        );
+        b.iter(|| netsim::IpToAsMap::build_with_threshold(std::hint::black_box(&rib), 0.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks regenerating every figure's data series from a completed
+//! study: Figures 2-14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgsim::{Hg, TOP4};
+use netsim::{Region, SizeCategory};
+use offnet_bench::{small_study, small_world};
+
+fn bench_figures(c: &mut Criterion) {
+    let world = small_world();
+    let study = small_study();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_corpus_shares", |b| b.iter(|| analysis::fig2(study)));
+    group.bench_function("fig3_growth", |b| b.iter(|| analysis::fig3(study)));
+    group.bench_function("fig4_variants", |b| {
+        b.iter(|| analysis::fig4(study, Hg::Google))
+    });
+    group.bench_function("fig5_demographics", |b| {
+        b.iter(|| analysis::demographics::fig5(study, world, Hg::Google))
+    });
+    group.bench_function("fig6_regions", |b| {
+        b.iter(|| analysis::regions::fig6(study, world, Region::SouthAmerica))
+    });
+    group.bench_function("fig7_coverage", |b| {
+        b.iter(|| analysis::coverage_by_country(world, study.confirmed_at(Hg::Google, 30), 30))
+    });
+    group.bench_function("fig8_cone_coverage", |b| {
+        b.iter(|| analysis::coverage_with_cone(world, study.confirmed_at(Hg::Google, 30), 30))
+    });
+    group.bench_function("fig9_facebook_delta", |b| {
+        b.iter(|| {
+            (
+                analysis::coverage_by_country(world, study.confirmed_at(Hg::Facebook, 16), 16),
+                analysis::coverage_by_country(world, study.confirmed_at(Hg::Facebook, 30), 30),
+            )
+        })
+    });
+    group.bench_function("fig10_overlap", |b| {
+        b.iter(|| (analysis::fig10a(study), analysis::fig10b(study)))
+    });
+    group.bench_function("fig11_cert_groups", |b| {
+        b.iter(|| analysis::certgroups::fig11(study, Hg::Facebook, 10))
+    });
+    group.bench_function("fig12_cone_coverage_rest", |b| {
+        b.iter(|| {
+            for hg in [Hg::Facebook, Hg::Netflix, Hg::Akamai] {
+                analysis::coverage_with_cone(world, study.confirmed_at(hg, 30), 30);
+            }
+        })
+    });
+    group.bench_function("fig13_region_type", |b| {
+        b.iter(|| {
+            for hg in TOP4 {
+                analysis::demographics::fig13(study, world, hg, SizeCategory::Stub);
+            }
+        })
+    });
+    group.bench_function("fig14_willingness", |b| {
+        b.iter(|| (analysis::fig14(study, 0.25), analysis::fig14(study, 0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

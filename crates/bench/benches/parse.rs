@@ -1,0 +1,44 @@
+//! P1: certificate parsing and chain-verification throughput — the "fast
+//! cert parsing" capability underpinning corpus-scale analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hgsim::HgPki;
+use timebase::Timestamp;
+use x509::{verify_chain, Certificate};
+
+fn bench_parse(c: &mut Criterion) {
+    let pki = HgPki::new(7);
+    let t0 = Timestamp::from_civil(2019, 1, 1, 0, 0, 0);
+    let t1 = Timestamp::from_civil(2020, 1, 1, 0, 0, 0);
+    let sans = vec![
+        "*.google.com".to_owned(),
+        "google.com".to_owned(),
+        "*.googlevideo.com".to_owned(),
+    ];
+    let chain = pki.issue_chain("bench", Some("Google LLC"), "*.google.com", &sans, t0, t1, 0);
+    let leaf_der = chain[0].clone();
+    let at = Timestamp::from_civil(2019, 6, 1, 0, 0, 0);
+
+    let mut group = c.benchmark_group("x509");
+    group.throughput(Throughput::Bytes(leaf_der.len() as u64));
+    group.bench_function("parse_leaf", |b| {
+        b.iter(|| Certificate::parse(std::hint::black_box(&leaf_der)).unwrap())
+    });
+    let parsed: Vec<Certificate> = chain.iter().map(|d| Certificate::parse(d).unwrap()).collect();
+    group.bench_function("verify_chain", |b| {
+        b.iter(|| verify_chain(std::hint::black_box(&parsed), pki.root_store(), at).unwrap())
+    });
+    group.bench_function("parse_and_verify_chain", |b| {
+        b.iter(|| {
+            let certs: Vec<Certificate> = chain
+                .iter()
+                .map(|d| Certificate::parse(std::hint::black_box(d)).unwrap())
+                .collect();
+            verify_chain(&certs, pki.root_store(), at).is_ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end pipeline benchmarks: one snapshot's scan + inference over
+//! the small world (the unit the 31-snapshot study repeats).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offnet_bench::{small_ctx, small_world};
+use offnet_core::process_snapshot;
+use offnet_core::validate::validate_records;
+use scanner::{observe_snapshot, ScanEngine};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let world = small_world();
+    let ctx = small_ctx();
+    let engine = ScanEngine::rapid7();
+    let obs = observe_snapshot(world, &engine, 30).expect("snapshot in corpus");
+    let at = world.snapshot_date(30).midnight().plus_seconds(12 * 3600);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("validate_snapshot", |b| {
+        b.iter(|| {
+            validate_records(
+                std::hint::black_box(&obs.cert.records),
+                world.pki().root_store(),
+                at,
+                &Default::default(),
+            )
+        })
+    });
+    group.bench_function("process_snapshot", |b| {
+        b.iter(|| process_snapshot(std::hint::black_box(&obs), ctx))
+    });
+    group.bench_function("scan_snapshot", |b| {
+        b.iter(|| observe_snapshot(world, &engine, 30).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benchmarks regenerating the paper's tables: Table 2 (corpus
+//! comparison) and Table 3 (per-HG footprints from the full study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offnet_bench::{small_ctx, small_study, small_world};
+
+fn bench_tables(c: &mut Criterion) {
+    let world = small_world();
+    let ctx = small_ctx();
+    let study = small_study();
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2", |b| {
+        b.iter(|| analysis::table2(world, ctx, 24))
+    });
+    group.bench_function("table3", |b| b.iter(|| analysis::table3(study)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

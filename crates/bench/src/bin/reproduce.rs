@@ -1,0 +1,716 @@
+//! Reproduce every table and figure of "Seven Years in the Life of
+//! Hypergiants' Off-Nets" (SIGCOMM 2021) against the simulated Internet.
+//!
+//! Usage:
+//!   reproduce [--scale small|paper] [--seed N] [--csv DIR] <experiment|all>
+//!
+//! With `--csv DIR`, figure series are additionally written as CSV files
+//! for external plotting.
+//!
+//! Experiments: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//! fig9 fig10 fig11 fig12 fig13 fig14 certlifetimes validate ablation
+//! baselines
+//! hideandseek
+
+use analysis::render::{pct, snapshot_label, table};
+use analysis::{coverage, demographics, overlap, regions as regions_mod, series as series_mod};
+use hgsim::{Hg, HgWorld, ScenarioConfig, TOP4};
+use offnet_core::candidates::CandidateOptions;
+use offnet_core::study::learn_reference_fingerprints;
+use offnet_core::{run_study, PipelineContext, StudyConfig, StudySeries};
+use scanner::ScanEngine;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+struct Cli {
+    scale: String,
+    seed: u64,
+    csv_dir: Option<std::path::PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut scale = "paper".to_owned();
+    let mut seed = 7u64;
+    let mut csv_dir = None;
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--csv" => {
+                csv_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--csv needs a directory"),
+                ))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [--scale small|paper] [--seed N] <experiment...|all>"
+                );
+                std::process::exit(0);
+            }
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_owned());
+    }
+    Cli {
+        scale,
+        seed,
+        csv_dir,
+        experiments,
+    }
+}
+
+/// Write a CSV artifact when `--csv` was given.
+fn emit_csv(cli: &Cli, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let Some(dir) = &cli.csv_dir else { return };
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, analysis::render::csv(headers, rows)).expect("write csv");
+    eprintln!("[reproduce] wrote {}", path.display());
+}
+
+struct Fixtures {
+    world: HgWorld,
+    r7: OnceLock<StudySeries>,
+    cs: OnceLock<StudySeries>,
+    ctx: OnceLock<PipelineContext>,
+}
+
+impl Fixtures {
+    fn new(cli: &Cli) -> Self {
+        let config = match cli.scale.as_str() {
+            "small" => ScenarioConfig::small().with_seed(cli.seed),
+            "paper" => ScenarioConfig::paper().with_seed(cli.seed),
+            other => panic!("unknown scale {other:?} (use small|paper)"),
+        };
+        eprintln!("[reproduce] generating world (scale={}, seed={})...", cli.scale, cli.seed);
+        Fixtures {
+            world: HgWorld::generate(config),
+            r7: OnceLock::new(),
+            cs: OnceLock::new(),
+            ctx: OnceLock::new(),
+        }
+    }
+
+    fn r7(&self) -> &StudySeries {
+        self.r7.get_or_init(|| {
+            eprintln!("[reproduce] running Rapid7 longitudinal study (31 snapshots)...");
+            run_study(&self.world, &ScanEngine::rapid7(), &StudyConfig::default())
+        })
+    }
+
+    fn cs(&self) -> &StudySeries {
+        self.cs.get_or_init(|| {
+            eprintln!("[reproduce] running Censys study (2019-10..2021-04)...");
+            run_study(
+                &self.world,
+                &ScanEngine::censys(),
+                &StudyConfig {
+                    snapshots: (24, 30),
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    fn ctx(&self) -> &PipelineContext {
+        self.ctx.get_or_init(|| {
+            let fps = learn_reference_fingerprints(&self.world, &ScanEngine::rapid7(), 28);
+            PipelineContext::new(
+                self.world.pki().root_store().clone(),
+                self.world.org_db(),
+                fps,
+            )
+        })
+    }
+}
+
+fn main() {
+    let cli = parse_args();
+    let fx = Fixtures::new(&cli);
+    let all = cli.experiments.iter().any(|e| e == "all");
+    let want = |name: &str| all || cli.experiments.iter().any(|e| e == name);
+
+    if want("table2") {
+        table2(&fx);
+    }
+    if want("table3") {
+        table3(&fx);
+    }
+    if want("table4") {
+        table4(&fx);
+    }
+    if want("fig2") {
+        fig2(&fx, &cli);
+    }
+    if want("fig3") {
+        fig3(&fx, &cli);
+    }
+    if want("fig4") {
+        fig4(&fx);
+    }
+    if want("fig5") {
+        fig5(&fx);
+    }
+    if want("fig6") {
+        fig6(&fx);
+    }
+    if want("fig7") {
+        fig7(&fx);
+    }
+    if want("fig8") {
+        fig8(&fx);
+    }
+    if want("fig9") {
+        fig9(&fx);
+    }
+    if want("fig10") {
+        fig10(&fx, &cli);
+    }
+    if want("fig11") {
+        fig11(&fx);
+    }
+    if want("fig12") {
+        fig12(&fx);
+    }
+    if want("fig13") {
+        fig13(&fx);
+    }
+    if want("fig14") {
+        fig14(&fx);
+    }
+    if want("certlifetimes") {
+        certlifetimes(&fx);
+    }
+    if want("validate") {
+        validate(&fx);
+    }
+    if want("ablation") {
+        ablation(&fx);
+    }
+    if want("baselines") {
+        baselines(&fx);
+    }
+    if want("hideandseek") {
+        hide_and_seek(&cli);
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn table2(fx: &Fixtures) {
+    heading("Table 2: scan corpus comparison (Nov 2019)");
+    let rows = analysis::table2(&fx.world, fx.ctx(), 24);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.abbreviation().to_owned(),
+                r.ips_with_certs.to_string(),
+                r.ases_with_certs.to_string(),
+                r.unique_ases.to_string(),
+                r.hg_any.to_string(),
+                r.google.to_string(),
+                r.netflix.to_string(),
+                r.facebook.to_string(),
+                r.akamai.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Scan", "#IPs w/certs", "#ASes", "unique", "any HG", "Google", "Netflix", "Facebook", "Akamai"],
+            &body
+        )
+    );
+}
+
+fn table3(fx: &Fixtures) {
+    heading("Table 3: per-HG off-net AS footprints (Rapid7, 2013-10 .. 2021-04)");
+    let rows = series_mod::table3(fx.r7());
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.hg.to_string(),
+                format!("{} ({})", r.start_confirmed, r.start_certs_only),
+                format!("{} [{}]", r.max_confirmed, r.max_snapshot),
+                format!("{} ({})", r.end_confirmed, r.end_certs_only),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["Hypergiant", "2013-10 (certs)", "max [snap]", "2021-04 (certs)"], &body)
+    );
+    println!(
+        "total ASes hosting a top-4 HG at 2021-04: {}",
+        series_mod::total_hosting_ases_at_end(fx.r7())
+    );
+}
+
+fn table4(fx: &Fixtures) {
+    heading("Tables 1 & 4: learned HTTP(S) header fingerprints");
+    let mut body = Vec::new();
+    let mut fps: Vec<_> = fx.r7().header_fps.iter().collect();
+    fps.sort_by(|a, b| a.keyword.cmp(&b.keyword));
+    for fp in fps {
+        if fp.is_empty() {
+            continue;
+        }
+        let pairs: Vec<String> = fp
+            .pairs
+            .iter()
+            .map(|(n, v)| format!("{n}:{v}"))
+            .chain(fp.names.iter().map(|n| format!("{n}:*")))
+            .collect();
+        body.push(vec![
+            fp.keyword.clone(),
+            pairs.join(", "),
+            fp.support.to_string(),
+        ]);
+    }
+    println!("{}", table(&["Hypergiant", "fingerprints", "on-net support"], &body));
+}
+
+fn fig2(fx: &Fixtures, cli: &Cli) {
+    heading("Figure 2: raw corpus size and HG IP shares");
+    let points = analysis::fig2(fx.r7());
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                snapshot_label(p.snapshot_idx),
+                p.raw_ips.to_string(),
+                format!("{:.2}%", p.pct_in_hg_ases),
+                format!("{:.2}%", p.pct_outside_hg_ases),
+            ]
+        })
+        .collect();
+    let headers = ["snapshot", "#IPs w/certs", "% in HG ASes", "% outside"];
+    println!("{}", table(&headers, &body));
+    emit_csv(cli, "fig2", &headers, &body);
+}
+
+fn fig3(fx: &Fixtures, cli: &Cli) {
+    heading("Figure 3: top-4 off-net growth (validated), with Netflix variants");
+    let f = series_mod::fig3(fx.r7());
+    let mut body = Vec::new();
+    for i in 0..f.google.len() {
+        body.push(vec![
+            snapshot_label(fx.r7().snapshots[i].snapshot_idx),
+            f.google[i].to_string(),
+            f.facebook[i].to_string(),
+            f.akamai[i].to_string(),
+            f.netflix_initial[i].to_string(),
+            f.netflix_with_expired[i].to_string(),
+            f.netflix_with_non_tls[i].to_string(),
+        ]);
+    }
+    let headers = ["snapshot", "Google", "Facebook", "Akamai", "NF(init)", "NF(+exp)", "NF(+nonTLS)"];
+    println!("{}", table(&headers, &body));
+    emit_csv(cli, "fig3", &headers, &body);
+}
+
+fn fig4(fx: &Fixtures) {
+    heading("Figure 4: Rapid7 vs Censys; certs-only vs header-validated");
+    for hg in [Hg::Google, Hg::Facebook, Hg::Akamai] {
+        println!("--- {hg} ---");
+        for series in [series_mod::fig4(fx.r7(), hg), series_mod::fig4(fx.cs(), hg)] {
+            let mut body = Vec::new();
+            for (i, idx) in series.snapshot_idxs.iter().enumerate() {
+                body.push(vec![
+                    snapshot_label(*idx),
+                    series.certs_only[i].to_string(),
+                    series.certs_http_or_https[i].to_string(),
+                    series.certs_http_and_https[i].to_string(),
+                ]);
+            }
+            println!("[{}]", series.engine);
+            println!(
+                "{}",
+                table(&["snapshot", "certs only", "certs&(H||S)", "certs&(H&&S)"], &body)
+            );
+        }
+    }
+}
+
+fn fig5(fx: &Fixtures) {
+    heading("Figure 5: growth by AS customer-cone size category");
+    for hg in TOP4 {
+        println!("--- {hg} ---");
+        let f = demographics::fig5(fx.r7(), &fx.world, hg);
+        let mut body = Vec::new();
+        for (i, counts) in f.iter().enumerate() {
+            body.push(vec![
+                snapshot_label(fx.r7().snapshots[i].snapshot_idx),
+                counts[0].to_string(),
+                counts[1].to_string(),
+                counts[2].to_string(),
+                counts[3].to_string(),
+                counts[4].to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            table(&["snapshot", "Stub", "Small", "Medium", "Large", "XLarge"], &body)
+        );
+    }
+    let internet = demographics::internet_category_shares(&fx.world, 30);
+    println!(
+        "Internet-wide shares 2021-04: Stub {} Small {} Medium {} Large {} XLarge {}",
+        pct(internet[0]),
+        pct(internet[1]),
+        pct(internet[2]),
+        pct(internet[3]),
+        pct(internet[4])
+    );
+}
+
+fn fig6(fx: &Fixtures) {
+    heading("Figure 6: growth per continent");
+    for region in regions_mod::panel_regions() {
+        println!("--- {region} ---");
+        let per_hg = regions_mod::fig6(fx.r7(), &fx.world, region);
+        let mut body = Vec::new();
+        for i in 0..fx.r7().snapshots.len() {
+            let mut row = vec![snapshot_label(fx.r7().snapshots[i].snapshot_idx)];
+            for (_, series) in &per_hg {
+                row.push(series[i].to_string());
+            }
+            body.push(row);
+        }
+        println!(
+            "{}",
+            table(
+                &["snapshot", "Google", "Akamai", "Netflix", "Facebook", "Alibaba"],
+                &body
+            )
+        );
+    }
+}
+
+fn coverage_table(fx: &Fixtures, hosting: &BTreeSet<netsim::AsId>, t: usize, label: &str) {
+    let cov = coverage::coverage_by_country(&fx.world, hosting, t);
+    print_coverage(&cov, label);
+}
+
+fn print_coverage(cov: &[analysis::CountryCoverage], label: &str) {
+    let ww = coverage::worldwide_coverage(cov);
+    let over50 = coverage::countries_above(cov, 0.5);
+    let over80 = coverage::countries_above(cov, 0.8);
+    println!(
+        "{label}: worldwide {} | countries >50%: {over50} | >80%: {over80}",
+        pct(ww)
+    );
+    // Top-10 covered countries.
+    let mut sorted: Vec<&analysis::CountryCoverage> = cov.iter().collect();
+    sorted.sort_by(|a, b| b.fraction.partial_cmp(&a.fraction).unwrap());
+    let head: Vec<String> = sorted
+        .iter()
+        .take(10)
+        .map(|c| format!("{}={}", c.code, pct(c.fraction)))
+        .collect();
+    println!("  top countries: {}", head.join(" "));
+}
+
+fn fig7(fx: &Fixtures) {
+    heading("Figure 7: user population coverage per country (2021-04)");
+    for hg in [Hg::Google, Hg::Netflix, Hg::Akamai] {
+        coverage_table(fx, fx.r7().confirmed_at(hg, 30), 30, &format!("{hg}"));
+    }
+}
+
+fn fig8(fx: &Fixtures) {
+    heading("Figure 8: Google coverage including customer cones (2021-04)");
+    let hosting = fx.r7().confirmed_at(Hg::Google, 30);
+    let direct = coverage::coverage_by_country(&fx.world, hosting, 30);
+    let cone = coverage::coverage_with_cone(&fx.world, hosting, 30);
+    print_coverage(&direct, "google direct");
+    print_coverage(&cone, "google + customer cones");
+}
+
+fn fig9(fx: &Fixtures) {
+    heading("Figure 9: Facebook coverage, 2017-10 vs 2021-04");
+    coverage_table(fx, fx.r7().confirmed_at(Hg::Facebook, 16), 16, "facebook 2017-10");
+    coverage_table(fx, fx.r7().confirmed_at(Hg::Facebook, 30), 30, "facebook 2021-04");
+}
+
+fn fig10(fx: &Fixtures, cli: &Cli) {
+    heading("Figure 10: top-4 co-hosting");
+    let dist = overlap::fig10b(fx.r7());
+    let mut body = Vec::new();
+    for d in &dist {
+        body.push(vec![
+            snapshot_label(d.snapshot_idx),
+            d.counts[0].to_string(),
+            d.counts[1].to_string(),
+            d.counts[2].to_string(),
+            d.counts[3].to_string(),
+            format!("{:.1}%", d.pct_top4),
+        ]);
+    }
+    println!("(b) all HG-hosting ASes");
+    let headers = ["snapshot", "1 HG", "2 HGs", "3 HGs", "4 HGs", "%top-4"];
+    println!("{}", table(&headers, &body));
+    emit_csv(cli, "fig10b", &headers, &body);
+    let (cohort, dist_a) = overlap::fig10a(fx.r7());
+    println!("(a) persistent cohort: {cohort} ASes host a top-4 HG in every snapshot");
+    let first = &dist_a[0];
+    let last = dist_a.last().unwrap();
+    println!(
+        "  2013-10: 1/2/3/4 = {:?}   2021-04: 1/2/3/4 = {:?}",
+        first.counts, last.counts
+    );
+}
+
+fn fig11(fx: &Fixtures) {
+    heading("Figure 11: certificate IP-group concentration (top 10 groups)");
+    for hg in [Hg::Google, Hg::Facebook] {
+        println!("--- {hg} ---");
+        let shares = analysis::certgroups::fig11(fx.r7(), hg, 10);
+        let mut body = Vec::new();
+        for (i, row) in shares.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|s| format!("{s:.1}")).collect();
+            body.push(vec![
+                snapshot_label(fx.r7().snapshots[i].snapshot_idx),
+                cells.join(" "),
+            ]);
+        }
+        println!("{}", table(&["snapshot", "% per top group"], &body));
+    }
+}
+
+fn fig12(fx: &Fixtures) {
+    heading("Figure 12: customer-cone coverage for Facebook/Netflix/Akamai (2021-04)");
+    for hg in [Hg::Facebook, Hg::Netflix, Hg::Akamai] {
+        let hosting = fx.r7().confirmed_at(hg, 30);
+        let direct = coverage::coverage_by_country(&fx.world, hosting, 30);
+        let cone = coverage::coverage_with_cone(&fx.world, hosting, 30);
+        print_coverage(&direct, &format!("{hg} direct"));
+        print_coverage(&cone, &format!("{hg} + cones"));
+    }
+}
+
+fn fig13(fx: &Fixtures) {
+    heading("Figure 13: growth per continent and network type (2021-04 snapshot)");
+    for hg in TOP4 {
+        for cat in demographics::categories() {
+            let series = demographics::fig13(fx.r7(), &fx.world, hg, cat);
+            let last = series.last().unwrap();
+            let total: usize = last.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let cells: Vec<String> = regions_mod::panel_regions()
+                .iter()
+                .zip(last.iter())
+                .map(|(r, c)| format!("{}={}", r.code(), c))
+                .collect();
+            println!("{hg:>10} {:>7}: {}", cat.to_string(), cells.join(" "));
+        }
+    }
+}
+
+fn fig14(fx: &Fixtures) {
+    heading("Figure 14: willingness to host (>=25% / >=50% of snapshots)");
+    for (frac, label) in [(0.25, "25%"), (0.5, "50%")] {
+        let (cohort, dist) = overlap::fig14(fx.r7(), frac);
+        let last = dist.last().unwrap();
+        let first = &dist[0];
+        println!(
+            ">= {label}: cohort {cohort} ASes | 2013-10 1/2/3/4={:?} | 2021-04 1/2/3/4={:?} ({:.1}% of ever-hosting)",
+            first.counts, last.counts, last.pct_top4
+        );
+    }
+}
+
+fn certlifetimes(fx: &Fixtures) {
+    heading("Appendix A.3: median certificate lifetimes (days)");
+    let hgs = [Hg::Google, Hg::Netflix, Hg::Microsoft, Hg::Facebook, Hg::Akamai];
+    let mut body = Vec::new();
+    for i in 0..fx.r7().snapshots.len() {
+        let mut row = vec![snapshot_label(fx.r7().snapshots[i].snapshot_idx)];
+        for hg in hgs {
+            let v = analysis::certlifetimes::lifetime_series(fx.r7(), hg)[i];
+            row.push(v.map(|d| format!("{d:.0}")).unwrap_or_else(|| "-".into()));
+        }
+        body.push(row);
+    }
+    println!(
+        "{}",
+        table(&["snapshot", "Google", "Netflix", "Microsoft", "Facebook", "Akamai"], &body)
+    );
+}
+
+fn validate(fx: &Fixtures) {
+    heading("Section 5 validations");
+    let t = 30;
+    let result = fx.r7().snapshots.last().unwrap();
+    let metrics = analysis::survey_metrics(&fx.world, result, t);
+    let body: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            vec![
+                m.hg.to_string(),
+                m.truth.to_string(),
+                m.inferred.to_string(),
+                pct(m.recall),
+                pct(m.precision),
+            ]
+        })
+        .collect();
+    println!("Operator-survey stand-in (oracle comparison, 2021-04):");
+    println!(
+        "{}",
+        table(&["Hypergiant", "truth ASes", "inferred", "recall", "precision"], &body)
+    );
+
+    eprintln!("[reproduce] generating endpoints for active probes...");
+    let eps = fx.world.endpoints(t);
+    let cross = analysis::zgrab_cross_hg(&fx.world, &eps, result, t, 1000, 7);
+    println!(
+        "Cross-HG probe: {} off-net IPs probed; {} rejected all foreign domains; Akamai share of validating: {}",
+        cross.probed_ips,
+        pct(cross.rejecting_fraction),
+        pct(cross.akamai_share)
+    );
+    let non = analysis::zgrab_non_inferred(&fx.world, &eps, result, t, 0.25, 7);
+    println!(
+        "Non-inferred sample: {} sampled, {} validated ({}); {} of validating already inferred",
+        non.sampled,
+        non.validating,
+        pct(non.validating_fraction),
+        pct(non.inferred_share)
+    );
+}
+
+fn baselines(fx: &Fixtures) {
+    heading("Prior-work baseline: DNS vantage-point mapping vs certificates");
+    let t = 30;
+    let cert_inferred = fx.r7().confirmed_at(Hg::Google, t).clone();
+    let cert_recall =
+        offnet_core::baselines::recall_against_truth(&fx.world, Hg::Google, t, &cert_inferred);
+    let mut body = Vec::new();
+    body.push(vec![
+        "certificates (this paper)".to_owned(),
+        cert_inferred.len().to_string(),
+        pct(cert_recall),
+    ]);
+    for n in [25usize, 100, 400] {
+        let found = offnet_core::baselines::vantage_point_baseline(&fx.world, Hg::Google, t, n);
+        let recall = offnet_core::baselines::recall_against_truth(&fx.world, Hg::Google, t, &found);
+        body.push(vec![
+            format!("DNS mapping, {n} vantage points"),
+            found.len().to_string(),
+            pct(recall),
+        ]);
+    }
+    println!("{}", table(&["technique", "google ASes found", "recall"], &body));
+}
+
+fn hide_and_seek(cli: &Cli) {
+    heading("Section 8 hide-and-seek: countermeasures vs the methodology");
+    use hgsim::Countermeasure::*;
+    let variants: [(&str, Option<hgsim::Countermeasure>); 5] = [
+        ("none (baseline)", None),
+        ("null default certificate (SNI-only)", Some(NullDefaultCert)),
+        ("strip Organization from certs", Some(StripOrganization)),
+        ("unique per-deployment domains", Some(UniqueDomains)),
+        ("anonymize debug headers", Some(AnonymizeHeaders)),
+    ];
+    let mut body = Vec::new();
+    for (label, cm) in variants {
+        let mut config = match cli.scale.as_str() {
+            "small" => ScenarioConfig::small().with_seed(cli.seed),
+            _ => ScenarioConfig::paper().with_seed(cli.seed),
+        };
+        if let Some(cm) = cm {
+            config = config.with_countermeasure(Hg::Google, cm);
+        }
+        eprintln!("[reproduce] hide-and-seek: {label}...");
+        let world = HgWorld::generate(config);
+        let engine = ScanEngine::rapid7();
+        let fps = learn_reference_fingerprints(&world, &engine, 28);
+        let ctx = PipelineContext::new(world.pki().root_store().clone(), world.org_db(), fps);
+        let obs = scanner::observe_snapshot(&world, &engine, 30).expect("corpus");
+        let result = offnet_core::process_snapshot(&obs, &ctx);
+        let google = &result.per_hg[&Hg::Google];
+        body.push(vec![
+            label.to_owned(),
+            google.candidate_ases.len().to_string(),
+            google.confirmed_ases.len().to_string(),
+        ]);
+    }
+    println!("{}", table(&["Google countermeasure", "candidates", "confirmed"], &body));
+}
+
+fn ablation(fx: &Fixtures) {
+    heading("Ablations: methodology filters");
+    let world = &fx.world;
+    let engine = ScanEngine::rapid7();
+    let t = 30;
+    let obs = scanner::observe_snapshot(world, &engine, t).expect("corpus covers 2021-04");
+
+    let variants: [(&str, CandidateOptions); 3] = [
+        ("full (SAN subset + CF filter)", CandidateOptions::default()),
+        (
+            "no SAN-subset rule",
+            CandidateOptions {
+                require_san_subset: false,
+                cloudflare_filter: true,
+            },
+        ),
+        (
+            "no Cloudflare filter",
+            CandidateOptions {
+                require_san_subset: true,
+                cloudflare_filter: false,
+            },
+        ),
+    ];
+    let mut body = Vec::new();
+    for (label, options) in variants {
+        let mut ctx = fx.ctx().clone();
+        ctx.candidate_options = options;
+        let result = offnet_core::process_snapshot(&obs, &ctx);
+        body.push(vec![
+            label.to_owned(),
+            result.per_hg[&Hg::Google].candidate_ases.len().to_string(),
+            result.per_hg[&Hg::Cloudflare].candidate_ases.len().to_string(),
+            result.per_hg[&Hg::Amazon].candidate_ases.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["variant", "google cands", "cloudflare cands", "amazon cands"], &body)
+    );
+
+    // IP-to-AS stability-filter ablation.
+    let rib = netsim::MonthlyRib::build(
+        world.topology(),
+        t,
+        &world.config().bgp_noise,
+        world.config().seed,
+    );
+    let filtered = netsim::IpToAsMap::build(&rib);
+    let unfiltered = netsim::IpToAsMap::build_with_threshold(&rib, 0.0);
+    println!(
+        "IP-to-AS stability filter: {} prefixes with >=25% presence vs {} without the filter",
+        filtered.prefix_count(),
+        unfiltered.prefix_count()
+    );
+}

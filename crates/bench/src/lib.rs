@@ -1,0 +1,31 @@
+//! Shared fixtures for the benchmark targets and the `reproduce` binary:
+//! one lazily-built world and study per scale, so Criterion setup cost is
+//! paid once per process.
+
+use hgsim::{HgWorld, ScenarioConfig};
+use offnet_core::study::learn_reference_fingerprints;
+use offnet_core::{run_study, PipelineContext, StudyConfig, StudySeries};
+use scanner::ScanEngine;
+use std::sync::OnceLock;
+
+/// The small-scale world (used by benches; `reproduce --scale small`).
+pub fn small_world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+/// A Rapid7 study over the small world.
+pub fn small_study() -> &'static StudySeries {
+    static S: OnceLock<StudySeries> = OnceLock::new();
+    S.get_or_init(|| run_study(small_world(), &ScanEngine::rapid7(), &StudyConfig::default()))
+}
+
+/// A pipeline context for the small world.
+pub fn small_ctx() -> &'static PipelineContext {
+    static C: OnceLock<PipelineContext> = OnceLock::new();
+    C.get_or_init(|| {
+        let w = small_world();
+        let fps = learn_reference_fingerprints(w, &ScanEngine::rapid7(), 28);
+        PipelineContext::new(w.pki().root_store().clone(), w.org_db(), fps)
+    })
+}

@@ -1,0 +1,139 @@
+//! Baseline off-net mapping techniques from prior work (§1 "Challenges and
+//! Previous Work"), implemented for comparison against the certificate
+//! methodology:
+//!
+//! - [`vantage_point_baseline`]: DNS-redirection mapping from a set of
+//!   distributed vantage points (Dasu/PlanetLab-style [88, 102]). A CDN's
+//!   DNS returns the off-net closest to the querying client, so a vantage
+//!   point only ever discovers the off-nets *serving its own network* —
+//!   the coverage limitation that motivated the paper.
+//! - [`naive_org_baseline`]: organization-string matching over
+//!   certificates without the dNSName-subset rule or header confirmation —
+//!   what a first attempt at certificate mining would do.
+
+use crate::candidates::{find_candidates, CandidateOptions};
+use crate::tls_fingerprint::learn_tls_fingerprints;
+use crate::validate::ValidatedCert;
+use hgsim::{Hg, HgWorld};
+use netsim::{AsId, IpToAsMap};
+use std::collections::{BTreeSet, HashSet};
+
+/// Simulate DNS-based mapping from `n_vantages` vantage points.
+///
+/// Vantage points are drawn deterministically from eyeball ASes. A vantage
+/// inside AS `v` is served by (and therefore discovers) an off-net hosted
+/// in `v` itself or in one of `v`'s transit providers — the standard CDN
+/// request-routing locality. Off-nets in unrelated networks stay invisible,
+/// no matter how long the measurement runs.
+pub fn vantage_point_baseline(
+    world: &HgWorld,
+    hg: Hg,
+    t: usize,
+    n_vantages: usize,
+) -> BTreeSet<AsId> {
+    let truth = world.true_offnet_ases(hg, t);
+    let vantages = world.stable_as_pool("baseline-vantages", n_vantages, t);
+    let topo = world.topology();
+    let mut discovered = BTreeSet::new();
+    for v in vantages {
+        // The off-net serving this vantage: its own AS if hosting,
+        // otherwise the first hosting AS on its provider chain (up to the
+        // default-free zone).
+        if truth.contains(&v) {
+            discovered.insert(v);
+            continue;
+        }
+        let mut frontier: Vec<AsId> = topo.node(v).providers.clone();
+        let mut seen: HashSet<AsId> = HashSet::new();
+        'walk: while let Some(p) = frontier.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            if truth.contains(&p) {
+                discovered.insert(p);
+                break 'walk;
+            }
+            frontier.extend(topo.node(p).providers.iter().copied());
+        }
+    }
+    discovered
+}
+
+/// The naive certificate baseline: organization match only, no dNSName
+/// subset rule, no Cloudflare filter, no header confirmation.
+pub fn naive_org_baseline(
+    keyword: &str,
+    hg_ases: &HashSet<AsId>,
+    valid_certs: &[ValidatedCert],
+    ip_to_as: &IpToAsMap,
+) -> BTreeSet<AsId> {
+    let fp = learn_tls_fingerprints(keyword, hg_ases, valid_certs, ip_to_as);
+    let options = CandidateOptions {
+        require_san_subset: false,
+        cloudflare_filter: false,
+    };
+    find_candidates(&fp, hg_ases, valid_certs, ip_to_as, &options).ases
+}
+
+/// Recall of a discovered set against the oracle.
+pub fn recall_against_truth(world: &HgWorld, hg: Hg, t: usize, discovered: &BTreeSet<AsId>) -> f64 {
+    let truth = world.true_offnet_ases(hg, t);
+    if truth.is_empty() {
+        return 1.0;
+    }
+    truth.iter().filter(|a| discovered.contains(a)).count() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static HgWorld {
+        static W: OnceLock<HgWorld> = OnceLock::new();
+        W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+    }
+
+    #[test]
+    fn vantage_coverage_grows_with_vantage_count() {
+        let w = world();
+        let small = vantage_point_baseline(w, Hg::Google, 30, 20);
+        let large = vantage_point_baseline(w, Hg::Google, 30, 400);
+        assert!(large.len() >= small.len());
+        assert!(!large.is_empty());
+    }
+
+    #[test]
+    fn vantage_baseline_undercounts_badly() {
+        // Even hundreds of vantage points miss much of the footprint —
+        // the coverage limitation §1 describes.
+        let w = world();
+        let discovered = vantage_point_baseline(w, Hg::Google, 30, 200);
+        let recall = recall_against_truth(w, Hg::Google, 30, &discovered);
+        assert!(
+            recall < 0.7,
+            "vantage baseline should not reach global coverage: {recall}"
+        );
+    }
+
+    #[test]
+    fn discovered_sets_are_true_hosts() {
+        // The vantage baseline has perfect precision (it only reports
+        // servers it was actually directed to) — its problem is recall.
+        let w = world();
+        let discovered = vantage_point_baseline(w, Hg::Netflix, 30, 100);
+        let truth = w.true_offnet_ases(Hg::Netflix, 30);
+        for a in &discovered {
+            assert!(truth.contains(a), "{a} not a true host");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = vantage_point_baseline(w, Hg::Facebook, 30, 150);
+        let b = vantage_point_baseline(w, Hg::Facebook, 30, 150);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,348 @@
+//! §4.5 — confirming candidates with HTTP(S) header fingerprints.
+
+use crate::candidates::CandidateSet;
+use crate::headers::HeaderFingerprints;
+use netsim::{AsId, IpToAsMap};
+use scanner::HttpScanSnapshot;
+use std::collections::{BTreeSet, HashMap};
+
+/// Which banner corpuses must match for confirmation (Figure 4's series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmMode {
+    /// Certificates and (HTTP or HTTPS) headers — the paper's default.
+    HttpOrHttps,
+    /// Certificates and (HTTP and HTTPS) headers.
+    HttpAndHttps,
+}
+
+/// Indexed banners of one snapshot.
+#[derive(Debug, Default)]
+pub struct BannerIndex {
+    http80: HashMap<u32, Vec<(String, String)>>,
+    https443: HashMap<u32, Vec<(String, String)>>,
+}
+
+impl BannerIndex {
+    pub fn build(http80: Option<&HttpScanSnapshot>, https443: Option<&HttpScanSnapshot>) -> Self {
+        let mut idx = Self::default();
+        if let Some(s) = http80 {
+            for r in &s.records {
+                idx.http80.insert(r.ip, r.headers.clone());
+            }
+        }
+        if let Some(s) = https443 {
+            for r in &s.records {
+                idx.https443.insert(r.ip, r.headers.clone());
+            }
+        }
+        idx
+    }
+
+    pub fn http80(&self, ip: u32) -> Option<&Vec<(String, String)>> {
+        self.http80.get(&ip)
+    }
+
+    pub fn https443(&self, ip: u32) -> Option<&Vec<(String, String)>> {
+        self.https443.get(&ip)
+    }
+
+    /// Whether any HTTPS banners exist at all (they don't before the
+    /// corpuses added HTTPS data).
+    pub fn has_https(&self) -> bool {
+        !self.https443.is_empty()
+    }
+}
+
+/// Confirmed off-nets for one HG in one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ConfirmedSet {
+    pub ases: BTreeSet<AsId>,
+    pub ips: Vec<u32>,
+}
+
+/// Edge CDNs whose headers take priority in multi-HG conflicts (§7
+/// "Reverse Proxies and Cache Misses": Akamai and Cloudflare edges in
+/// front of other origins).
+const EDGE_PRIORITY: &[&str] = &["akamai", "cloudflare"];
+
+/// Confirm a candidate set using header fingerprints.
+///
+/// A candidate IP is confirmed when its banner(s) match the HG's header
+/// fingerprint under `mode`. When the banner *also* matches an edge CDN's
+/// fingerprint (and the HG itself is not that CDN), the edge wins and the
+/// candidate is rejected — the response came through a reverse proxy.
+pub fn confirm_candidates(
+    keyword: &str,
+    candidates: &CandidateSet,
+    fps: &HeaderFingerprints,
+    banners: &BannerIndex,
+    ip_to_as: &IpToAsMap,
+    mode: ConfirmMode,
+) -> ConfirmedSet {
+    let keyword = keyword.to_ascii_lowercase();
+    let mut out = ConfirmedSet::default();
+    let Some(fp) = fps.get(&keyword) else {
+        return out;
+    };
+    if fp.is_empty() {
+        // No usable header fingerprint (§7 "Missing Headers") — nothing
+        // can be confirmed for this HG.
+        return out;
+    }
+    for (ip, _cert) in &candidates.ips {
+        let http = banners.http80(*ip);
+        let https = banners.https443(*ip);
+        let match_one = |h: Option<&Vec<(String, String)>>| -> Option<bool> {
+            h.map(|headers| {
+                if !fp.matches(headers) {
+                    return false;
+                }
+                // Reverse-proxy conflict: edge headers win.
+                if !EDGE_PRIORITY.contains(&keyword.as_str()) {
+                    let others = fps.matching_keywords(headers);
+                    if others.iter().any(|k| EDGE_PRIORITY.contains(k)) {
+                        return false;
+                    }
+                }
+                true
+            })
+        };
+        let m_http = match_one(http);
+        let m_https = match_one(https);
+        let confirmed = match mode {
+            ConfirmMode::HttpOrHttps => m_http == Some(true) || m_https == Some(true),
+            ConfirmMode::HttpAndHttps => {
+                // Require agreement on every banner that exists; HTTPS-only
+                // epochs degrade to HTTP-only data.
+                match (m_http, m_https) {
+                    (Some(a), Some(b)) => a && b,
+                    (Some(a), None) | (None, Some(a)) => a,
+                    (None, None) => false,
+                }
+            }
+        };
+        if confirmed {
+            out.ips.push(*ip);
+            for a in ip_to_as.lookup(*ip) {
+                out.ases.insert(*a);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::HeaderFingerprint;
+    use netsim::{BgpNoiseConfig, MonthlyRib, Topology, TopologyConfig};
+    use scanner::HttpRecord;
+    use x509::Fingerprint;
+
+    fn tiny_map() -> (Topology, IpToAsMap) {
+        let t = Topology::generate(&TopologyConfig::small(7));
+        let rib = MonthlyRib::build(
+            &t,
+            30,
+            &BgpNoiseConfig {
+                hijack_rate: 0.0,
+                moas_rate: 0.0,
+                flap_rate: 0.0,
+            },
+            7,
+        );
+        let m = IpToAsMap::build(&rib);
+        (t, m)
+    }
+
+    fn fps() -> HeaderFingerprints {
+        let mut fps = HeaderFingerprints::default();
+        fps.insert(HeaderFingerprint {
+            keyword: "google".into(),
+            pairs: vec![("server".into(), "gvs".into())],
+            names: vec![],
+            support: 10,
+        });
+        fps.insert(HeaderFingerprint {
+            keyword: "akamai".into(),
+            pairs: vec![("server".into(), "AkamaiGHost".into())],
+            names: vec![],
+            support: 10,
+        });
+        fps.insert(HeaderFingerprint {
+            keyword: "apple".into(),
+            pairs: vec![],
+            names: vec!["cdnuuid".into()],
+            support: 10,
+        });
+        fps
+    }
+
+    fn banner_index(entries: &[(u32, &[(&str, &str)])]) -> BannerIndex {
+        let snap = HttpScanSnapshot {
+            engine: scanner::EngineId::Rapid7,
+            snapshot_idx: 30,
+            port: 80,
+            records: entries
+                .iter()
+                .map(|(ip, hs)| HttpRecord {
+                    ip: *ip,
+                    headers: hs.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect(),
+                })
+                .collect(),
+        };
+        BannerIndex::build(Some(&snap), None)
+    }
+
+    fn candidate(ips: &[u32]) -> CandidateSet {
+        CandidateSet {
+            ips: ips.iter().map(|&ip| (ip, Fingerprint([0u8; 32]))).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matching_banner_confirms() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        let banners = banner_index(&[(ip, &[("Server", "gvs 1.0")])]);
+        let set = confirm_candidates(
+            "google",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert_eq!(set.ips, vec![ip]);
+        assert!(set.ases.contains(&topo.ases()[100].id));
+    }
+
+    #[test]
+    fn non_matching_banner_rejected() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        let banners = banner_index(&[(ip, &[("Server", "nginx")])]);
+        let set = confirm_candidates(
+            "google",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert!(set.ips.is_empty());
+    }
+
+    #[test]
+    fn edge_priority_rejects_origin_attribution() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        // Banner carries BOTH apple-ish and akamai headers (cache miss
+        // through an Akamai edge) — apple must not be confirmed, akamai is.
+        let banners = banner_index(&[(
+            ip,
+            &[("Server", "AkamaiGHost"), ("CDNUUID", "abc-123")],
+        )]);
+        let apple = confirm_candidates(
+            "apple",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert!(apple.ips.is_empty(), "apple must lose to the akamai edge");
+        let akamai = confirm_candidates(
+            "akamai",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert_eq!(akamai.ips, vec![ip]);
+    }
+
+    #[test]
+    fn missing_banner_means_unconfirmed() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        let banners = banner_index(&[]);
+        let set = confirm_candidates(
+            "google",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert!(set.ips.is_empty());
+    }
+
+    #[test]
+    fn and_mode_requires_agreement() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        let http = HttpScanSnapshot {
+            engine: scanner::EngineId::Rapid7,
+            snapshot_idx: 30,
+            port: 80,
+            records: vec![HttpRecord {
+                ip,
+                headers: vec![("Server".into(), "gvs 1.0".into())],
+            }],
+        };
+        let https = HttpScanSnapshot {
+            engine: scanner::EngineId::Rapid7,
+            snapshot_idx: 30,
+            port: 443,
+            records: vec![HttpRecord {
+                ip,
+                headers: vec![("Server".into(), "nginx".into())],
+            }],
+        };
+        let banners = BannerIndex::build(Some(&http), Some(&https));
+        let or_mode = confirm_candidates(
+            "google",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert_eq!(or_mode.ips.len(), 1);
+        let and_mode = confirm_candidates(
+            "google",
+            &candidate(&[ip]),
+            &fps(),
+            &banners,
+            &map,
+            ConfirmMode::HttpAndHttps,
+        );
+        assert!(and_mode.ips.is_empty());
+    }
+
+    #[test]
+    fn empty_fingerprint_confirms_nothing() {
+        let (topo, map) = tiny_map();
+        let ip = topo.ases()[100].prefixes[0].addr(1);
+        let banners = banner_index(&[(ip, &[("X-Hulu-Request-Id", "1")])]);
+        let mut fps = HeaderFingerprints::default();
+        fps.insert(HeaderFingerprint {
+            keyword: "hulu".into(),
+            pairs: vec![],
+            names: vec![],
+            support: 0,
+        });
+        let set = confirm_candidates(
+            "hulu",
+            &candidate(&[ip]),
+            &fps,
+            &banners,
+            &map,
+            ConfirmMode::HttpOrHttps,
+        );
+        assert!(set.ips.is_empty());
+    }
+}

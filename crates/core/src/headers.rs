@@ -1,0 +1,406 @@
+//! §4.4 — learning Hypergiant HTTP(S) header fingerprints.
+//!
+//! Large providers leave debug headers on responses. From on-net banners
+//! we take the most frequent header name/value pairs, filter standard
+//! headers, and keep the ones that are *distinctive* — rare on the
+//! Internet at large. Names whose values are per-request identifiers
+//! (X-FB-Debug, CF-RAY, ...) become name-only fingerprints; stable values
+//! (Server: AkamaiGHost) become name+value-prefix fingerprints. This
+//! automates the paper's manual classification step; the one documented
+//! manual override retained is Netflix's default-nginx rule (§4.4).
+
+use scanner::HttpRecord;
+use std::collections::{HashMap, HashSet};
+
+/// Headers too generic to identify anyone (§4.4 "filtered out common
+/// standard headers").
+const STANDARD_HEADERS: &[&str] = &[
+    "content-type",
+    "content-length",
+    "cache-control",
+    "date",
+    "expires",
+    "etag",
+    "last-modified",
+    "connection",
+    "vary",
+    "pragma",
+    "accept-ranges",
+    "transfer-encoding",
+    "set-cookie",
+    "location",
+    "age",
+    "keep-alive",
+    "strict-transport-security",
+    "x-powered-by",
+];
+
+/// How many top pairs to consider per HG (the paper uses 50).
+const TOP_PAIRS: usize = 50;
+/// A pair/name is "distinctive" when it is at least this much more
+/// frequent on the HG's on-net servers than on the Internet at large
+/// (lift = on-net frequency / global frequency). Generic software banners
+/// like `Server: nginx` have lift close to 1; provider debug headers have
+/// lift in the tens to thousands.
+const DISTINCTIVE_MIN_LIFT: f64 = 8.0;
+/// Headers on more than this fraction of all banners are never
+/// fingerprints regardless of lift.
+const MAX_GLOBAL_FREQ: f64 = 0.2;
+/// Minimum on-net support for a pair/name to be considered.
+const MIN_SUPPORT_FRACTION: f64 = 0.05;
+
+/// One HG's learned header fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderFingerprint {
+    pub keyword: String,
+    /// `(lowercased name, value prefix)` — observed value must start with
+    /// the prefix (Table 4's `*` entries).
+    pub pairs: Vec<(String, String)>,
+    /// Name-only fingerprints (dynamic values).
+    pub names: Vec<String>,
+    /// Number of on-net banners the fingerprint was learned from.
+    pub support: usize,
+}
+
+impl HeaderFingerprint {
+    /// Whether a banner matches this fingerprint.
+    pub fn matches(&self, headers: &[(String, String)]) -> bool {
+        for (name, value) in headers {
+            let name_lc = name.to_ascii_lowercase();
+            if self.names.contains(&name_lc) {
+                return true;
+            }
+            if self
+                .pairs
+                .iter()
+                .any(|(n, v)| *n == name_lc && value.starts_with(v.as_str()))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty() && self.names.is_empty()
+    }
+}
+
+/// Learned fingerprints for all HGs, plus the global statistics they were
+/// judged against.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderFingerprints {
+    by_keyword: HashMap<String, HeaderFingerprint>,
+}
+
+impl HeaderFingerprints {
+    pub fn get(&self, keyword: &str) -> Option<&HeaderFingerprint> {
+        self.by_keyword.get(&keyword.to_ascii_lowercase())
+    }
+
+    pub fn insert(&mut self, fp: HeaderFingerprint) {
+        self.by_keyword.insert(fp.keyword.clone(), fp);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &HeaderFingerprint> {
+        self.by_keyword.values()
+    }
+
+    /// All HG keywords whose fingerprint matches the banner.
+    pub fn matching_keywords(&self, headers: &[(String, String)]) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .by_keyword
+            .values()
+            .filter(|fp| fp.matches(headers))
+            .map(|fp| fp.keyword.as_str())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Global header-frequency baseline over a banner corpus.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalHeaderStats {
+    total_banners: usize,
+    name_counts: HashMap<String, usize>,
+    pair_counts: HashMap<(String, String), usize>,
+}
+
+impl GlobalHeaderStats {
+    pub fn build(records: &[HttpRecord]) -> Self {
+        let mut s = Self {
+            total_banners: records.len(),
+            ..Default::default()
+        };
+        for r in records {
+            let mut seen_names = HashSet::new();
+            for (name, value) in &r.headers {
+                let name_lc = name.to_ascii_lowercase();
+                if seen_names.insert(name_lc.clone()) {
+                    *s.name_counts.entry(name_lc.clone()).or_insert(0) += 1;
+                }
+                *s.pair_counts.entry((name_lc, value.clone())).or_insert(0) += 1;
+            }
+        }
+        s
+    }
+
+    fn name_freq(&self, name: &str) -> f64 {
+        if self.total_banners == 0 {
+            return 0.0;
+        }
+        *self.name_counts.get(name).unwrap_or(&0) as f64 / self.total_banners as f64
+    }
+
+    /// The smallest resolvable frequency (one banner).
+    fn floor(&self) -> f64 {
+        if self.total_banners == 0 {
+            1.0
+        } else {
+            1.0 / self.total_banners as f64
+        }
+    }
+
+    fn pair_freq(&self, name: &str, value: &str) -> f64 {
+        if self.total_banners == 0 {
+            return 0.0;
+        }
+        *self
+            .pair_counts
+            .get(&(name.to_owned(), value.to_owned()))
+            .unwrap_or(&0) as f64
+            / self.total_banners as f64
+    }
+}
+
+/// Learn one HG's header fingerprint from its on-net banners, judged
+/// against the global baseline.
+pub fn learn_header_fingerprints(
+    keyword: &str,
+    onnet_banners: &[&HttpRecord],
+    global: &GlobalHeaderStats,
+) -> HeaderFingerprint {
+    let keyword = keyword.to_ascii_lowercase();
+    let mut fp = HeaderFingerprint {
+        keyword: keyword.clone(),
+        support: onnet_banners.len(),
+        ..Default::default()
+    };
+    if onnet_banners.is_empty() {
+        apply_manual_overrides(&mut fp);
+        return fp;
+    }
+
+    // Frequency analysis over on-net banners.
+    let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+    let mut name_counts: HashMap<String, usize> = HashMap::new();
+    for r in onnet_banners {
+        let mut seen_names = HashSet::new();
+        for (name, value) in &r.headers {
+            let name_lc = name.to_ascii_lowercase();
+            if STANDARD_HEADERS.contains(&name_lc.as_str()) {
+                continue;
+            }
+            if seen_names.insert(name_lc.clone()) {
+                *name_counts.entry(name_lc.clone()).or_insert(0) += 1;
+            }
+            *pair_counts.entry((name_lc, value.clone())).or_insert(0) += 1;
+        }
+    }
+    let min_support =
+        ((onnet_banners.len() as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
+
+    // Top pairs by on-net frequency (the paper's "50 most frequent header
+    // name-value pairs").
+    let mut top_pairs: Vec<(&(String, String), &usize)> = pair_counts.iter().collect();
+    top_pairs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    let n_onnet = onnet_banners.len() as f64;
+    for ((name, value), count) in top_pairs.into_iter().take(TOP_PAIRS) {
+        if *count < min_support {
+            continue;
+        }
+        let onnet_freq = *count as f64 / n_onnet;
+        let gf = global.pair_freq(name, value).max(global.floor());
+        if gf <= MAX_GLOBAL_FREQ && onnet_freq / gf >= DISTINCTIVE_MIN_LIFT {
+            fp.pairs.push((name.clone(), value.clone()));
+        }
+    }
+
+    // Names with dynamic values: frequent on-net, rare globally, and not
+    // already captured via a stable pair.
+    for (name, count) in &name_counts {
+        if *count < min_support {
+            continue;
+        }
+        if fp.pairs.iter().any(|(n, _)| n == name) {
+            // If the name also has many distinct values, keep it name-only
+            // instead of enumerating per-request values.
+            let distinct_values = pair_counts.keys().filter(|(n, _)| n == name).count();
+            if distinct_values > onnet_banners.len() / 2 && distinct_values > 4 {
+                fp.pairs.retain(|(n, _)| n != name);
+            } else {
+                continue;
+            }
+        }
+        let onnet_freq = *count as f64 / n_onnet;
+        let gf = global.name_freq(name).max(global.floor());
+        if gf <= MAX_GLOBAL_FREQ && onnet_freq / gf >= DISTINCTIVE_MIN_LIFT {
+            fp.names.push(name.clone());
+        }
+    }
+    fp.names.sort_unstable();
+    fp.pairs.sort_unstable();
+    apply_manual_overrides(&mut fp);
+    fp
+}
+
+/// The one manual classification the paper documents (§4.4): a Netflix
+/// certificate plus the bare default nginx header identifies a Netflix
+/// OCA. (Safe only because confirmation is scoped to certificate
+/// candidates.)
+fn apply_manual_overrides(fp: &mut HeaderFingerprint) {
+    if fp.keyword == "netflix" {
+        fp.pairs.push(("server".to_owned(), "nginx".to_owned()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(headers: &[(&str, &str)]) -> HttpRecord {
+        HttpRecord {
+            ip: 0,
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn global() -> GlobalHeaderStats {
+        // 1000 generic banners: nginx/apache everywhere.
+        let mut records = Vec::new();
+        for i in 0..1000u32 {
+            let server = if i % 2 == 0 { "nginx" } else { "Apache" };
+            records.push(rec(&[
+                ("Server", server),
+                ("Content-Type", "text/html"),
+                ("Cache-Control", "max-age=600"),
+            ]));
+        }
+        GlobalHeaderStats::build(&records)
+    }
+
+    #[test]
+    fn stable_distinctive_value_becomes_pair() {
+        let g = global();
+        let banners: Vec<HttpRecord> = (0..100)
+            .map(|_| rec(&[("Server", "AkamaiGHost"), ("Content-Type", "text/html")]))
+            .collect();
+        let refs: Vec<&HttpRecord> = banners.iter().collect();
+        let fp = learn_header_fingerprints("akamai", &refs, &g);
+        assert!(fp
+            .pairs
+            .contains(&("server".to_owned(), "AkamaiGHost".to_owned())));
+        assert!(fp.matches(&[("Server".to_owned(), "AkamaiGHost".to_owned())]));
+        assert!(!fp.matches(&[("Server".to_owned(), "nginx".to_owned())]));
+    }
+
+    #[test]
+    fn dynamic_values_become_name_only() {
+        let g = global();
+        let banners: Vec<HttpRecord> = (0..100)
+            .map(|i| {
+                rec(&[
+                    ("X-FB-Debug", &format!("h{i}")[..],),
+                    ("Server", "proxygen-bolt"),
+                ])
+            })
+            .collect();
+        let refs: Vec<&HttpRecord> = banners.iter().collect();
+        let fp = learn_header_fingerprints("facebook", &refs, &g);
+        assert!(fp.names.contains(&"x-fb-debug".to_owned()), "{fp:?}");
+        assert!(fp
+            .pairs
+            .contains(&("server".to_owned(), "proxygen-bolt".to_owned())));
+        assert!(fp.matches(&[("X-FB-DEBUG".to_owned(), "whatever".to_owned())]));
+    }
+
+    #[test]
+    fn generic_values_rejected() {
+        let g = global();
+        // On-nets that answer with plain nginx: nothing distinctive.
+        let banners: Vec<HttpRecord> =
+            (0..100).map(|_| rec(&[("Server", "nginx")])).collect();
+        let refs: Vec<&HttpRecord> = banners.iter().collect();
+        let fp = learn_header_fingerprints("hulu", &refs, &g);
+        assert!(fp.is_empty(), "{fp:?}");
+    }
+
+    #[test]
+    fn standard_headers_never_fingerprints() {
+        let g = global();
+        let banners: Vec<HttpRecord> = (0..100)
+            .map(|_| rec(&[("Content-Type", "application/x-hg-special")]))
+            .collect();
+        let refs: Vec<&HttpRecord> = banners.iter().collect();
+        let fp = learn_header_fingerprints("disney", &refs, &g);
+        assert!(fp.is_empty());
+    }
+
+    #[test]
+    fn netflix_manual_nginx_rule() {
+        let g = global();
+        let fp = learn_header_fingerprints("netflix", &[], &g);
+        assert!(fp.matches(&[("Server".to_owned(), "nginx".to_owned())]));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let fp = HeaderFingerprint {
+            keyword: "google".into(),
+            pairs: vec![("server".into(), "gvs".into())],
+            names: vec![],
+            support: 10,
+        };
+        assert!(fp.matches(&[("Server".to_owned(), "gvs 1.0".to_owned())]));
+        assert!(!fp.matches(&[("Server".to_owned(), "g".to_owned())]));
+    }
+
+    #[test]
+    fn matching_keywords_sorted() {
+        let mut fps = HeaderFingerprints::default();
+        fps.insert(HeaderFingerprint {
+            keyword: "akamai".into(),
+            pairs: vec![("server".into(), "AkamaiGHost".into())],
+            names: vec![],
+            support: 1,
+        });
+        fps.insert(HeaderFingerprint {
+            keyword: "amazon".into(),
+            pairs: vec![],
+            names: vec!["x-amz-request-id".into()],
+            support: 1,
+        });
+        let banner = vec![
+            ("Server".to_owned(), "AkamaiGHost".to_owned()),
+            ("x-amz-request-id".to_owned(), "abc".to_owned()),
+        ];
+        assert_eq!(fps.matching_keywords(&banner), vec!["akamai", "amazon"]);
+    }
+
+    #[test]
+    fn min_support_enforced() {
+        let g = global();
+        // A header seen on a single on-net banner is noise, not a
+        // fingerprint.
+        let mut banners: Vec<HttpRecord> =
+            (0..99).map(|_| rec(&[("Server", "nginx")])).collect();
+        banners.push(rec(&[("X-Oddball", "1")]));
+        let refs: Vec<&HttpRecord> = banners.iter().collect();
+        let fp = learn_header_fingerprints("yahoo", &refs, &g);
+        assert!(fp.is_empty(), "{fp:?}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Longitudinal study driver: the full 2013-10 … 2021-04 analysis over one
+//! scan engine, including the §6.2 Netflix restorations.
+
+use crate::confirm::ConfirmMode;
+use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
+use crate::pipeline::{process_snapshot, PipelineContext, SnapshotResult};
+use hgsim::{Hg, HgWorld, ALL_HGS};
+use netsim::AsId;
+use scanner::{observe_snapshot, ScanEngine};
+use std::collections::{BTreeSet, HashSet};
+
+/// Study parameters.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Snapshot at which header fingerprints are learned (the paper uses
+    /// September 2020 on-net scans; index 28 = 2020-10).
+    pub header_reference_snapshot: usize,
+    pub confirm_mode: ConfirmMode,
+    pub candidate_options: crate::candidates::CandidateOptions,
+    /// Inclusive snapshot range to process.
+    pub snapshots: (usize, usize),
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            header_reference_snapshot: 28,
+            confirm_mode: ConfirmMode::HttpOrHttps,
+            candidate_options: Default::default(),
+            snapshots: (0, 30),
+        }
+    }
+}
+
+/// The §6.2 Netflix footprint variants, per snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct NetflixVariants {
+    /// Standard pipeline output.
+    pub initial: Vec<usize>,
+    /// Expired default certificates restored.
+    pub with_expired: Vec<usize>,
+    /// Additionally restoring IPs that previously served Netflix
+    /// certificates and now answer only on HTTP.
+    pub with_non_tls: Vec<usize>,
+}
+
+/// The full longitudinal result for one engine.
+#[derive(Debug)]
+pub struct StudySeries {
+    pub engine: scanner::EngineId,
+    /// One entry per processed snapshot, in order.
+    pub snapshots: Vec<SnapshotResult>,
+    pub netflix: NetflixVariants,
+    /// The header fingerprints the study ran with.
+    pub header_fps: HeaderFingerprints,
+}
+
+impl StudySeries {
+    /// Confirmed AS-count series for one HG.
+    pub fn confirmed_series(&self, hg: Hg) -> Vec<usize> {
+        self.snapshots
+            .iter()
+            .map(|s| s.per_hg[&hg].confirmed_ases.len())
+            .collect()
+    }
+
+    /// Certificate-only (candidate) AS-count series for one HG.
+    pub fn candidate_series(&self, hg: Hg) -> Vec<usize> {
+        self.snapshots
+            .iter()
+            .map(|s| s.per_hg[&hg].candidate_ases.len())
+            .collect()
+    }
+
+    /// Confirmed AS set at a snapshot offset.
+    pub fn confirmed_at(&self, hg: Hg, idx: usize) -> &BTreeSet<AsId> {
+        &self.snapshots[idx].per_hg[&hg].confirmed_ases
+    }
+}
+
+/// Learn the per-HG header fingerprints from a reference snapshot's on-net
+/// banners (§4.4), using HTTPS banners where available and HTTP otherwise.
+pub fn learn_reference_fingerprints(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    reference_snapshot: usize,
+) -> HeaderFingerprints {
+    let t = reference_snapshot.min(world.n_snapshots() - 1);
+    let obs = observe_snapshot(world, engine, t)
+        .expect("reference snapshot must be inside the engine's corpus");
+    let banner_snap = obs.https443.as_ref().or(obs.http80.as_ref());
+    let mut fps = HeaderFingerprints::default();
+    let Some(banner_snap) = banner_snap else {
+        return fps;
+    };
+    let global = GlobalHeaderStats::build(&banner_snap.records);
+    for hg in ALL_HGS {
+        let hg_ases: HashSet<AsId> = world
+            .org_db()
+            .ases_matching(hg.spec().keyword)
+            .into_iter()
+            .collect();
+        let onnet: Vec<&scanner::HttpRecord> = banner_snap
+            .records
+            .iter()
+            .filter(|r| obs.ip_to_as.lookup(r.ip).iter().any(|a| hg_ases.contains(a)))
+            .collect();
+        fps.insert(learn_header_fingerprints(hg.spec().keyword, &onnet, &global));
+    }
+    fps
+}
+
+/// Run the longitudinal study for `engine` over `world`.
+pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> StudySeries {
+    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let mut ctx = PipelineContext::new(
+        world.pki().root_store().clone(),
+        world.org_db(),
+        header_fps.clone(),
+    );
+    ctx.candidate_options = config.candidate_options.clone();
+    ctx.confirm_mode = config.confirm_mode;
+
+    let mut snapshots = Vec::new();
+    let mut netflix = NetflixVariants::default();
+    // Cumulative IPs ever seen serving a (possibly expired) Netflix
+    // certificate — the history the non-TLS restoration consults.
+    let mut netflix_ip_history: HashSet<u32> = HashSet::new();
+
+    for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
+        let Some(obs) = observe_snapshot(world, engine, t) else {
+            continue;
+        };
+        let result = process_snapshot(&obs, &ctx);
+
+        let nf = &result.per_hg[&Hg::Netflix];
+        netflix.initial.push(nf.confirmed_ases.len());
+        netflix.with_expired.push(nf.with_expired_ases.len());
+
+        // Non-TLS restoration: HTTP-only IPs with Netflix certificate
+        // history map back to their ASes.
+        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
+        for ip in &result.http_only_ips {
+            if netflix_ip_history.contains(ip) {
+                for a in obs.ip_to_as.lookup(*ip) {
+                    with_non_tls.insert(*a);
+                }
+            }
+        }
+        netflix.with_non_tls.push(with_non_tls.len());
+
+        netflix_ip_history.extend(nf.with_expired_ips.iter().copied());
+        netflix_ip_history.extend(nf.confirmed_ips.iter().copied());
+
+        snapshots.push(result);
+    }
+
+    StudySeries {
+        engine: engine.id,
+        snapshots,
+        netflix,
+        header_fps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static StudySeries {
+        static S: OnceLock<StudySeries> = OnceLock::new();
+        S.get_or_init(|| {
+            let world = HgWorld::generate(ScenarioConfig::small());
+            run_study(&world, &ScanEngine::rapid7(), &StudyConfig::default())
+        })
+    }
+
+    #[test]
+    fn series_covers_all_snapshots() {
+        let s = study();
+        assert_eq!(s.snapshots.len(), 31);
+        assert_eq!(s.netflix.initial.len(), 31);
+    }
+
+    #[test]
+    fn google_grows_roughly_3x() {
+        let s = study();
+        let series = s.confirmed_series(Hg::Google);
+        let (start, end) = (series[0] as f64, series[30] as f64);
+        assert!(start > 0.0);
+        let growth = end / start;
+        assert!((2.5..5.0).contains(&growth), "growth {growth}");
+    }
+
+    #[test]
+    fn akamai_peaks_then_declines() {
+        let s = study();
+        let series = s.confirmed_series(Hg::Akamai);
+        let peak = *series.iter().max().unwrap();
+        let peak_idx = series.iter().position(|v| *v == peak).unwrap();
+        assert!((12..26).contains(&peak_idx), "peak at {peak_idx}");
+        assert!(series[30] < peak, "no decline: {} vs {peak}", series[30]);
+    }
+
+    #[test]
+    fn facebook_zero_before_launch() {
+        let s = study();
+        let series = s.confirmed_series(Hg::Facebook);
+        assert!(series[..10].iter().all(|v| *v <= 1), "{series:?}");
+        assert!(series[30] > series[15]);
+    }
+
+    #[test]
+    fn netflix_envelope_ordering() {
+        let s = study();
+        for t in 0..31 {
+            assert!(
+                s.netflix.initial[t] <= s.netflix.with_expired[t],
+                "t={t}: initial {} > with_expired {}",
+                s.netflix.initial[t],
+                s.netflix.with_expired[t]
+            );
+            assert!(
+                s.netflix.with_expired[t] <= s.netflix.with_non_tls[t],
+                "t={t}"
+            );
+        }
+        // Inside the expired window the envelope gap must be substantial.
+        let t = 18;
+        assert!(
+            s.netflix.with_expired[t] > s.netflix.initial[t] * 2,
+            "no expired-restoration effect at t={t}: {} vs {}",
+            s.netflix.with_expired[t],
+            s.netflix.initial[t]
+        );
+        // The non-TLS restoration must add ASes during the HTTP window.
+        assert!(
+            s.netflix.with_non_tls[t] > s.netflix.with_expired[t],
+            "non-TLS restoration added nothing at t={t}"
+        );
+    }
+
+    #[test]
+    fn candidates_superset_of_confirmed() {
+        let s = study();
+        for snap in &s.snapshots {
+            for hg in hgsim::TOP4 {
+                let r = &snap.per_hg[&hg];
+                assert!(
+                    r.confirmed_ases.is_subset(&r.candidate_ases),
+                    "{hg} at {}",
+                    snap.snapshot_idx
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! §4.2 — learning Hypergiant TLS fingerprints.
+//!
+//! Input: the HG's name and the validated certificates found inside the
+//! HG's own address space. On-net end-entity certificates whose Subject
+//! Organization contains the HG name (case-insensitively) yield the
+//! authoritative set of dNSNames the HG serves.
+
+use crate::validate::ValidatedCert;
+use netsim::{AsId, IpToAsMap};
+use std::collections::HashSet;
+
+/// A Hypergiant's learned TLS fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct TlsFingerprint {
+    /// The HG name searched in the Organization field (lowercase).
+    pub keyword: String,
+    /// dNSNames observed in on-net, organization-matching EE certificates.
+    pub dns_names: HashSet<String>,
+    /// Number of on-net certificates contributing to the fingerprint.
+    pub onnet_certs: usize,
+}
+
+impl TlsFingerprint {
+    /// Whether a certificate's Organization matches this HG (§4.2's
+    /// case-insensitive substring search).
+    pub fn org_matches(&self, org: Option<&str>) -> bool {
+        org.map(|o| o.to_ascii_lowercase().contains(&self.keyword))
+            .unwrap_or(false)
+    }
+
+    /// Whether *all* of a certificate's dNSNames are covered by the on-net
+    /// set (§4.3's filter).
+    pub fn covers_all(&self, names: &[String]) -> bool {
+        !names.is_empty() && names.iter().all(|n| self.dns_names.contains(n))
+    }
+}
+
+/// Learn a TLS fingerprint for the HG named `keyword`, whose own ASes are
+/// `hg_ases`, from one snapshot's validated certificates.
+pub fn learn_tls_fingerprints(
+    keyword: &str,
+    hg_ases: &HashSet<AsId>,
+    valid_certs: &[ValidatedCert],
+    ip_to_as: &IpToAsMap,
+) -> TlsFingerprint {
+    let keyword_lc = keyword.to_ascii_lowercase();
+    let mut fp = TlsFingerprint {
+        keyword: keyword_lc.clone(),
+        dns_names: HashSet::new(),
+        onnet_certs: 0,
+    };
+    for vc in valid_certs {
+        // On-net: the serving IP maps into the HG's own address space.
+        if !ip_to_as.lookup(vc.ip).iter().any(|a| hg_ases.contains(a)) {
+            continue;
+        }
+        let org_ok = vc
+            .leaf
+            .subject()
+            .organization()
+            .map(|o| o.to_ascii_lowercase().contains(&keyword_lc))
+            .unwrap_or(false);
+        if !org_ok {
+            continue;
+        }
+        fp.onnet_certs += 1;
+        for name in vc.leaf.dns_names() {
+            fp.dns_names.insert(name.clone());
+        }
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::{Hg, HgWorld, ScenarioConfig};
+    use scanner::{observe_snapshot, ScanEngine};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static HgWorld {
+        static W: OnceLock<HgWorld> = OnceLock::new();
+        W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+    }
+
+    fn learn(hg: Hg, t: usize) -> TlsFingerprint {
+        let w = world();
+        let obs = observe_snapshot(w, &ScanEngine::certigo(), t).unwrap();
+        let at = w.snapshot_date(t).midnight().plus_seconds(12 * 3600);
+        let (valids, _) = crate::validate::validate_records(
+            &obs.cert.records,
+            w.pki().root_store(),
+            at,
+            &Default::default(),
+        );
+        let hg_ases: HashSet<AsId> =
+            w.org_db().ases_matching(hg.spec().keyword).into_iter().collect();
+        learn_tls_fingerprints(hg.spec().keyword, &hg_ases, &valids, &obs.ip_to_as)
+    }
+
+    #[test]
+    fn google_fingerprint_covers_offnet_profile() {
+        let fp = learn(Hg::Google, 30);
+        assert!(fp.onnet_certs > 10, "{} on-net certs", fp.onnet_certs);
+        // The off-net default certificate's SANs are all on-net.
+        assert!(fp.dns_names.contains("*.googlevideo.com"));
+        assert!(fp.dns_names.contains("google.com"));
+        assert!(fp.covers_all(&[
+            "google.com".to_owned(),
+            "*.google.com".to_owned(),
+            "*.googlevideo.com".to_owned()
+        ]));
+    }
+
+    #[test]
+    fn foreign_names_not_covered() {
+        let fp = learn(Hg::Google, 30);
+        assert!(!fp.covers_all(&["google.com".to_owned(), "jointventure-google.example".to_owned()]));
+        assert!(!fp.covers_all(&[]));
+    }
+
+    #[test]
+    fn org_match_is_case_insensitive_substring() {
+        let fp = learn(Hg::Google, 30);
+        assert!(fp.org_matches(Some("Google LLC")));
+        assert!(fp.org_matches(Some("GOOGLE TRUST SERVICES")));
+        assert!(!fp.org_matches(Some("Alphabet Inc")));
+        assert!(!fp.org_matches(None));
+    }
+
+    #[test]
+    fn cloudflare_fingerprint_includes_customer_domains() {
+        let fp = learn(Hg::Cloudflare, 30);
+        // Customer certificates are served from Cloudflare's own AS, so
+        // their SANs enter the on-net set — the precise failure mode that
+        // §7 calls out.
+        assert!(
+            fp.dns_names.iter().any(|d| d.contains("cloudflaressl.com")),
+            "customer SANs missing from on-net set"
+        );
+    }
+
+    #[test]
+    fn hg_without_matching_certs_learns_nothing() {
+        let w = world();
+        let obs = observe_snapshot(w, &ScanEngine::certigo(), 10).unwrap();
+        let at = w.snapshot_date(10).midnight();
+        let (valids, _) = crate::validate::validate_records(
+            &obs.cert.records,
+            w.pki().root_store(),
+            at,
+            &Default::default(),
+        );
+        let empty_ases: HashSet<AsId> = HashSet::new();
+        let fp = learn_tls_fingerprints("google", &empty_ases, &valids, &obs.ip_to_as);
+        assert_eq!(fp.onnet_certs, 0);
+        assert!(fp.dns_names.is_empty());
+    }
+}

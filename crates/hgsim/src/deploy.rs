@@ -1,0 +1,339 @@
+//! Off-net deployment timelines: which ASes host each Hypergiant's servers
+//! at each snapshot. This is the simulation's ground truth — the quantity
+//! the measurement pipeline tries to recover.
+//!
+//! Growth follows each HG's anchor curve (Table 3 / Figure 3 shapes), with
+//! AS selection weighted by region mix (Figure 6), network-size preference
+//! (§6.3 demographics), eyeball weight, and a co-hosting bonus that makes
+//! networks already hosting top-4 HGs likelier to take on more (§6.6).
+
+use crate::spec::{interpolate_anchors, Hg, TypePreference, ALL_HGS, TOP4};
+use netsim::{AsId, Region, SizeCategory, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Per-HG, per-snapshot sets of ASes hosting true off-net servers.
+#[derive(Debug, Clone)]
+pub struct DeploymentTimeline {
+    /// `sets[hg_index][snapshot] -> sorted hosting ASes`.
+    sets: HashMap<Hg, Vec<Vec<AsId>>>,
+    n_snapshots: usize,
+}
+
+/// Configuration for timeline generation.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    pub seed: u64,
+    /// Scales every anchor count (1.0 = paper scale; tests use less).
+    pub footprint_scale: f64,
+    /// Maximum multiplier applied to the sampling weight per top-4 HG
+    /// already hosted by a candidate AS. The effective bonus ramps up
+    /// linearly over the study: early deployments (Akamai's and Google's
+    /// 2013 footprints) grew independently, while §6.6 shows networks
+    /// increasingly taking on additional HGs later on.
+    pub co_host_bonus: f64,
+}
+
+impl Default for DeploymentPlan {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            footprint_scale: 1.0,
+            co_host_bonus: 18.0,
+        }
+    }
+}
+
+impl DeploymentTimeline {
+    /// Generate the full timeline over `topology`.
+    pub fn generate(topology: &Topology, plan: &DeploymentPlan) -> Self {
+        let n_snapshots = topology.n_snapshots();
+        let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xdeb107);
+        let candidates: Vec<&netsim::AsNode> = topology
+            .ases()
+            .iter()
+            .filter(|a| a.level != netsim::LEVEL_CONTENT)
+            .collect();
+
+        // Current membership per HG, plus a top-4 hosting counter per AS.
+        let mut current: HashMap<Hg, HashSet<AsId>> = HashMap::new();
+        let mut top4_count: HashMap<AsId, u32> = HashMap::new();
+        let mut sets: HashMap<Hg, Vec<Vec<AsId>>> = ALL_HGS
+            .iter()
+            .map(|hg| (*hg, Vec::with_capacity(n_snapshots)))
+            .collect();
+
+        for t in 0..n_snapshots {
+            for hg in ALL_HGS {
+                let spec = hg.spec();
+                let target = (f64::from(interpolate_anchors(spec.offnet_anchors, t as u32))
+                    * plan.footprint_scale)
+                    .round() as usize;
+                let members = current.entry(hg).or_default();
+                if members.len() < target {
+                    let need = target - members.len();
+                    let added = sample_additions(
+                        &mut rng, topology, &candidates, members, &top4_count, spec, plan, t, need,
+                    );
+                    for asn in added {
+                        members.insert(asn);
+                        if TOP4.contains(&hg) {
+                            *top4_count.entry(asn).or_insert(0) += 1;
+                        }
+                    }
+                } else if members.len() > target {
+                    let drop = members.len() - target;
+                    let removed =
+                        sample_removals(&mut rng, topology, members, &spec.type_preference, hg, t, drop);
+                    for asn in removed {
+                        members.remove(&asn);
+                        if TOP4.contains(&hg) {
+                            if let Some(c) = top4_count.get_mut(&asn) {
+                                *c = c.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+                let mut snapshot_set: Vec<AsId> = members.iter().copied().collect();
+                snapshot_set.sort_unstable();
+                sets.get_mut(&hg).expect("all HGs present").push(snapshot_set);
+            }
+        }
+        Self { sets, n_snapshots }
+    }
+
+    /// Sorted ASes hosting `hg` off-nets at snapshot `t`.
+    pub fn hosting(&self, hg: Hg, t: usize) -> &[AsId] {
+        &self.sets[&hg][t]
+    }
+
+    /// Same as a set.
+    pub fn hosting_set(&self, hg: Hg, t: usize) -> HashSet<AsId> {
+        self.hosting(hg, t).iter().copied().collect()
+    }
+
+    pub fn n_snapshots(&self) -> usize {
+        self.n_snapshots
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_additions(
+    rng: &mut StdRng,
+    topology: &Topology,
+    candidates: &[&netsim::AsNode],
+    members: &HashSet<AsId>,
+    top4_count: &HashMap<AsId, u32>,
+    spec: &crate::spec::HgSpec,
+    plan: &DeploymentPlan,
+    t: usize,
+    need: usize,
+) -> Vec<AsId> {
+    let frac = t as f64 / (topology.n_snapshots() - 1).max(1) as f64;
+    let region_weight = |r: Region| -> f64 {
+        spec.region_weights
+            .iter()
+            .find(|(reg, _, _)| *reg == r)
+            .map(|(_, w0, w1)| w0 + frac * (w1 - w0))
+            .unwrap_or(0.1)
+    };
+    let type_weight = |c: SizeCategory| -> f64 {
+        let p = &spec.type_preference;
+        match c {
+            SizeCategory::Stub => p.stub,
+            SizeCategory::Small => p.small,
+            SizeCategory::Medium => p.medium,
+            SizeCategory::Large => p.large,
+            SizeCategory::XLarge => p.xlarge,
+        }
+    };
+
+    // Cumulative weights over all candidates; zero for ineligible.
+    let mut cum = Vec::with_capacity(candidates.len());
+    let mut total = 0.0f64;
+    for a in candidates {
+        let mut w = 0.0;
+        if a.birth as usize <= t && !members.contains(&a.id) {
+            let eyeball_bonus = if a.eyeball_weight > 0.0 { 1.0 + a.eyeball_weight.min(5.0) } else { 0.25 };
+            let co = f64::from(*top4_count.get(&a.id).unwrap_or(&0));
+            let bonus = plan.co_host_bonus * frac;
+            w = region_weight(topology.region_of(a.id))
+                * type_weight(topology.size_category_at(a.id, t))
+                * eyeball_bonus
+                * (1.0 + bonus * co);
+        }
+        total += w;
+        cum.push(total);
+    }
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = HashSet::with_capacity(need);
+    let mut attempts = 0;
+    while out.len() < need && attempts < need * 40 {
+        attempts += 1;
+        let x = rng.gen_range(0.0..total);
+        let i = cum.partition_point(|&c| c <= x).min(candidates.len() - 1);
+        let asn = candidates[i].id;
+        if !members.contains(&asn) {
+            out.insert(asn);
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn sample_removals(
+    rng: &mut StdRng,
+    topology: &Topology,
+    members: &HashSet<AsId>,
+    _pref: &TypePreference,
+    hg: Hg,
+    t: usize,
+    drop: usize,
+) -> Vec<AsId> {
+    // Shrinking deployments shed small networks first; Akamai additionally
+    // concentrates its North-America shedding on stubs (App. A.7).
+    let mut weighted: Vec<(AsId, f64)> = members
+        .iter()
+        .map(|&asn| {
+            let cat = topology.size_category_at(asn, t);
+            let mut w = match cat {
+                SizeCategory::Stub => 8.0,
+                SizeCategory::Small => 4.0,
+                SizeCategory::Medium => 1.0,
+                SizeCategory::Large => 0.15,
+                SizeCategory::XLarge => 0.05,
+            };
+            if hg == Hg::Akamai && topology.region_of(asn) == Region::NorthAmerica {
+                w *= 4.0;
+            }
+            (asn, w)
+        })
+        .collect();
+    weighted.sort_unstable_by_key(|(asn, _)| *asn);
+    let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+    let mut out = HashSet::with_capacity(drop);
+    let mut attempts = 0;
+    while out.len() < drop && attempts < drop * 60 {
+        attempts += 1;
+        let mut x = rng.gen_range(0.0..total);
+        for (asn, w) in &weighted {
+            x -= w;
+            if x <= 0.0 {
+                out.insert(*asn);
+                break;
+            }
+        }
+    }
+    // Fallback: deterministic fill if rejection sampling stalled.
+    if out.len() < drop {
+        for (asn, _) in &weighted {
+            if out.len() >= drop {
+                break;
+            }
+            out.insert(*asn);
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::TopologyConfig;
+
+    fn timeline() -> (Topology, DeploymentTimeline) {
+        let topo = Topology::generate(&TopologyConfig::small(7));
+        let plan = DeploymentPlan {
+            seed: 7,
+            footprint_scale: 0.05,
+            co_host_bonus: 18.0,
+        };
+        let tl = DeploymentTimeline::generate(&topo, &plan);
+        (topo, tl)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (topo, a) = timeline();
+        let plan = DeploymentPlan {
+            seed: 7,
+            footprint_scale: 0.05,
+            co_host_bonus: 18.0,
+        };
+        let b = DeploymentTimeline::generate(&topo, &plan);
+        for hg in ALL_HGS {
+            assert_eq!(a.hosting(hg, 30), b.hosting(hg, 30), "{hg}");
+        }
+    }
+
+    #[test]
+    fn tracks_anchor_targets() {
+        let (_, tl) = timeline();
+        // Google at scale 0.05: 1044 * 0.05 = 52 at t=0, 3810 * 0.05 = 191 at t=30.
+        assert_eq!(tl.hosting(Hg::Google, 0).len(), 52);
+        assert_eq!(tl.hosting(Hg::Google, 30).len(), 191);
+        assert_eq!(tl.hosting(Hg::Facebook, 0).len(), 0);
+        assert!(tl.hosting(Hg::Facebook, 30).len() >= 100);
+    }
+
+    #[test]
+    fn akamai_shrinks_after_peak() {
+        let (_, tl) = timeline();
+        let peak = tl.hosting(Hg::Akamai, 18).len();
+        let end = tl.hosting(Hg::Akamai, 30).len();
+        assert!(peak > end, "peak {peak} end {end}");
+    }
+
+    #[test]
+    fn no_offnet_hgs_stay_empty() {
+        let (_, tl) = timeline();
+        for hg in [Hg::Microsoft, Hg::Cloudflare, Hg::Fastly, Hg::Hulu] {
+            for t in [0usize, 15, 30] {
+                assert!(tl.hosting(hg, t).is_empty(), "{hg} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_mostly_persists() {
+        let (_, tl) = timeline();
+        let early: HashSet<AsId> = tl.hosting_set(Hg::Google, 10);
+        let late: HashSet<AsId> = tl.hosting_set(Hg::Google, 30);
+        let kept = early.intersection(&late).count();
+        assert!(
+            kept as f64 / early.len() as f64 > 0.95,
+            "churn too high: {kept}/{}",
+            early.len()
+        );
+    }
+
+    #[test]
+    fn hosts_are_alive_and_not_content_ases() {
+        let (topo, tl) = timeline();
+        let content: HashSet<AsId> = topo.content_as_ids().into_iter().collect();
+        for hg in TOP4 {
+            for t in [0usize, 14, 30] {
+                for &asn in tl.hosting(hg, t) {
+                    assert!(topo.alive_at(asn, t), "{asn} not alive at {t}");
+                    assert!(!content.contains(&asn), "{asn} is a content AS");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top4_footprints_overlap() {
+        let (_, tl) = timeline();
+        let google = tl.hosting_set(Hg::Google, 30);
+        let netflix = tl.hosting_set(Hg::Netflix, 30);
+        let both = google.intersection(&netflix).count();
+        // With the co-hosting bonus, overlap must be substantial.
+        assert!(
+            both as f64 / netflix.len() as f64 > 0.35,
+            "overlap {both}/{}",
+            netflix.len()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! The Hypergiant world simulator.
+//!
+//! Models the 23 Hypergiants the paper examines (§4.6): their organization
+//! names, TLS certificate strategies, HTTP(S) debug headers (Table 4),
+//! on-net serving infrastructure, and — crucially — their *off-net*
+//! deployments inside other networks over 2013-10 … 2021-04, with
+//! per-region and per-network-type growth shaped to the paper's findings
+//! (Table 3, Figures 3-6).
+//!
+//! The simulator is the experiment's ground-truth oracle: the paper
+//! validates against operator surveys (§5); this reproduction validates
+//! against [`HgWorld::true_offnet_ases`].
+//!
+//! Modelled corner cases, each of which exercises a methodology filter:
+//! - Cloudflare issuing certificates to proxy customers (free certs carry a
+//!   `sniN.cloudflaressl.com` SAN; paid dedicated certs do not) — §3/§7.
+//! - Apple/Twitter/Microsoft content served from third-party CDN servers
+//!   that hold their certificates (certificate-only footprints) — §3.
+//! - Cloud "management interface" certificates on non-serving boxes — §3.
+//! - The Netflix expired-default-certificate episode (2017-04 … 2019-10)
+//!   and the concurrent HTTP-only downgrade of 26.8% of its off-nets — §6.2.
+//! - Google on-nets moving to SNI-only (null default certificate) — §8.
+//! - Imposter self-signed certificates and shared joint-venture
+//!   certificates — §4.1/§4.3.
+
+mod deploy;
+mod endpoints;
+mod pki;
+mod scenario;
+mod spec;
+
+pub use deploy::{DeploymentPlan, DeploymentTimeline};
+pub use endpoints::{Attribution, Endpoint, EndpointSet};
+pub use pki::{HgPki, CLOUDFLARE_FREE_SAN_MARKER};
+pub use scenario::{Countermeasure, HgWorld, ScenarioConfig};
+pub use spec::{Hg, HgSpec, ALL_HGS, TOP4};

@@ -1,0 +1,797 @@
+//! Static per-Hypergiant specifications: identities, domains, headers, and
+//! off-net growth anchors.
+
+use netsim::Region;
+
+/// The 23 Hypergiants examined in §4.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hg {
+    Google,
+    Facebook,
+    Netflix,
+    Akamai,
+    Alibaba,
+    Cloudflare,
+    Amazon,
+    Cdnetworks,
+    Limelight,
+    Apple,
+    Twitter,
+    Microsoft,
+    Hulu,
+    Disney,
+    Yahoo,
+    Chinacache,
+    Fastly,
+    Cachefly,
+    Incapsula,
+    Cdn77,
+    Bamtech,
+    Highwinds,
+    Verizon,
+}
+
+/// All Hypergiants, in Table 3 order followed by the no-footprint group.
+pub const ALL_HGS: [Hg; 23] = [
+    Hg::Google,
+    Hg::Facebook,
+    Hg::Netflix,
+    Hg::Akamai,
+    Hg::Alibaba,
+    Hg::Cloudflare,
+    Hg::Amazon,
+    Hg::Cdnetworks,
+    Hg::Limelight,
+    Hg::Apple,
+    Hg::Twitter,
+    Hg::Microsoft,
+    Hg::Hulu,
+    Hg::Disney,
+    Hg::Yahoo,
+    Hg::Chinacache,
+    Hg::Fastly,
+    Hg::Cachefly,
+    Hg::Incapsula,
+    Hg::Cdn77,
+    Hg::Bamtech,
+    Hg::Highwinds,
+    Hg::Verizon,
+];
+
+/// The four Hypergiants with the largest off-net footprints.
+pub const TOP4: [Hg; 4] = [Hg::Google, Hg::Netflix, Hg::Facebook, Hg::Akamai];
+
+/// How strongly a deployment prefers each AS size category, relative to the
+/// category's base rate. Tuned so footprint demographics land on §6.3:
+/// Stub 27-31%, Small 41-44%, Medium 22-24%, Large+XLarge >5%.
+#[derive(Debug, Clone, Copy)]
+pub struct TypePreference {
+    pub stub: f64,
+    pub small: f64,
+    pub medium: f64,
+    pub large: f64,
+    pub xlarge: f64,
+}
+
+impl TypePreference {
+    pub const DEFAULT: TypePreference = TypePreference {
+        stub: 0.4,
+        small: 4.0,
+        medium: 10.0,
+        large: 13.0,
+        xlarge: 16.0,
+    };
+    /// Akamai's profile: far fewer stubs (13%), many Large/XLarge (>16%).
+    pub const AKAMAI: TypePreference = TypePreference {
+        stub: 0.15,
+        small: 3.5,
+        medium: 12.0,
+        large: 40.0,
+        xlarge: 50.0,
+    };
+}
+
+/// Per-Hypergiant static specification.
+#[derive(Debug, Clone)]
+pub struct HgSpec {
+    pub hg: Hg,
+    /// TLS Subject `Organization` string.
+    pub org_name: &'static str,
+    /// The §4.2 search keyword.
+    pub keyword: &'static str,
+    /// Base service domains; certificate profiles draw SANs from these.
+    pub base_domains: &'static [&'static str],
+    /// HTTP(S) response headers from serving infrastructure, as
+    /// `(name, value)`; values containing `{}` get a per-endpoint dynamic
+    /// suffix (so header *names* identify the HG, not values) — Table 4.
+    pub headers: &'static [(&'static str, &'static str)],
+    /// Whether header usage is publicly documented (Table 4 last column).
+    pub headers_documented: bool,
+    /// `(snapshot index, #ASes)` anchors for the true off-net footprint;
+    /// piecewise-linear in between; empty = no off-nets ever.
+    pub offnet_anchors: &'static [(u32, u32)],
+    /// Per-region deployment weights: `(region, weight at t=0, weight at
+    /// t=30)`, linearly interpolated — realizes Figure 6's regional mixes
+    /// (e.g. South America's exponential rise).
+    pub region_weights: &'static [(Region, f64, f64)],
+    pub type_preference: TypePreference,
+    /// Certificate lifetime in days `(early, late)` — interpolated across
+    /// the study (e.g. Netflix's shift to short-lived certificates, A.3).
+    pub cert_lifetime_days: (u32, u32),
+    /// Number of distinct certificate profiles `(early, late)` — drives the
+    /// Figure 11 aggregation analysis (Facebook disaggregates over time).
+    pub cert_profiles: (u32, u32),
+    /// Off-net replica IPs per hosting AS `(early, late)`.
+    pub ips_per_offnet_as: (u32, u32),
+    /// On-net serving IPs `(early, late)`.
+    pub onnet_ips: (u32, u32),
+    /// Off-net servers answer HTTPS with the listed headers. When false the
+    /// HG's off-nets expose no usable headers (e.g. logged-in-only debug
+    /// headers, §7 "Missing Headers").
+    pub offnet_serves_headers: bool,
+}
+
+/// Standard quarterly snapshot indices for anchor tables:
+/// 0 = 2013-10, 10 = 2016-04, 11 = 2016-07, 14 = 2017-04, 15 = 2017-07,
+/// 17 = 2018-01, 18 = 2018-04, 21 = 2019-01, 24 = 2019-10, 26 = 2020-04,
+/// 30 = 2021-04.
+pub fn spec_of(hg: Hg) -> &'static HgSpec {
+    &SPECS[ALL_HGS.iter().position(|h| *h == hg).expect("known HG")]
+}
+
+impl Hg {
+    pub fn spec(&self) -> &'static HgSpec {
+        spec_of(*self)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.spec().keyword
+    }
+
+    /// Whether this HG ever operates true off-nets in the simulation.
+    pub fn has_offnets(&self) -> bool {
+        !self.spec().offnet_anchors.is_empty()
+    }
+}
+
+impl std::fmt::Display for Hg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().keyword)
+    }
+}
+
+const EVEN_REGIONS: &[(Region, f64, f64)] = &[
+    (Region::Asia, 1.0, 1.0),
+    (Region::Europe, 1.0, 1.0),
+    (Region::SouthAmerica, 0.5, 1.0),
+    (Region::NorthAmerica, 0.8, 0.8),
+    (Region::Africa, 0.3, 0.5),
+    (Region::Oceania, 0.2, 0.2),
+];
+
+/// Big-three regional mix: strong Europe/Asia, exponential South America,
+/// modest North America/Africa/Oceania (Figure 6).
+const BIG_REGIONS: &[(Region, f64, f64)] = &[
+    (Region::Asia, 1.0, 1.4),
+    (Region::Europe, 1.1, 1.3),
+    (Region::SouthAmerica, 0.25, 2.6),
+    (Region::NorthAmerica, 0.7, 0.7),
+    (Region::Africa, 0.25, 0.55),
+    (Region::Oceania, 0.12, 0.14),
+];
+
+const ASIA_ONLY: &[(Region, f64, f64)] = &[
+    (Region::Asia, 1.0, 1.0),
+    (Region::Europe, 0.05, 0.08),
+    (Region::SouthAmerica, 0.02, 0.05),
+    (Region::NorthAmerica, 0.05, 0.05),
+    (Region::Africa, 0.02, 0.05),
+    (Region::Oceania, 0.01, 0.02),
+];
+
+static SPECS: [HgSpec; 23] = [
+    HgSpec {
+        hg: Hg::Google,
+        org_name: "Google LLC",
+        keyword: "google",
+        base_domains: &[
+            "google.com",
+            "*.google.com",
+            "*.googlevideo.com",
+            "*.gvt1.com",
+            "*.gstatic.com",
+            "*.youtube.com",
+            "*.ytimg.com",
+            "*.googleapis.com",
+            "*.googleusercontent.com",
+            "*.google.com.br",
+            "*.google.co.in",
+            "*.google.de",
+            "*.google.fr",
+            "*.google.co.jp",
+            "*.android.com",
+            "*.ggpht.com",
+            "*.googlesyndication.com",
+            "accounts.google.com",
+            "*.doubleclick.net",
+            "*.google-analytics.com",
+        ],
+        headers: &[
+            ("Server", "gws"),
+            ("Server", "gvs 1.0"),
+            ("X-Google-Security-Signals", "a=1{}"),
+        ],
+        headers_documented: true,
+        offnet_anchors: &[
+            (0, 1044),
+            (10, 1430),
+            (14, 1900),
+            (18, 2500),
+            (24, 3150),
+            (26, 3250), // COVID slowdown
+            (28, 3500),
+            (30, 3810),
+        ],
+        region_weights: BIG_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (90, 90),
+        cert_profiles: (12, 16),
+        ips_per_offnet_as: (1, 3),
+        onnet_ips: (500, 900),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Facebook,
+        org_name: "Facebook, Inc.",
+        keyword: "facebook",
+        base_domains: &[
+            "facebook.com",
+            "*.facebook.com",
+            "*.fbcdn.net",
+            "*.fbsbx.com",
+            "*.instagram.com",
+            "*.cdninstagram.com",
+            "*.whatsapp.net",
+            "*.whatsapp.com",
+            "*.messenger.com",
+            "*.fb.com",
+        ],
+        headers: &[("Server", "proxygen-bolt"), ("X-FB-Debug", "{}")],
+        headers_documented: true,
+        offnet_anchors: &[
+            (0, 0),
+            (10, 0),
+            (11, 40), // CDN launch, summer 2016
+            (14, 420),
+            (18, 1190),
+            (24, 1690),
+            (26, 1780), // COVID slowdown
+            (30, 2214),
+        ],
+        region_weights: BIG_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (180, 90),
+        cert_profiles: (2, 30),
+        ips_per_offnet_as: (1, 2),
+        onnet_ips: (400, 800),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Netflix,
+        org_name: "Netflix, Inc.",
+        keyword: "netflix",
+        base_domains: &[
+            "netflix.com",
+            "*.netflix.com",
+            "*.nflxvideo.net",
+            "*.nflximg.net",
+            "*.nflxext.com",
+            "*.nflxso.net",
+        ],
+        headers: &[
+            ("X-Netflix.nfstatus", "1_1{}"),
+            ("X-TCP-Info", "rtt={}"),
+        ],
+        headers_documented: false,
+        offnet_anchors: &[
+            (0, 47),
+            (4, 160),
+            (8, 420),
+            (14, 769), // April 2017 (§5 reports 769)
+            (18, 1150),
+            (22, 1500),
+            (24, 1680),
+            (26, 1800),
+            (30, 2115),
+        ],
+        region_weights: BIG_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (600, 35),
+        cert_profiles: (3, 6),
+        ips_per_offnet_as: (2, 3),
+        onnet_ips: (120, 250),
+        offnet_serves_headers: true, // via the default-nginx special rule
+    },
+    HgSpec {
+        hg: Hg::Akamai,
+        org_name: "Akamai Technologies",
+        keyword: "akamai",
+        base_domains: &[
+            "*.akamai.net",
+            "*.akamaized.net",
+            "*.akamaiedge.net",
+            "*.akamaihd.net",
+            "*.akamaitechnologies.com",
+            "*.edgesuite.net",
+            "*.edgekey.net",
+            "*.akam.net",
+        ],
+        headers: &[("Server", "AkamaiGHost")],
+        headers_documented: true,
+        offnet_anchors: &[
+            (0, 978),
+            (8, 1240),
+            (14, 1400),
+            (18, 1463), // maximum, 2018-04
+            (22, 1320),
+            (26, 1180),
+            (30, 1094),
+        ],
+        region_weights: &[
+            (Region::Asia, 1.2, 1.6),
+            (Region::Europe, 1.0, 1.0),
+            (Region::SouthAmerica, 0.4, 0.7),
+            (Region::NorthAmerica, 1.0, 0.45), // NA stub shedding (A.7)
+            (Region::Africa, 0.2, 0.3),
+            (Region::Oceania, 0.15, 0.15),
+        ],
+        type_preference: TypePreference::AKAMAI,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (20, 28),
+        ips_per_offnet_as: (4, 6),
+        onnet_ips: (250, 400),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Alibaba,
+        org_name: "Alibaba (US) Technology Co., Ltd.",
+        keyword: "alibaba",
+        base_domains: &[
+            "*.alicdn.com",
+            "*.alibaba.com",
+            "*.aliyuncs.com",
+            "*.taobao.com",
+            "*.tmall.com",
+            "*.alipay.com",
+        ],
+        headers: &[("Server", "Tengine"), ("EagleId", "{}")],
+        headers_documented: true,
+        offnet_anchors: &[(0, 0), (4, 6), (10, 80), (17, 184), (24, 150), (30, 136)],
+        region_weights: ASIA_ONLY,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (4, 8),
+        ips_per_offnet_as: (2, 3),
+        onnet_ips: (150, 350),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Cloudflare,
+        org_name: "Cloudflare, Inc.",
+        keyword: "cloudflare",
+        base_domains: &["*.cloudflare.com", "cloudflare.com", "*.cloudflare-dns.com"],
+        headers: &[("Server", "cloudflare"), ("CF-RAY", "{}"), ("CF-Request-Id", "{}")],
+        headers_documented: true,
+        // No true off-nets: the apparent footprint is customer origins
+        // holding Cloudflare-issued certificates (§6.1, §7).
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 90),
+        cert_profiles: (6, 10),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (400, 700),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Amazon,
+        org_name: "Amazon.com, Inc.",
+        keyword: "amazon",
+        base_domains: &[
+            "*.amazon.com",
+            "*.amazonaws.com",
+            "*.cloudfront.net",
+            "*.media-amazon.com",
+            "*.primevideo.com",
+            "*.s3.amazonaws.com",
+        ],
+        headers: &[
+            ("x-amz-request-id", "{}"),
+            ("X-Amz-Cf-Pop", "IAD89-C1{}"),
+            ("Server", "AmazonS3"),
+        ],
+        headers_documented: true,
+        offnet_anchors: &[(0, 0), (6, 30), (15, 112), (22, 80), (30, 62)],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::AKAMAI,
+        cert_lifetime_days: (395, 395),
+        cert_profiles: (8, 14),
+        ips_per_offnet_as: (2, 4),
+        onnet_ips: (900, 1600),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Cdnetworks,
+        org_name: "CDNetworks Inc.",
+        keyword: "cdnetworks",
+        base_domains: &["*.cdngc.net", "*.gccdn.net", "*.cdnetworks.net"],
+        headers: &[("Server", "PWS/8.3.1.0.8")],
+        headers_documented: true,
+        offnet_anchors: &[(0, 0), (8, 12), (21, 51), (26, 25), (30, 11)],
+        region_weights: ASIA_ONLY,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (3, 5),
+        ips_per_offnet_as: (1, 2),
+        onnet_ips: (60, 120),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Limelight,
+        org_name: "Limelight Networks",
+        keyword: "limelight",
+        base_domains: &["*.llnwd.net", "*.llnw.net", "*.limelight.com"],
+        headers: &[("Server", "EdgePrism/4.2.1.2"), ("X-LLID", "{}")],
+        headers_documented: true,
+        offnet_anchors: &[(0, 0), (8, 10), (20, 36), (26, 42), (30, 32)],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::AKAMAI,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (3, 5),
+        ips_per_offnet_as: (2, 3),
+        onnet_ips: (80, 150),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Apple,
+        org_name: "Apple Inc.",
+        keyword: "apple",
+        base_domains: &[
+            "*.apple.com",
+            "*.mzstatic.com",
+            "*.icloud.com",
+            "*.cdn-apple.com",
+            "*.aaplimg.com",
+        ],
+        headers: &[("CDNUUID", "{}")],
+        headers_documented: false,
+        // Peak of 6 validated ASes around 2020-04, 0 by the end; the large
+        // certificate-only footprint rides on third-party CDNs (Table 3).
+        offnet_anchors: &[(0, 0), (20, 2), (26, 6), (29, 2), (30, 0)],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::AKAMAI,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (6, 10),
+        ips_per_offnet_as: (1, 2),
+        onnet_ips: (200, 400),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Twitter,
+        org_name: "Twitter, Inc.",
+        keyword: "twitter",
+        base_domains: &["*.twitter.com", "*.twimg.com", "twitter.com", "t.co"],
+        headers: &[("Server", "tsa_a")],
+        headers_documented: true,
+        offnet_anchors: &[(0, 0), (24, 1), (28, 3), (30, 4)],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::AKAMAI,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (3, 4),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (120, 250),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Microsoft,
+        org_name: "Microsoft Corporation",
+        keyword: "microsoft",
+        base_domains: &[
+            "*.microsoft.com",
+            "*.azureedge.net",
+            "*.msedge.net",
+            "*.windowsupdate.com",
+            "*.office365.com",
+            "*.bing.com",
+            "*.xboxlive.com",
+        ],
+        headers: &[("X-MSEdge-Ref", "Ref A: {}")],
+        headers_documented: true,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 730),
+        cert_profiles: (10, 16),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (700, 1300),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Hulu,
+        org_name: "Hulu, LLC",
+        keyword: "hulu",
+        base_domains: &["*.hulu.com", "*.huluim.com", "*.hulustream.com"],
+        headers: &[("X-Hulu-Request-Id", "{}")],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (2, 3),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (60, 120),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Disney,
+        org_name: "Disney Streaming Services",
+        keyword: "disney",
+        base_domains: &["*.disneyplus.com", "*.dssott.com", "*.disney.com"],
+        headers: &[],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (2, 4),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (40, 150),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Yahoo,
+        org_name: "Yahoo! Inc.",
+        keyword: "yahoo",
+        base_domains: &["*.yahoo.com", "*.yimg.com", "*.yahoodns.net"],
+        headers: &[],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (4, 5),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (150, 200),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Chinacache,
+        org_name: "ChinaCache",
+        keyword: "chinacache",
+        base_domains: &["*.ccgslb.com", "*.chinacache.net"],
+        headers: &[("Powered-By-ChinaCache", "HIT{}")],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: ASIA_ONLY,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (2, 3),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (50, 80),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Fastly,
+        org_name: "Fastly, Inc.",
+        keyword: "fastly",
+        base_domains: &["*.fastly.net", "*.fastlylb.net", "*.fastly.com"],
+        headers: &[("X-Served-By", "cache-{}")],
+        headers_documented: true,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 90),
+        cert_profiles: (4, 8),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (200, 380),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Cachefly,
+        org_name: "CacheFly",
+        keyword: "cachefly",
+        base_domains: &["*.cachefly.net", "cachefly.net"],
+        headers: &[("Server", "CFS 0217")],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (1, 2),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (25, 40),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Incapsula,
+        org_name: "Incapsula Inc",
+        keyword: "incapsula",
+        base_domains: &["*.incapdns.net", "*.incapsula.com"],
+        headers: &[("X-CDN", "Incapsula"), ("X-Iinfo", "{}")],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (2, 4),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (60, 120),
+        offnet_serves_headers: true,
+    },
+    HgSpec {
+        hg: Hg::Cdn77,
+        org_name: "CDN77",
+        keyword: "cdn77",
+        base_domains: &["*.cdn77.org", "*.cdn77-ssl.net"],
+        headers: &[],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 90),
+        cert_profiles: (1, 3),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (40, 90),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Bamtech,
+        org_name: "BAMTech Media",
+        keyword: "bamtech",
+        base_domains: &["*.bamgrid.com", "*.mlbstatic.com"],
+        headers: &[],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (1, 2),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (20, 40),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Highwinds,
+        org_name: "Highwinds Network Group",
+        keyword: "highwinds",
+        base_domains: &["*.hwcdn.net", "*.highwinds.com"],
+        headers: &[],
+        headers_documented: false,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (1, 2),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (30, 60),
+        offnet_serves_headers: false,
+    },
+    HgSpec {
+        hg: Hg::Verizon,
+        org_name: "Verizon Digital Media Services",
+        keyword: "verizon",
+        base_domains: &["*.edgecastcdn.net", "*.vdms.com", "*.wac.edgecastcdn.net"],
+        headers: &[("Server", "ECAcc (lga/1343)")],
+        headers_documented: true,
+        offnet_anchors: &[],
+        region_weights: EVEN_REGIONS,
+        type_preference: TypePreference::DEFAULT,
+        cert_lifetime_days: (365, 365),
+        cert_profiles: (4, 6),
+        ips_per_offnet_as: (1, 1),
+        onnet_ips: (150, 250),
+        offnet_serves_headers: true,
+    },
+];
+
+/// Interpolate an anchor table at snapshot `t` (clamping outside the range).
+pub fn interpolate_anchors(anchors: &[(u32, u32)], t: u32) -> u32 {
+    if anchors.is_empty() {
+        return 0;
+    }
+    if t <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        if t <= t1 {
+            let frac = f64::from(t - t0) / f64::from(t1 - t0);
+            return (f64::from(v0) + frac * (f64::from(v1) - f64::from(v0))).round() as u32;
+        }
+    }
+    anchors.last().expect("non-empty").1
+}
+
+/// Interpolate a `(early, late)` pair over the 31-snapshot study.
+pub fn interpolate_pair(pair: (u32, u32), t: u32, n_snapshots: u32) -> u32 {
+    let frac = f64::from(t.min(n_snapshots - 1)) / f64::from(n_snapshots - 1);
+    (f64::from(pair.0) + frac * (f64::from(pair.1) - f64::from(pair.0))).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_consistent() {
+        for hg in ALL_HGS {
+            let s = hg.spec();
+            assert_eq!(s.hg, hg);
+            assert!(!s.org_name.is_empty());
+            assert!(s
+                .org_name
+                .to_ascii_lowercase()
+                .contains(&s.keyword.to_ascii_lowercase().to_string()));
+            assert!(!s.base_domains.is_empty());
+        }
+    }
+
+    #[test]
+    fn keywords_unique() {
+        let mut kws: Vec<&str> = ALL_HGS.iter().map(|h| h.spec().keyword).collect();
+        kws.sort_unstable();
+        kws.dedup();
+        assert_eq!(kws.len(), 23);
+    }
+
+    #[test]
+    fn table3_endpoint_anchors() {
+        assert_eq!(interpolate_anchors(Hg::Google.spec().offnet_anchors, 0), 1044);
+        assert_eq!(interpolate_anchors(Hg::Google.spec().offnet_anchors, 30), 3810);
+        assert_eq!(interpolate_anchors(Hg::Facebook.spec().offnet_anchors, 30), 2214);
+        assert_eq!(interpolate_anchors(Hg::Netflix.spec().offnet_anchors, 0), 47);
+        assert_eq!(interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 18), 1463);
+        assert_eq!(interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 30), 1094);
+    }
+
+    #[test]
+    fn interpolation_midpoints() {
+        let anchors = [(0u32, 100u32), (10, 200)];
+        assert_eq!(interpolate_anchors(&anchors, 5), 150);
+        assert_eq!(interpolate_anchors(&anchors, 0), 100);
+        assert_eq!(interpolate_anchors(&anchors, 25), 200); // clamped
+        assert_eq!(interpolate_anchors(&[], 5), 0);
+    }
+
+    #[test]
+    fn pair_interpolation() {
+        assert_eq!(interpolate_pair((10, 40), 0, 31), 10);
+        assert_eq!(interpolate_pair((10, 40), 30, 31), 40);
+        assert_eq!(interpolate_pair((10, 40), 15, 31), 25);
+    }
+
+    #[test]
+    fn eleven_hgs_have_no_offnets() {
+        let no_footprint = ALL_HGS.iter().filter(|h| !h.has_offnets()).count();
+        // Microsoft, Hulu, Disney, Yahoo, Chinacache, Fastly, Cachefly,
+        // Incapsula, CDN77, Bamtech, Highwinds + Verizon + Cloudflare.
+        assert_eq!(no_footprint, 13);
+        assert!(Hg::Google.has_offnets());
+        assert!(!Hg::Cloudflare.has_offnets());
+    }
+
+    #[test]
+    fn facebook_launches_summer_2016() {
+        let a = Hg::Facebook.spec().offnet_anchors;
+        assert_eq!(interpolate_anchors(a, 10), 0);
+        assert!(interpolate_anchors(a, 11) > 0);
+    }
+
+    #[test]
+    fn netflix_lifetime_shrinks() {
+        let (early, late) = Hg::Netflix.spec().cert_lifetime_days;
+        assert!(early > late);
+        assert_eq!(late, 35);
+    }
+}

@@ -1,0 +1,196 @@
+use crate::prefix::Prefix;
+use crate::topology::Topology;
+use crate::types::AsId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise injected into BGP origin observations (App. A.1's reasons to
+/// filter: hijacks, leaks, flapping announcements).
+#[derive(Debug, Clone)]
+pub struct BgpNoiseConfig {
+    /// Fraction of prefixes that suffer a short-lived hijack during a month
+    /// (observed with a wrong origin for < 25% of the month, usually).
+    pub hijack_rate: f64,
+    /// Fraction of prefixes legitimately announced by two origins.
+    pub moas_rate: f64,
+    /// Fraction of prefixes announced too intermittently to pass the
+    /// stability filter.
+    pub flap_rate: f64,
+}
+
+impl Default for BgpNoiseConfig {
+    fn default() -> Self {
+        Self {
+            hijack_rate: 0.005,
+            moas_rate: 0.01,
+            flap_rate: 0.01,
+        }
+    }
+}
+
+/// One aggregated monthly origin observation: `origin` announced `prefix`
+/// for `presence` fraction of the month across the route collectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RibEntry {
+    pub prefix: Prefix,
+    pub origin: AsId,
+    pub presence: f32,
+}
+
+/// A month's worth of aggregated RIB observations (RIPE RIS + RouteViews
+/// merged, as in App. A.1).
+#[derive(Debug, Clone)]
+pub struct MonthlyRib {
+    entries: Vec<RibEntry>,
+    snapshot_idx: usize,
+}
+
+impl MonthlyRib {
+    /// Build the aggregated observations for a snapshot.
+    ///
+    /// Deterministic per `(topology seed embedded in rng_seed, snapshot)`.
+    pub fn build(
+        topology: &Topology,
+        snapshot_idx: usize,
+        noise: &BgpNoiseConfig,
+        rng_seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(
+            rng_seed ^ 0xb6b0_0000 ^ (snapshot_idx as u64).wrapping_mul(0x9e37_79b9),
+        );
+        let alive: Vec<&crate::AsNode> = topology
+            .ases()
+            .iter()
+            .filter(|a| a.birth as usize <= snapshot_idx)
+            .collect();
+        let mut entries = Vec::with_capacity(alive.iter().map(|a| a.prefixes.len()).sum());
+        for a in &alive {
+            for &prefix in &a.prefixes {
+                let roll: f64 = rng.gen();
+                if roll < noise.flap_rate {
+                    // Intermittent announcement: below the stability filter.
+                    entries.push(RibEntry {
+                        prefix,
+                        origin: a.id,
+                        presence: rng.gen_range(0.02..0.2),
+                    });
+                    continue;
+                }
+                entries.push(RibEntry {
+                    prefix,
+                    origin: a.id,
+                    presence: rng.gen_range(0.9..=1.0),
+                });
+                let roll2: f64 = rng.gen();
+                if roll2 < noise.hijack_rate {
+                    // Short-lived hijack by a random other AS. <2% of
+                    // hijacks last longer than a week [109], so presence is
+                    // mostly below the 25% filter.
+                    let hijacker = alive[rng.gen_range(0..alive.len())].id;
+                    if hijacker != a.id {
+                        let presence = if rng.gen_bool(0.98) {
+                            rng.gen_range(0.01..0.24)
+                        } else {
+                            rng.gen_range(0.25..0.5)
+                        };
+                        entries.push(RibEntry {
+                            prefix,
+                            origin: hijacker,
+                            presence,
+                        });
+                    }
+                } else if roll2 < noise.hijack_rate + noise.moas_rate {
+                    // Legitimate MOAS: stable second origin.
+                    let partner = alive[rng.gen_range(0..alive.len())].id;
+                    if partner != a.id {
+                        entries.push(RibEntry {
+                            prefix,
+                            origin: partner,
+                            presence: rng.gen_range(0.8..=1.0),
+                        });
+                    }
+                }
+            }
+        }
+        Self {
+            entries,
+            snapshot_idx,
+        }
+    }
+
+    pub fn entries(&self) -> &[RibEntry] {
+        &self.entries
+    }
+
+    pub fn snapshot_idx(&self) -> usize {
+        self.snapshot_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(&TopologyConfig::small(7))
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let a = MonthlyRib::build(&t, 5, &BgpNoiseConfig::default(), 7);
+        let b = MonthlyRib::build(&t, 5, &BgpNoiseConfig::default(), 7);
+        assert_eq!(a.entries().len(), b.entries().len());
+        assert_eq!(a.entries()[10], b.entries()[10]);
+    }
+
+    #[test]
+    fn later_snapshots_have_more_prefixes() {
+        let t = topo();
+        let early = MonthlyRib::build(&t, 0, &BgpNoiseConfig::default(), 7);
+        let late = MonthlyRib::build(&t, 30, &BgpNoiseConfig::default(), 7);
+        assert!(late.entries().len() > early.entries().len());
+    }
+
+    #[test]
+    fn noise_free_rib_has_one_entry_per_alive_prefix() {
+        let t = topo();
+        let quiet = BgpNoiseConfig {
+            hijack_rate: 0.0,
+            moas_rate: 0.0,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &quiet, 7);
+        let expected: usize = t
+            .ases()
+            .iter()
+            .filter(|a| a.birth <= 30)
+            .map(|a| a.prefixes.len())
+            .sum();
+        assert_eq!(rib.entries().len(), expected);
+        assert!(rib.entries().iter().all(|e| e.presence >= 0.9));
+    }
+
+    #[test]
+    fn hijacks_mostly_below_filter() {
+        let t = topo();
+        let noisy = BgpNoiseConfig {
+            hijack_rate: 0.2,
+            moas_rate: 0.0,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &noisy, 7);
+        // Group entries per prefix; second origins are hijacks.
+        let mut hijack_presences = Vec::new();
+        let mut seen = std::collections::HashMap::new();
+        for e in rib.entries() {
+            if seen.insert(e.prefix, e.origin).is_some() {
+                hijack_presences.push(e.presence);
+            }
+        }
+        assert!(!hijack_presences.is_empty());
+        let below = hijack_presences.iter().filter(|&&p| p < 0.25).count();
+        assert!(below as f64 / hijack_presences.len() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,252 @@
+use crate::bgp::MonthlyRib;
+use crate::prefix::is_bogon;
+use crate::types::AsId;
+use std::collections::BTreeMap;
+
+/// The App. A.1 IP-to-AS mapper: monthly-aggregated BGP origins with
+/// reserved-space filtering and a stability filter (an origin must be seen
+/// for more than 25% of the month), merging multi-origin (MOAS) prefixes by
+/// keeping every stable origin.
+#[derive(Debug, Clone)]
+pub struct IpToAsMap {
+    /// Sorted, non-overlapping `(start, end)` ranges with their origins.
+    ranges: Vec<(u32, u32, Vec<AsId>)>,
+}
+
+/// The stability threshold from App. A.1.
+pub const MIN_PRESENCE: f32 = 0.25;
+
+impl IpToAsMap {
+    /// Build from one month's RIB aggregate.
+    pub fn build(rib: &MonthlyRib) -> Self {
+        Self::build_with_threshold(rib, MIN_PRESENCE)
+    }
+
+    /// Build with an explicit stability threshold (threshold `0.0` keeps
+    /// everything — the ablation case).
+    pub fn build_with_threshold(rib: &MonthlyRib, min_presence: f32) -> Self {
+        let mut by_prefix: BTreeMap<(u32, u32), Vec<AsId>> = BTreeMap::new();
+        for e in rib.entries() {
+            if e.presence <= min_presence {
+                continue;
+            }
+            if is_bogon(e.prefix.base()) {
+                continue;
+            }
+            let key = (e.prefix.base(), e.prefix.end());
+            let origins = by_prefix.entry(key).or_default();
+            if !origins.contains(&e.origin) {
+                origins.push(e.origin);
+            }
+        }
+        let mut ranges: Vec<(u32, u32, Vec<AsId>)> = by_prefix
+            .into_iter()
+            .map(|((s, e), mut origins)| {
+                origins.sort_unstable();
+                (s, e, origins)
+            })
+            .collect();
+        ranges.sort_unstable_by_key(|r| r.0);
+        Self { ranges }
+    }
+
+    /// Map an address to its origin AS(es). Empty slice = unmapped.
+    pub fn lookup(&self, ip: u32) -> &[AsId] {
+        match self.ranges.binary_search_by(|r| {
+            if ip < r.0 {
+                std::cmp::Ordering::Greater
+            } else if ip > r.1 {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => &self.ranges[i].2,
+            Err(_) => &[],
+        }
+    }
+
+    /// The single mapped AS, or `None` when unmapped. For MOAS prefixes
+    /// every origin is a valid mapping (App. A.1); this helper returns the
+    /// lowest-numbered one for callers that need a single answer.
+    pub fn lookup_one(&self, ip: u32) -> Option<AsId> {
+        self.lookup(ip).first().copied()
+    }
+
+    /// Number of mapped prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total address space covered.
+    pub fn covered_addresses(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|r| u64::from(r.1 - r.0) + 1)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::BgpNoiseConfig;
+    use crate::topology::{Topology, TopologyConfig};
+
+    fn topo() -> Topology {
+        Topology::generate(&TopologyConfig::small(7))
+    }
+
+    #[test]
+    fn maps_own_prefixes_back() {
+        let t = topo();
+        let quiet = BgpNoiseConfig {
+            hijack_rate: 0.0,
+            moas_rate: 0.0,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &quiet, 7);
+        let map = IpToAsMap::build(&rib);
+        for a in t.ases().iter().take(500) {
+            for p in &a.prefixes {
+                assert_eq!(map.lookup(p.addr(3)), &[a.id], "prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_space_returns_empty() {
+        let t = topo();
+        let rib = MonthlyRib::build(&t, 30, &BgpNoiseConfig::default(), 7);
+        let map = IpToAsMap::build(&rib);
+        // 203.0.113.0 (TEST-NET-3) far beyond the allocator cursor at small
+        // scale, and bogon 10.0.0.1 must both be unmapped.
+        assert!(map.lookup(u32::from(std::net::Ipv4Addr::new(203, 0, 113, 9))).is_empty());
+        assert!(map.lookup(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1))).is_empty());
+    }
+
+    #[test]
+    fn stability_filter_drops_hijacks() {
+        let t = topo();
+        let noisy = BgpNoiseConfig {
+            hijack_rate: 0.5,
+            moas_rate: 0.0,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &noisy, 7);
+        let filtered = IpToAsMap::build(&rib);
+        let unfiltered = IpToAsMap::build_with_threshold(&rib, 0.0);
+        // Without the filter, many prefixes carry a bogus second origin.
+        let multi_f = count_multi(&filtered);
+        let multi_u = count_multi(&unfiltered);
+        assert!(
+            multi_u > multi_f * 5,
+            "filter ineffective: {multi_u} vs {multi_f}"
+        );
+        // With the filter, the true origin still maps.
+        let a = &t.ases()[100];
+        assert!(filtered.lookup(a.prefixes[0].addr(0)).contains(&a.id));
+    }
+
+    fn count_multi(map: &IpToAsMap) -> usize {
+        map.ranges.iter().filter(|r| r.2.len() > 1).count()
+    }
+
+    #[test]
+    fn moas_keeps_both_origins() {
+        let t = topo();
+        let moas = BgpNoiseConfig {
+            hijack_rate: 0.0,
+            moas_rate: 0.3,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &moas, 7);
+        let map = IpToAsMap::build(&rib);
+        assert!(count_multi(&map) > 0, "no MOAS prefixes survived");
+    }
+
+    #[test]
+    fn flapping_prefixes_unmapped() {
+        let t = topo();
+        let flappy = BgpNoiseConfig {
+            hijack_rate: 0.0,
+            moas_rate: 0.0,
+            flap_rate: 1.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &flappy, 7);
+        let map = IpToAsMap::build(&rib);
+        assert_eq!(map.prefix_count(), 0);
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let t = topo();
+        let quiet = BgpNoiseConfig {
+            hijack_rate: 0.0,
+            moas_rate: 0.0,
+            flap_rate: 0.0,
+        };
+        let rib = MonthlyRib::build(&t, 30, &quiet, 7);
+        let map = IpToAsMap::build(&rib);
+        let expected: u64 = t
+            .ases()
+            .iter()
+            .filter(|a| a.birth <= 30)
+            .flat_map(|a| a.prefixes.iter())
+            .map(|p| p.size())
+            .sum();
+        assert_eq!(map.covered_addresses(), expected);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::bgp::{BgpNoiseConfig, MonthlyRib};
+    use crate::topology::{Topology, TopologyConfig};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (Topology, IpToAsMap) {
+        static F: OnceLock<(Topology, IpToAsMap)> = OnceLock::new();
+        F.get_or_init(|| {
+            let t = Topology::generate(&TopologyConfig::small(7));
+            let rib = MonthlyRib::build(&t, 30, &BgpNoiseConfig::default(), 7);
+            let m = IpToAsMap::build(&rib);
+            (t, m)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn lookup_result_owns_prefix_containing_ip(ip in any::<u32>()) {
+            // Whatever AS the map returns, the IP must sit inside one of
+            // that AS's allocated prefixes (modulo MOAS partners, which
+            // are legitimate co-origins).
+            let (topo, map) = fixture();
+            let origins = map.lookup(ip);
+            if let Some(first) = origins.first() {
+                let owner_ok = origins.iter().any(|asn| {
+                    topo.node(*asn).prefixes.iter().any(|p| p.contains(ip))
+                });
+                prop_assert!(owner_ok, "ip {ip:#x} mapped to {first} without owning prefix");
+            }
+        }
+
+        #[test]
+        fn bogons_never_map(tail in any::<u32>()) {
+            let (_, map) = fixture();
+            let ten_net = (10u32 << 24) | (tail & 0x00ff_ffff);
+            prop_assert!(map.lookup(ten_net).is_empty());
+            let loopback = (127u32 << 24) | (tail & 0x00ff_ffff);
+            prop_assert!(map.lookup(loopback).is_empty());
+        }
+
+        #[test]
+        fn lookup_one_consistent_with_lookup(ip in any::<u32>()) {
+            let (_, map) = fixture();
+            let all = map.lookup(ip);
+            prop_assert_eq!(map.lookup_one(ip), all.first().copied());
+        }
+    }
+}

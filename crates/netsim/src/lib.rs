@@ -1,0 +1,30 @@
+//! A synthetic Internet: AS-level topology with customer cones, countries
+//! and regions, IPv4 prefix allocation, BGP origin observations with
+//! hijack/MOAS/flap noise, and the derived datasets the paper consumes —
+//! an IP-to-AS mapper (App. A.1), an AS-organization registry (App. A.2),
+//! AS-to-country mapping (§6.4), and AS customer-cone size categories
+//! (§6.3).
+//!
+//! Everything is generated deterministically from a seed, standing in for
+//! RIPE RIS / RouteViews RIBs and the CAIDA AS-relationship and
+//! AS-organization datasets, none of which are redistributable.
+
+mod bgp;
+mod cone;
+mod geo;
+mod ip2as;
+mod org;
+mod paths;
+mod prefix;
+mod topology;
+mod types;
+
+pub use bgp::{BgpNoiseConfig, MonthlyRib, RibEntry};
+pub use cone::{SizeCategory, ALL_CATEGORIES};
+pub use geo::{Country, CountryId, World};
+pub use ip2as::IpToAsMap;
+pub use org::{OrgDb, OrgId};
+pub use paths::{reachable_within, valley_free_path, AsPath};
+pub use prefix::{Prefix, PrefixAllocator};
+pub use topology::{AsNode, Topology, TopologyConfig, LEVEL_CONTENT, LEVEL_CORE, LEVEL_LARGE, LEVEL_MEDIUM, LEVEL_SMALL, LEVEL_STUB};
+pub use types::{AsId, Region, ALL_REGIONS};

@@ -1,0 +1,280 @@
+//! Valley-free (Gao-Rexford) AS-path computation over the synthetic
+//! topology.
+//!
+//! BGP routes propagate under the standard export policy: a route learned
+//! from a customer is exported to everyone; a route learned from a peer or
+//! provider is exported to customers only. The resulting paths are
+//! "valley-free": an uphill (customer→provider) segment, at most one peer
+//! hop, then a downhill (provider→customer) segment.
+//!
+//! The off-net methodology itself never needs paths (it works on origins),
+//! but path semantics underpin two things the paper discusses: how CDN
+//! request routing localizes traffic ("zero AS-hop" delivery, §8), and why
+//! vantage-point-based mapping sees only nearby deployments (§1). The
+//! `offnet-core::baselines` module approximates serving radius with
+//! provider chains; [`reachable_within`] provides the exact policy-
+//! compliant primitive for finer-grained models.
+
+use crate::topology::Topology;
+use crate::types::AsId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Relationship-typed hop used during propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    /// Still travelling customer→provider (uphill) from the source.
+    Up = 0,
+    /// Crossed one peering link. The generated topology carries no peer
+    /// edges today, so this state is never entered; it is kept so the
+    /// machine stays correct for peering-enabled topologies.
+    #[allow(dead_code)]
+    Peer = 1,
+    /// Travelling provider→customer (downhill).
+    Down = 2,
+}
+
+/// A valley-free path from a source AS to a destination AS, inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsPath {
+    pub hops: Vec<AsId>,
+}
+
+impl AsPath {
+    /// Number of inter-AS links traversed.
+    pub fn len(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.len() <= 1
+    }
+}
+
+/// Compute a shortest valley-free path from `src` to `dst` at snapshot
+/// `t`, or `None` when no policy-compliant route exists.
+///
+/// The search explores states `(AS, phase)` with BFS, so among
+/// policy-compliant paths a minimum-hop one is returned. The topology has
+/// no peering links, so `Phase::Peer` never occurs in practice; the machine
+/// still implements it so peering-enabled topologies work unchanged.
+pub fn valley_free_path(topology: &Topology, src: AsId, dst: AsId, t: usize) -> Option<AsPath> {
+    if !topology.alive_at(src, t) || !topology.alive_at(dst, t) {
+        return None;
+    }
+    if src == dst {
+        return Some(AsPath { hops: vec![src] });
+    }
+    // BFS over (asn, phase); once a state is visited with some phase, any
+    // later visit with an equal-or-higher phase cannot improve hop count.
+    let mut visited: HashMap<(u32, u8), ()> = HashMap::new();
+    let mut parent: HashMap<(u32, u8), (u32, u8)> = HashMap::new();
+    let mut queue: VecDeque<(AsId, Phase)> = VecDeque::new();
+    queue.push_back((src, Phase::Up));
+    visited.insert((src.0, Phase::Up as u8), ());
+
+    while let Some((node, phase)) = queue.pop_front() {
+        let mut neighbors: Vec<(AsId, Phase)> = Vec::new();
+        // Uphill continues only while in the Up phase.
+        if phase == Phase::Up {
+            for p in &topology.node(node).providers {
+                neighbors.push((*p, Phase::Up));
+            }
+        }
+        // Downhill (to customers) is always allowed.
+        for c in topology.customers(node) {
+            neighbors.push((c, Phase::Down));
+        }
+        for (next, next_phase) in neighbors {
+            if !topology.alive_at(next, t) {
+                continue;
+            }
+            let key = (next.0, next_phase as u8);
+            if visited.contains_key(&key) {
+                continue;
+            }
+            visited.insert(key, ());
+            parent.insert(key, (node.0, phase as u8));
+            if next == dst {
+                // Reconstruct.
+                let mut hops = vec![next];
+                let mut cur = key;
+                while let Some(prev) = parent.get(&cur) {
+                    hops.push(AsId(prev.0));
+                    cur = *prev;
+                }
+                hops.reverse();
+                return Some(AsPath { hops });
+            }
+            queue.push_back((next, next_phase));
+        }
+    }
+    None
+}
+
+/// All ASes reachable from `src` under valley-free export within
+/// `max_hops` links — the "serving radius" of a vantage point.
+pub fn reachable_within(topology: &Topology, src: AsId, t: usize, max_hops: usize) -> HashSet<AsId> {
+    let mut out = HashSet::new();
+    if !topology.alive_at(src, t) {
+        return out;
+    }
+    let mut visited: HashSet<(u32, u8)> = HashSet::new();
+    let mut queue: VecDeque<(AsId, Phase, usize)> = VecDeque::new();
+    queue.push_back((src, Phase::Up, 0));
+    visited.insert((src.0, Phase::Up as u8));
+    out.insert(src);
+    while let Some((node, phase, depth)) = queue.pop_front() {
+        if depth >= max_hops {
+            continue;
+        }
+        let mut neighbors: Vec<(AsId, Phase)> = Vec::new();
+        if phase == Phase::Up {
+            for p in &topology.node(node).providers {
+                neighbors.push((*p, Phase::Up));
+            }
+        }
+        for c in topology.customers(node) {
+            neighbors.push((c, Phase::Down));
+        }
+        for (next, next_phase) in neighbors {
+            if !topology.alive_at(next, t) {
+                continue;
+            }
+            if visited.insert((next.0, next_phase as u8)) {
+                out.insert(next);
+                queue.push_back((next, next_phase, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use std::sync::OnceLock;
+
+    fn topo() -> &'static Topology {
+        static T: OnceLock<Topology> = OnceLock::new();
+        T.get_or_init(|| Topology::generate(&TopologyConfig::small(7)))
+    }
+
+    /// Classify one directed link for valley-freeness checks.
+    fn link_kind(t: &Topology, a: AsId, b: AsId) -> &'static str {
+        if t.node(a).providers.contains(&b) {
+            "up"
+        } else if t.node(b).providers.contains(&a) {
+            "down"
+        } else {
+            "none"
+        }
+    }
+
+    #[test]
+    fn trivial_path() {
+        let t = topo();
+        let a = t.ases()[100].id;
+        let p = valley_free_path(t, a, a, 30).unwrap();
+        assert_eq!(p.hops, vec![a]);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn customer_reaches_provider_directly() {
+        let t = topo();
+        let customer = t
+            .ases()
+            .iter()
+            .find(|a| !a.providers.is_empty())
+            .expect("some AS has a provider");
+        let provider = customer.providers[0];
+        let p = valley_free_path(t, customer.id, provider, 30).unwrap();
+        assert_eq!(p.hops, vec![customer.id, provider]);
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let t = topo();
+        let all = t.ases();
+        let mut checked = 0;
+        for (i, src) in all.iter().enumerate().step_by(97) {
+            let dst = &all[(i * 31 + 7) % all.len()];
+            if src.birth > 30 || dst.birth > 30 {
+                continue;
+            }
+            let Some(p) = valley_free_path(t, src.id, dst.id, 30) else {
+                continue;
+            };
+            // Once a link goes down, no later link may go up.
+            let mut gone_down = false;
+            for w in p.hops.windows(2) {
+                match link_kind(t, w[0], w[1]) {
+                    "up" => assert!(!gone_down, "valley in {:?}", p.hops),
+                    "down" => gone_down = true,
+                    other => panic!("non-adjacent hop ({other}) in {:?}", p.hops),
+                }
+            }
+            checked += 1;
+        }
+        assert!(checked > 5, "checked only {checked} paths");
+    }
+
+    #[test]
+    fn stub_to_stub_goes_through_transit() {
+        let t = topo();
+        let stubs: Vec<_> = t
+            .ases()
+            .iter()
+            .filter(|a| a.level == crate::topology::LEVEL_STUB && a.birth == 0)
+            .take(2)
+            .collect();
+        let p = valley_free_path(t, stubs[0].id, stubs[1].id, 30)
+            .expect("stubs connected through the hierarchy");
+        assert!(p.len() >= 2, "stubs cannot peer directly: {:?}", p.hops);
+    }
+
+    #[test]
+    fn dead_ases_unreachable() {
+        let t = topo();
+        let late = t
+            .ases()
+            .iter()
+            .find(|a| a.birth > 10)
+            .expect("some AS born late");
+        let early = t.ases().iter().find(|a| a.birth == 0).unwrap();
+        assert!(valley_free_path(t, early.id, late.id, 5).is_none());
+        assert!(valley_free_path(t, late.id, early.id, 5).is_none());
+    }
+
+    #[test]
+    fn reachability_radius_grows() {
+        let t = topo();
+        let stub = t
+            .ases()
+            .iter()
+            .find(|a| a.level == crate::topology::LEVEL_STUB && a.birth == 0)
+            .unwrap();
+        let r1 = reachable_within(t, stub.id, 30, 1).len();
+        let r3 = reachable_within(t, stub.id, 30, 3).len();
+        let r6 = reachable_within(t, stub.id, 30, 6).len();
+        assert!(r1 < r3, "{r1} !< {r3}");
+        assert!(r3 < r6, "{r3} !< {r6}");
+        // Within 6 valley-free hops a stub sees a large chunk of the world.
+        assert!(r6 > t.alive_count(30) / 4, "r6 = {r6}");
+    }
+
+    #[test]
+    fn path_endpoints_and_connectivity() {
+        let t = topo();
+        let a = t.ases()[10].id;
+        let b = t.ases()[500].id;
+        if let Some(p) = valley_free_path(t, a, b, 30) {
+            assert_eq!(*p.hops.first().unwrap(), a);
+            assert_eq!(*p.hops.last().unwrap(), b);
+            let unique: HashSet<_> = p.hops.iter().collect();
+            assert_eq!(unique.len(), p.hops.len(), "loop in {:?}", p.hops);
+        }
+    }
+}

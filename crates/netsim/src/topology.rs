@@ -1,0 +1,508 @@
+use crate::cone::SizeCategory;
+use crate::geo::{CountryId, World};
+use crate::prefix::{Prefix, PrefixAllocator};
+use crate::types::{AsId, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural role of an AS in the generated hierarchy.
+///
+/// Levels are generation-time scaffolding; the analysis always classifies
+/// ASes by their *emergent* customer-cone size (§6.3), not by level.
+pub const LEVEL_CORE: u8 = 0; // global backbone, XLarge cones
+pub const LEVEL_LARGE: u8 = 1; // large transit
+pub const LEVEL_MEDIUM: u8 = 2; // regional transit
+pub const LEVEL_SMALL: u8 = 3; // small transit / access aggregator
+pub const LEVEL_STUB: u8 = 4; // stub (enterprise, small ISP)
+pub const LEVEL_CONTENT: u8 = 5; // reserved Hypergiant/content AS
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsNode {
+    pub id: AsId,
+    pub country: CountryId,
+    pub level: u8,
+    /// Snapshot index at which the AS first appears in BGP.
+    pub birth: u32,
+    pub providers: Vec<AsId>,
+    /// Relative weight for in-country end-user market share; zero for
+    /// non-eyeball networks.
+    pub eyeball_weight: f64,
+    pub prefixes: Vec<Prefix>,
+}
+
+/// Topology generation parameters.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    pub seed: u64,
+    /// ASes alive at the first snapshot.
+    pub n_ases_start: usize,
+    /// ASes alive at the last snapshot.
+    pub n_ases_end: usize,
+    /// Number of quarterly snapshots the topology spans.
+    pub n_snapshots: usize,
+    /// Reserved content-provider AS slots for the Hypergiant simulator.
+    pub content_as_slots: usize,
+}
+
+impl TopologyConfig {
+    /// Full paper scale: ~45k ASes in 2013 growing to ~71k in 2021.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            n_ases_start: 45_000,
+            n_ases_end: 71_000,
+            n_snapshots: 31,
+            content_as_slots: 40,
+        }
+    }
+
+    /// A small world for unit and integration tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_ases_start: 1_500,
+            n_ases_end: 2_400,
+            n_snapshots: 31,
+            content_as_slots: 30,
+        }
+    }
+}
+
+/// The generated AS-level Internet.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    world: World,
+    ases: Vec<AsNode>,
+    /// Direct customers per AS (indices into `ases`).
+    customers: Vec<Vec<u32>>,
+    /// Customer cone per AS (transitive customers, excluding self),
+    /// as indices into `ases`.
+    cones: Vec<Vec<u32>>,
+    /// Birth snapshots of cone members, sorted ascending — used to compute
+    /// cone size at any snapshot in O(log n).
+    cone_births: Vec<Vec<u32>>,
+    n_snapshots: usize,
+}
+
+impl Topology {
+    /// Generate a topology from the configuration. Deterministic per seed.
+    pub fn generate(config: &TopologyConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x746f706f);
+        let world = World::generate(config.seed);
+        let n = config.n_ases_end;
+
+        // Category quotas mirroring the stable shares §6.3 reports:
+        // ~0.08% XLarge, ~0.45% Large, ~2.6% Medium, ~12% Small, rest Stub.
+        let n_core = ((n as f64) * 0.0008).round().max(6.0) as usize;
+        let n_large = ((n as f64) * 0.0045).round().max(12.0) as usize;
+        let n_medium = ((n as f64) * 0.026).round().max(40.0) as usize;
+        let n_small = ((n as f64) * 0.12).round().max(120.0) as usize;
+
+        let mut ases: Vec<AsNode> = Vec::with_capacity(n + config.content_as_slots);
+        let mut alloc = PrefixAllocator::new();
+        let survive_p = config.n_ases_start as f64 / n as f64;
+
+        let push_as = |ases: &mut Vec<AsNode>,
+                           rng: &mut StdRng,
+                           alloc: &mut PrefixAllocator,
+                           level: u8,
+                           birth: u32,
+                           region_hint: Option<Region>| {
+            let id = AsId(ases.len() as u32 + 1);
+            let country = world.sample_country(rng, region_hint);
+            let (n_prefixes, len_lo, len_hi) = match level {
+                LEVEL_CORE => (10, 16, 18),
+                LEVEL_LARGE => (6, 18, 20),
+                LEVEL_MEDIUM => (3, 20, 21),
+                LEVEL_SMALL => (2, 21, 22),
+                LEVEL_CONTENT => (12, 16, 17),
+                _ => (1, 22, 24),
+            };
+            let prefixes = (0..n_prefixes)
+                .map(|_| alloc.alloc(rng.gen_range(len_lo..=len_hi)))
+                .collect();
+            let eyeball_weight = match level {
+                // National ISPs: heavy user bases.
+                LEVEL_LARGE | LEVEL_MEDIUM if rng.gen_bool(0.55) => rng.gen_range(2.0..30.0),
+                // Access networks.
+                LEVEL_SMALL if rng.gen_bool(0.7) => rng.gen_range(0.3..4.0),
+                LEVEL_STUB if rng.gen_bool(0.55) => rng.gen_range(0.02..0.8),
+                _ => 0.0,
+            };
+            ases.push(AsNode {
+                id,
+                country,
+                level,
+                birth,
+                providers: Vec::new(),
+                eyeball_weight,
+                prefixes,
+            });
+            id
+        };
+
+        // Content slots first so Hypergiant AS numbers are stable and low.
+        for _ in 0..config.content_as_slots {
+            push_as(
+                &mut ases,
+                &mut rng,
+                &mut alloc,
+                LEVEL_CONTENT,
+                0,
+                Some(Region::NorthAmerica),
+            );
+        }
+        // Transit hierarchy, all present from the start.
+        for _ in 0..n_core {
+            push_as(&mut ases, &mut rng, &mut alloc, LEVEL_CORE, 0, None);
+        }
+        for _ in 0..n_large {
+            push_as(&mut ases, &mut rng, &mut alloc, LEVEL_LARGE, 0, None);
+        }
+        let n_transit = n_core + n_large + n_medium + n_small;
+        // Medium/small transits: a few are late arrivals.
+        for level_plan in [(LEVEL_MEDIUM, n_medium), (LEVEL_SMALL, n_small)] {
+            for _ in 0..level_plan.1 {
+                let birth = if rng.gen_bool(survive_p.max(0.5)) {
+                    0
+                } else {
+                    rng.gen_range(1..config.n_snapshots as u32)
+                };
+                push_as(&mut ases, &mut rng, &mut alloc, level_plan.0, birth, None);
+            }
+        }
+        // Stubs: the bulk, with births spread to realize 45k -> 71k growth.
+        let n_stub = n - n_transit;
+        for _ in 0..n_stub {
+            let birth = if rng.gen_bool(survive_p) {
+                0
+            } else {
+                rng.gen_range(1..config.n_snapshots as u32)
+            };
+            push_as(&mut ases, &mut rng, &mut alloc, LEVEL_STUB, birth, None);
+        }
+
+        // Wire providers. Providers must be born no later than the customer
+        // and come preferentially from the same region.
+        let level_members: Vec<Vec<u32>> = {
+            let mut m = vec![Vec::new(); 6];
+            for (i, a) in ases.iter().enumerate() {
+                m[a.level as usize].push(i as u32);
+            }
+            m
+        };
+        let region_of = |ases: &[AsNode], idx: u32| world.region_of(ases[idx as usize].country);
+
+        let pick_provider = |rng: &mut StdRng,
+                             ases: &[AsNode],
+                             pool: &[u32],
+                             customer_idx: u32|
+         -> Option<u32> {
+            let customer_birth = ases[customer_idx as usize].birth;
+            let customer_region = region_of(ases, customer_idx);
+            let want_same_region = rng.gen_bool(0.8);
+            // Rejection-sample a few times, then fall back to any eligible.
+            for _ in 0..12 {
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if ases[cand as usize].birth > customer_birth {
+                    continue;
+                }
+                if want_same_region && region_of(ases, cand) != customer_region {
+                    continue;
+                }
+                return Some(cand);
+            }
+            pool.iter()
+                .copied()
+                .find(|&c| ases[c as usize].birth <= customer_birth)
+        };
+
+        let n_total = ases.len();
+        for i in 0..n_total {
+            let level = ases[i].level;
+            let (pools, n_providers): (&[&Vec<u32>], usize) = match level {
+                LEVEL_CORE => (&[], 0),
+                LEVEL_LARGE => (&[&level_members[0]], 1 + usize::from(rng.gen_bool(0.6))),
+                LEVEL_MEDIUM => (&[&level_members[1]], 1 + usize::from(rng.gen_bool(0.8))),
+                LEVEL_SMALL => (
+                    &[&level_members[2], &level_members[1]],
+                    1 + usize::from(rng.gen_bool(0.5)),
+                ),
+                LEVEL_CONTENT => (&[&level_members[0]], 2),
+                _ => (
+                    &[&level_members[3], &level_members[2]],
+                    1 + usize::from(rng.gen_bool(0.25)),
+                ),
+            };
+            let mut providers = Vec::with_capacity(n_providers);
+            for k in 0..n_providers {
+                // First choice from the primary pool; extras may come from
+                // the secondary pool (multihoming "up" a level).
+                let pool = if k == 0 || pools.len() == 1 {
+                    pools[0]
+                } else {
+                    pools[usize::from(rng.gen_bool(0.3))]
+                };
+                if pool.is_empty() {
+                    continue;
+                }
+                if let Some(p) = pick_provider(&mut rng, &ases, pool, i as u32) {
+                    let pid = ases[p as usize].id;
+                    if !providers.contains(&pid) {
+                        providers.push(pid);
+                    }
+                }
+            }
+            ases[i].providers = providers;
+        }
+
+        // Customers adjacency + customer cones.
+        let mut customers = vec![Vec::new(); n_total];
+        for (i, a) in ases.iter().enumerate() {
+            for p in &a.providers {
+                customers[(p.0 - 1) as usize].push(i as u32);
+            }
+        }
+        let cones = compute_cones(&ases, &customers, &level_members);
+        let cone_births: Vec<Vec<u32>> = cones
+            .iter()
+            .map(|members| {
+                let mut births: Vec<u32> =
+                    members.iter().map(|&m| ases[m as usize].birth).collect();
+                births.sort_unstable();
+                births
+            })
+            .collect();
+
+        Self {
+            world,
+            ases,
+            customers,
+            cones,
+            cone_births,
+            n_snapshots: config.n_snapshots,
+        }
+    }
+
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    pub fn ases(&self) -> &[AsNode] {
+        &self.ases
+    }
+
+    pub fn n_snapshots(&self) -> usize {
+        self.n_snapshots
+    }
+
+    fn idx(&self, id: AsId) -> usize {
+        (id.0 - 1) as usize
+    }
+
+    pub fn node(&self, id: AsId) -> &AsNode {
+        &self.ases[self.idx(id)]
+    }
+
+    pub fn region_of(&self, id: AsId) -> Region {
+        self.world.region_of(self.node(id).country)
+    }
+
+    /// Whether the AS is announced in BGP at the given snapshot index.
+    pub fn alive_at(&self, id: AsId, snapshot_idx: usize) -> bool {
+        self.node(id).birth as usize <= snapshot_idx
+    }
+
+    /// Number of ASes alive at a snapshot.
+    pub fn alive_count(&self, snapshot_idx: usize) -> usize {
+        self.ases
+            .iter()
+            .filter(|a| a.birth as usize <= snapshot_idx)
+            .count()
+    }
+
+    /// Direct customers.
+    pub fn customers(&self, id: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.customers[self.idx(id)].iter().map(|&i| self.ases[i as usize].id)
+    }
+
+    /// Transitive customer cone (excluding the AS itself), ignoring births.
+    pub fn cone_members(&self, id: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.cones[self.idx(id)].iter().map(|&i| self.ases[i as usize].id)
+    }
+
+    /// Customer cone size (excluding self) at a snapshot.
+    pub fn cone_size_at(&self, id: AsId, snapshot_idx: usize) -> usize {
+        let births = &self.cone_births[self.idx(id)];
+        births.partition_point(|&b| b as usize <= snapshot_idx)
+    }
+
+    /// The §6.3 size category at a snapshot.
+    pub fn size_category_at(&self, id: AsId, snapshot_idx: usize) -> SizeCategory {
+        SizeCategory::from_cone_size(self.cone_size_at(id, snapshot_idx))
+    }
+
+    /// The reserved content-provider AS ids, for the Hypergiant simulator.
+    pub fn content_as_ids(&self) -> Vec<AsId> {
+        self.ases
+            .iter()
+            .filter(|a| a.level == LEVEL_CONTENT)
+            .map(|a| a.id)
+            .collect()
+    }
+}
+
+/// Bottom-up cone computation over the provider DAG: process levels from
+/// stub upward so every customer's cone is ready before its providers'.
+fn compute_cones(
+    ases: &[AsNode],
+    customers: &[Vec<u32>],
+    level_members: &[Vec<u32>],
+) -> Vec<Vec<u32>> {
+    let mut cones: Vec<Vec<u32>> = vec![Vec::new(); ases.len()];
+    // Levels sorted so customers come first: stubs(4), small(3), ... core(0).
+    // Content (5) has no customers.
+    for level in [LEVEL_STUB, LEVEL_SMALL, LEVEL_MEDIUM, LEVEL_LARGE, LEVEL_CORE] {
+        for &i in &level_members[level as usize] {
+            let mut acc: Vec<u32> = Vec::new();
+            for &c in &customers[i as usize] {
+                acc.push(c);
+                acc.extend_from_slice(&cones[c as usize]);
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            cones[i as usize] = acc;
+        }
+    }
+    cones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology::generate(&TopologyConfig::small(7))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.ases().len(), b.ases().len());
+        assert_eq!(a.node(AsId(50)).providers, b.node(AsId(50)).providers);
+        assert_eq!(a.cone_size_at(AsId(40), 30), b.cone_size_at(AsId(40), 30));
+    }
+
+    #[test]
+    fn alive_counts_grow() {
+        let t = small();
+        let start = t.alive_count(0);
+        let end = t.alive_count(30);
+        assert!(start < end, "{start} !< {end}");
+        // Within ~20% of configured targets.
+        let cfg = TopologyConfig::small(7);
+        let total = cfg.n_ases_end + cfg.content_as_slots;
+        assert!(end == total, "end {end} != {total}");
+        let want_start = cfg.n_ases_start as f64;
+        assert!(
+            (start as f64 - want_start).abs() / want_start < 0.2,
+            "start {start} vs {want_start}"
+        );
+    }
+
+    #[test]
+    fn category_distribution_is_realistic() {
+        let t = small();
+        let mut counts = [0usize; 5];
+        let mut alive = 0usize;
+        for a in t.ases() {
+            if a.level == LEVEL_CONTENT || a.birth > 30 {
+                continue;
+            }
+            alive += 1;
+            counts[t.size_category_at(a.id, 30) as usize] += 1;
+        }
+        let frac = |c: usize| counts[c] as f64 / alive as f64;
+        // Stubs dominate (~85% in CAIDA data).
+        assert!(frac(0) > 0.7, "stub share {}", frac(0));
+        // Small next (~12%).
+        assert!(frac(1) > 0.05 && frac(1) < 0.3, "small share {}", frac(1));
+        // Large + XLarge rare (<2%).
+        assert!(frac(3) + frac(4) < 0.02, "large+ share {}", frac(3) + frac(4));
+        // At least one XLarge must exist.
+        assert!(counts[4] >= 1, "no xlarge ASes");
+    }
+
+    #[test]
+    fn providers_born_before_customers() {
+        let t = small();
+        for a in t.ases() {
+            for p in &a.providers {
+                assert!(
+                    t.node(*p).birth <= a.birth,
+                    "{} provider {p} born after customer",
+                    a.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cones_exclude_self_and_match_customers() {
+        let t = small();
+        for a in t.ases().iter().take(200) {
+            let cone: Vec<AsId> = t.cone_members(a.id).collect();
+            assert!(!cone.contains(&a.id), "{} in own cone", a.id);
+            for c in t.customers(a.id) {
+                assert!(cone.contains(&c), "{} missing direct customer {c}", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_size_monotone_in_time() {
+        let t = small();
+        for a in t.ases().iter().take(300) {
+            let early = t.cone_size_at(a.id, 0);
+            let late = t.cone_size_at(a.id, 30);
+            assert!(early <= late);
+        }
+    }
+
+    #[test]
+    fn stub_cone_is_empty() {
+        let t = small();
+        let stub = t.ases().iter().find(|a| a.level == LEVEL_STUB).unwrap();
+        assert_eq!(t.cone_size_at(stub.id, 30), 0);
+        assert_eq!(t.size_category_at(stub.id, 30), SizeCategory::Stub);
+    }
+
+    #[test]
+    fn content_slots_reserved() {
+        let t = small();
+        let ids = t.content_as_ids();
+        assert_eq!(ids.len(), 30);
+        for id in ids {
+            assert_eq!(t.node(id).birth, 0);
+            assert!(t.node(id).eyeball_weight == 0.0);
+        }
+    }
+
+    #[test]
+    fn prefixes_nonempty_and_disjoint() {
+        let t = small();
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        for a in t.ases() {
+            assert!(!a.prefixes.is_empty());
+            for p in &a.prefixes {
+                all.push((p.base(), p.end()));
+            }
+        }
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[0].1 < w[1].0, "overlapping prefixes");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Internet user population model — the APNIC per-AS population dataset
+//! stand-in (§6.5).
+//!
+//! Ground truth: every eyeball AS owns a fixed market share of its
+//! country's Internet users (normalized `eyeball_weight` from the
+//! topology). The observable dataset is an APNIC-style measurement: daily
+//! samples in which an AS appears probabilistically, aggregated monthly,
+//! keeping only ASes present on at least 25% of days — matching the
+//! paper's filtering, which deliberately under-covers small ASes and makes
+//! coverage numbers lower bounds.
+
+use netsim::{AsId, CountryId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Ground-truth market shares per country.
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    /// For each country: `(asn, share)` with shares summing to ≤ 1.
+    by_country: HashMap<CountryId, Vec<(AsId, f64)>>,
+    share_of: HashMap<AsId, (CountryId, f64)>,
+}
+
+impl PopulationModel {
+    /// Derive true market shares from the topology's eyeball weights.
+    pub fn from_topology(topology: &Topology) -> Self {
+        let mut by_country: HashMap<CountryId, Vec<(AsId, f64)>> = HashMap::new();
+        for a in topology.ases() {
+            if a.eyeball_weight > 0.0 {
+                by_country
+                    .entry(a.country)
+                    .or_default()
+                    .push((a.id, a.eyeball_weight));
+            }
+        }
+        let mut share_of = HashMap::new();
+        for (country, ases) in by_country.iter_mut() {
+            let total: f64 = ases.iter().map(|(_, w)| w).sum();
+            for (asn, w) in ases.iter_mut() {
+                *w /= total;
+                share_of.insert(*asn, (*country, *w));
+            }
+        }
+        Self {
+            by_country,
+            share_of,
+        }
+    }
+
+    /// True market share of an AS within its country (0 when not an
+    /// eyeball network).
+    pub fn true_share(&self, asn: AsId) -> f64 {
+        self.share_of.get(&asn).map(|(_, s)| *s).unwrap_or(0.0)
+    }
+
+    /// Country an eyeball AS serves.
+    pub fn country_of(&self, asn: AsId) -> Option<CountryId> {
+        self.share_of.get(&asn).map(|(c, _)| *c)
+    }
+
+    /// Eyeball ASes of a country with their true shares.
+    pub fn eyeballs_in(&self, country: CountryId) -> &[(AsId, f64)] {
+        self.by_country
+            .get(&country)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Build the observable APNIC-style monthly snapshot.
+    ///
+    /// Each AS is "measured" on a day with probability increasing in its
+    /// market share (APNIC's ad-based sampling sees big ISPs every day and
+    /// tiny ones sporadically). ASes below the 25%-of-month presence
+    /// threshold are dropped, as in §6.5.
+    pub fn apnic_snapshot(&self, snapshot_idx: usize, seed: u64) -> ApnicSnapshot {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0xa9a1c0 ^ (snapshot_idx as u64).wrapping_mul(0x517c_c1b7),
+        );
+        const DAYS: u32 = 30;
+        const MIN_DAYS: u32 = 8; // ≥ 25% of the month
+        let mut shares: HashMap<AsId, (CountryId, f64)> = HashMap::new();
+        // Deterministic iteration order: sort countries.
+        let mut countries: Vec<&CountryId> = self.by_country.keys().collect();
+        countries.sort();
+        for &country in countries {
+            for &(asn, share) in &self.by_country[&country] {
+                let p_daily = (0.35 + share * 8.0).clamp(0.0, 0.98);
+                let days = (0..DAYS).filter(|_| rng.gen_bool(p_daily)).count() as u32;
+                if days >= MIN_DAYS {
+                    // Measured share carries small multiplicative noise.
+                    let noise = rng.gen_range(0.92..1.08);
+                    shares.insert(asn, (country, share * noise));
+                }
+            }
+        }
+        ApnicSnapshot { shares }
+    }
+}
+
+/// One observable monthly APNIC-style population snapshot.
+#[derive(Debug, Clone)]
+pub struct ApnicSnapshot {
+    shares: HashMap<AsId, (CountryId, f64)>,
+}
+
+impl ApnicSnapshot {
+    /// Measured market share for an AS (0 when absent from the dataset).
+    pub fn share(&self, asn: AsId) -> f64 {
+        self.shares.get(&asn).map(|(_, s)| *s).unwrap_or(0.0)
+    }
+
+    pub fn contains(&self, asn: AsId) -> bool {
+        self.shares.contains_key(&asn)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Fraction of a country's users inside any AS of `hosting`, clamped
+    /// to 1 (shares are noisy and may slightly over-sum).
+    pub fn country_coverage(
+        &self,
+        country: CountryId,
+        hosting: &std::collections::HashSet<AsId>,
+    ) -> f64 {
+        let total: f64 = self
+            .shares
+            .iter()
+            .filter(|(asn, (c, _))| *c == country && hosting.contains(asn))
+            .map(|(_, (_, s))| *s)
+            .sum();
+        total.min(1.0)
+    }
+
+    /// Iterate `(asn, country, share)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AsId, CountryId, f64)> + '_ {
+        self.shares.iter().map(|(a, (c, s))| (*a, *c, *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::TopologyConfig;
+
+    fn model() -> (Topology, PopulationModel) {
+        let t = Topology::generate(&TopologyConfig::small(7));
+        let m = PopulationModel::from_topology(&t);
+        (t, m)
+    }
+
+    #[test]
+    fn shares_normalized_per_country() {
+        let (t, m) = model();
+        let mut by_country: HashMap<CountryId, f64> = HashMap::new();
+        for a in t.ases() {
+            by_country
+                .entry(a.country)
+                .and_modify(|s| *s += m.true_share(a.id))
+                .or_insert(m.true_share(a.id));
+        }
+        for (c, sum) in by_country {
+            assert!(
+                sum == 0.0 || (sum - 1.0).abs() < 1e-9,
+                "country {c:?} sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_eyeballs_have_zero_share() {
+        let (t, m) = model();
+        for a in t.ases() {
+            if a.eyeball_weight == 0.0 {
+                assert_eq!(m.true_share(a.id), 0.0);
+                assert_eq!(m.country_of(a.id), None);
+            }
+        }
+    }
+
+    #[test]
+    fn apnic_snapshot_deterministic() {
+        let (_, m) = model();
+        let a = m.apnic_snapshot(10, 7);
+        let b = m.apnic_snapshot(10, 7);
+        assert_eq!(a.len(), b.len());
+        for (asn, _, share) in a.iter() {
+            assert_eq!(b.share(asn), share);
+        }
+    }
+
+    #[test]
+    fn apnic_filter_drops_some_ases() {
+        let (t, m) = model();
+        let snap = m.apnic_snapshot(10, 7);
+        let total_eyeballs = t.ases().iter().filter(|a| a.eyeball_weight > 0.0).count();
+        assert!(!snap.is_empty());
+        assert!(
+            snap.len() < total_eyeballs,
+            "filter kept everything ({} of {total_eyeballs})",
+            snap.len()
+        );
+        // But it retains the majority of big eyeballs.
+        let big: Vec<_> = t
+            .ases()
+            .iter()
+            .filter(|a| m.true_share(a.id) > 0.10)
+            .collect();
+        let kept = big.iter().filter(|a| snap.contains(a.id)).count();
+        assert!(kept as f64 / big.len().max(1) as f64 > 0.9);
+    }
+
+    #[test]
+    fn coverage_sums_hosting_shares() {
+        let (_t, m) = model();
+        let snap = m.apnic_snapshot(10, 7);
+        let (asn, country, share) = snap.iter().next().expect("snapshot non-empty");
+        let mut hosting = std::collections::HashSet::new();
+        hosting.insert(asn);
+        let cov = snap.country_coverage(country, &hosting);
+        assert!((cov - share.min(1.0)).abs() < 1e-12);
+        let empty = std::collections::HashSet::new();
+        assert_eq!(snap.country_coverage(country, &empty), 0.0);
+    }
+
+    #[test]
+    fn coverage_clamped_to_one() {
+        let (_, m) = model();
+        let snap = m.apnic_snapshot(5, 7);
+        let country = snap.iter().next().unwrap().1;
+        let hosting: std::collections::HashSet<AsId> = snap
+            .iter()
+            .filter(|(_, c, _)| *c == country)
+            .map(|(a, _, _)| a)
+            .collect();
+        assert!(snap.country_coverage(country, &hosting) <= 1.0);
+    }
+
+    #[test]
+    fn measured_share_tracks_truth() {
+        let (t, m) = model();
+        let snap = m.apnic_snapshot(3, 7);
+        for a in t.ases() {
+            if snap.contains(a.id) {
+                let truth = m.true_share(a.id);
+                let measured = snap.share(a.id);
+                assert!(
+                    (measured - truth).abs() / truth < 0.09,
+                    "{}: measured {measured} vs true {truth}",
+                    a.id
+                );
+            }
+        }
+    }
+}

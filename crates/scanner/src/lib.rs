@@ -1,0 +1,21 @@
+//! Internet-wide scan simulation: certificate scans (Rapid7 Sonar,
+//! Censys, and the paper's own certigo campaign), HTTP(S) banner grabs,
+//! and ZGrab2-style targeted `(IP, domain)` probes.
+//!
+//! Scan clients genuinely perform the simulated TLS handshake — bytes are
+//! framed, sent to the endpoint, and parsed back — so the certificate
+//! corpus contains exactly what a real scan would capture: the *default*
+//! certificate of each IP (no SNI), §7's key limitation.
+
+mod engine;
+mod observe;
+mod scan;
+mod zgrab;
+
+pub use engine::{EngineId, ScanEngine};
+pub use observe::{observe_snapshot, SnapshotObservations};
+pub use scan::{
+    scan_certificates, scan_http_headers, CertScanRecord, CertScanSnapshot, HttpRecord,
+    HttpScanSnapshot,
+};
+pub use zgrab::{zgrab_probe, ZgrabResult};

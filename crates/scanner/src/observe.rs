@@ -1,0 +1,61 @@
+//! Bundled per-snapshot observations: everything the inference pipeline
+//! consumes for one (engine, snapshot) pair.
+
+use crate::engine::ScanEngine;
+use crate::scan::{scan_certificates, scan_http_headers, CertScanSnapshot, HttpScanSnapshot};
+use hgsim::HgWorld;
+use netsim::IpToAsMap;
+use std::sync::Arc;
+
+/// One (engine, snapshot) observation bundle.
+#[derive(Debug, Clone)]
+pub struct SnapshotObservations {
+    pub cert: CertScanSnapshot,
+    /// Port-80 banner headers (always available).
+    pub http80: Option<HttpScanSnapshot>,
+    /// Port-443 application headers (engine/epoch dependent).
+    pub https443: Option<HttpScanSnapshot>,
+    pub ip_to_as: Arc<IpToAsMap>,
+    pub snapshot_idx: usize,
+}
+
+/// Observe snapshot `t` of `world` with `engine`, generating endpoints,
+/// performing the scans, and building the month's IP-to-AS map.
+///
+/// Returns `None` when the engine's corpus does not cover the snapshot.
+pub fn observe_snapshot(world: &HgWorld, engine: &ScanEngine, t: usize) -> Option<SnapshotObservations> {
+    if t < engine.active_since {
+        return None;
+    }
+    let n = world.n_snapshots();
+    let eps = world.endpoints(t);
+    let date = world.snapshot_date(t);
+    let cert = scan_certificates(&eps, engine, date, n);
+    let http80 = scan_http_headers(&eps, engine, 80, n);
+    let https443 = scan_http_headers(&eps, engine, 443, n);
+    Some(SnapshotObservations {
+        cert,
+        http80,
+        https443,
+        ip_to_as: world.ip_to_as(t),
+        snapshot_idx: t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::ScenarioConfig;
+
+    #[test]
+    fn observation_bundle_complete() {
+        let world = HgWorld::generate(ScenarioConfig::small());
+        let obs = observe_snapshot(&world, &ScanEngine::rapid7(), 30).unwrap();
+        assert!(!obs.cert.records.is_empty());
+        assert!(obs.http80.is_some());
+        assert!(obs.https443.is_some());
+        assert!(obs.ip_to_as.prefix_count() > 1000);
+        // Censys has no corpus at snapshot 3.
+        assert!(observe_snapshot(&world, &ScanEngine::censys(), 3).is_none());
+    }
+}

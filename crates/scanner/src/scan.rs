@@ -1,0 +1,193 @@
+//! Certificate and HTTP(S)-banner scans over an endpoint set.
+
+use crate::engine::ScanEngine;
+use bytes::Bytes;
+use hgsim::EndpointSet;
+use timebase::Date;
+use tlssim::{TlsClient, TlsEndpoint};
+
+/// One IP's observation in a certificate scan: the default chain it served
+/// to a no-SNI handshake (end entity first).
+#[derive(Debug, Clone)]
+pub struct CertScanRecord {
+    pub ip: u32,
+    pub chain_der: Vec<Bytes>,
+}
+
+/// One quarterly certificate-scan snapshot for one engine.
+#[derive(Debug, Clone)]
+pub struct CertScanSnapshot {
+    pub engine: crate::EngineId,
+    pub snapshot_idx: usize,
+    pub date: Date,
+    pub records: Vec<CertScanRecord>,
+}
+
+/// One IP's HTTP banner headers on one port.
+#[derive(Debug, Clone)]
+pub struct HttpRecord {
+    pub ip: u32,
+    pub headers: Vec<(String, String)>,
+}
+
+/// An HTTP or HTTPS banner-scan snapshot.
+#[derive(Debug, Clone)]
+pub struct HttpScanSnapshot {
+    pub engine: crate::EngineId,
+    pub snapshot_idx: usize,
+    pub port: u16,
+    pub records: Vec<HttpRecord>,
+}
+
+/// Run a port-443 certificate scan: a real (simulated-wire) no-SNI TLS
+/// handshake against every reachable endpoint. IPs that refuse TLS or
+/// serve a null default certificate produce no record, exactly as in the
+/// Rapid7 corpus (§7 "SNI").
+pub fn scan_certificates(
+    eps: &EndpointSet,
+    engine: &ScanEngine,
+    date: Date,
+    n_snapshots: usize,
+) -> CertScanSnapshot {
+    let t = eps.snapshot_idx;
+    let client = TlsClient::new([0x5cu8; 32]);
+    let mut records = Vec::with_capacity(eps.len());
+    for ep in eps.endpoints() {
+        if !engine.reaches(ep.ip, t, n_snapshots) {
+            continue;
+        }
+        let endpoint = TlsEndpoint::new(ep.tls.clone());
+        match client.fetch_chain(&endpoint, None) {
+            Ok(chain) if !chain.is_empty() => records.push(CertScanRecord {
+                ip: ep.ip,
+                chain_der: chain,
+            }),
+            _ => {}
+        }
+    }
+    CertScanSnapshot {
+        engine: engine.id,
+        snapshot_idx: t,
+        date,
+        records,
+    }
+}
+
+/// Run an HTTP (port 80) or HTTPS (port 443) banner scan. Returns `None`
+/// when the engine's corpus lacks that data at this snapshot (Rapid7 has
+/// HTTPS headers only from summer 2016; Censys from late 2019).
+pub fn scan_http_headers(
+    eps: &EndpointSet,
+    engine: &ScanEngine,
+    port: u16,
+    n_snapshots: usize,
+) -> Option<HttpScanSnapshot> {
+    let t = eps.snapshot_idx;
+    if t < engine.active_since {
+        return None;
+    }
+    if port == 443 {
+        match engine.https_headers_since {
+            Some(since) if t >= since => {}
+            _ => return None,
+        }
+    }
+    let mut records = Vec::with_capacity(eps.len());
+    for ep in eps.endpoints() {
+        if !engine.reaches(ep.ip, t, n_snapshots) {
+            continue;
+        }
+        let headers = match port {
+            80 => Some(&ep.http_headers),
+            443 => ep.https_headers.as_ref(),
+            _ => None,
+        };
+        if let Some(headers) = headers {
+            if !headers.is_empty() {
+                records.push(HttpRecord {
+                    ip: ep.ip,
+                    headers: headers.clone(),
+                });
+            }
+        }
+    }
+    Some(HttpScanSnapshot {
+        engine: engine.id,
+        snapshot_idx: t,
+        port,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::{HgWorld, ScenarioConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static HgWorld {
+        static W: OnceLock<HgWorld> = OnceLock::new();
+        W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+    }
+
+    #[test]
+    fn cert_scan_produces_parseable_chains() {
+        let w = world();
+        let eps = w.endpoints(30);
+        let snap = scan_certificates(&eps, &ScanEngine::rapid7(), w.snapshot_date(30), 31);
+        assert!(snap.records.len() > 2000, "{} records", snap.records.len());
+        for r in snap.records.iter().take(200) {
+            let leaf = x509::Certificate::parse(&r.chain_der[0]).expect("leaf parses");
+            assert!(!leaf.dns_names().is_empty() || leaf.subject().common_name().is_some());
+        }
+    }
+
+    #[test]
+    fn http_only_endpoints_missing_from_cert_scan() {
+        let w = world();
+        // Snapshot 18 is inside the Netflix HTTP-downgrade window.
+        let eps = w.endpoints(18);
+        let http_only_ips: Vec<u32> = eps
+            .endpoints()
+            .iter()
+            .filter(|e| e.https_headers.is_none())
+            .map(|e| e.ip)
+            .collect();
+        assert!(!http_only_ips.is_empty());
+        let snap = scan_certificates(&eps, &ScanEngine::certigo(), w.snapshot_date(18), 31);
+        let scanned: std::collections::HashSet<u32> =
+            snap.records.iter().map(|r| r.ip).collect();
+        for ip in http_only_ips {
+            assert!(!scanned.contains(&ip));
+        }
+    }
+
+    #[test]
+    fn https_header_availability_windows() {
+        let w = world();
+        let eps = w.endpoints(5); // 2015-01: before Rapid7 HTTPS headers
+        let r7 = ScanEngine::rapid7();
+        assert!(scan_http_headers(&eps, &r7, 443, 31).is_none());
+        assert!(scan_http_headers(&eps, &r7, 80, 31).is_some());
+        let eps = w.endpoints(12);
+        assert!(scan_http_headers(&eps, &r7, 443, 31).is_some());
+        // Censys corpus does not exist before snapshot 24.
+        let cs = ScanEngine::censys();
+        assert!(scan_http_headers(&eps, &cs, 80, 31).is_none());
+    }
+
+    #[test]
+    fn engines_see_different_record_counts() {
+        let w = world();
+        let eps = w.endpoints(24);
+        let date = w.snapshot_date(24);
+        let r7 = scan_certificates(&eps, &ScanEngine::rapid7(), date, 31);
+        let ac = scan_certificates(&eps, &ScanEngine::certigo(), date, 31);
+        assert!(
+            ac.records.len() > r7.records.len(),
+            "certigo {} !> rapid7 {}",
+            ac.records.len(),
+            r7.records.len()
+        );
+    }
+}

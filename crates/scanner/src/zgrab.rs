@@ -1,0 +1,126 @@
+//! ZGrab2-style targeted probes: connect to a specific IP with a specific
+//! SNI/Host and check whether the served certificate validates for that
+//! domain (§5 "Active Measurement Validation").
+
+use hgsim::EndpointSet;
+use timebase::Timestamp;
+use tlssim::{hostname_matches, TlsClient, TlsEndpoint};
+use x509::{verify_chain, Certificate, RootStore};
+
+/// Outcome of one `(ip, domain)` probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZgrabResult {
+    /// The endpoint completed a TLS handshake and served a certificate.
+    pub responded: bool,
+    /// The served chain verified against the root store *and* covers the
+    /// requested domain — i.e. a client requesting `domain` would accept
+    /// this server.
+    pub tls_validated: bool,
+}
+
+/// Probe `ip` for `domain` within one snapshot's endpoint set.
+pub fn zgrab_probe(
+    eps: &EndpointSet,
+    roots: &RootStore,
+    ip: u32,
+    domain: &str,
+    at: Timestamp,
+) -> ZgrabResult {
+    let Some(ep) = eps.get(ip) else {
+        return ZgrabResult {
+            responded: false,
+            tls_validated: false,
+        };
+    };
+    let client = TlsClient::new([0x77u8; 32]);
+    let endpoint = TlsEndpoint::new(ep.tls.clone());
+    let chain_der = match client.fetch_chain(&endpoint, Some(domain)) {
+        Ok(chain) if !chain.is_empty() => chain,
+        _ => {
+            return ZgrabResult {
+                responded: false,
+                tls_validated: false,
+            }
+        }
+    };
+    let certs: Vec<Certificate> = match chain_der
+        .iter()
+        .map(|d| Certificate::parse(d))
+        .collect::<Result<_, _>>()
+    {
+        Ok(c) => c,
+        Err(_) => {
+            return ZgrabResult {
+                responded: true,
+                tls_validated: false,
+            }
+        }
+    };
+    let verified = verify_chain(&certs, roots, at).is_ok();
+    let covers = certs
+        .first()
+        .map(|leaf| leaf.dns_names().iter().any(|p| hostname_matches(p, domain)))
+        .unwrap_or(false);
+    ZgrabResult {
+        responded: true,
+        tls_validated: verified && covers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::{Attribution, Hg, HgWorld, ScenarioConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static HgWorld {
+        static W: OnceLock<HgWorld> = OnceLock::new();
+        W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+    }
+
+    #[test]
+    fn google_offnet_validates_google_domain_only() {
+        let w = world();
+        let eps = w.endpoints(30);
+        let at = w.snapshot_date(30).midnight().plus_seconds(3600);
+        let google_off = eps
+            .endpoints()
+            .iter()
+            .find(|e| e.attribution == Attribution::OffNet(Hg::Google))
+            .expect("google off-net exists");
+        let r = zgrab_probe(&eps, w.pki().root_store(), google_off.ip, "www.googlevideo.com", at);
+        assert!(r.responded);
+        assert!(r.tls_validated, "google off-net must serve google domains");
+        let r = zgrab_probe(&eps, w.pki().root_store(), google_off.ip, "www.netflix.com", at);
+        assert!(!r.tls_validated, "google off-net must not validate netflix");
+    }
+
+    #[test]
+    fn unknown_ip_does_not_respond() {
+        let w = world();
+        let eps = w.endpoints(30);
+        let at = w.snapshot_date(30).midnight();
+        let r = zgrab_probe(&eps, w.pki().root_store(), 0x0909_0909, "www.google.com", at);
+        assert!(!r.responded);
+    }
+
+    #[test]
+    fn third_party_cdn_validates_content_hg_domain() {
+        let w = world();
+        let eps = w.endpoints(30);
+        let at = w.snapshot_date(30).midnight().plus_seconds(3600);
+        let apple_on_akamai = eps.endpoints().iter().find(|e| {
+            matches!(
+                e.attribution,
+                Attribution::ThirdPartyCdn {
+                    content: Hg::Apple,
+                    ..
+                }
+            )
+        });
+        if let Some(ep) = apple_on_akamai {
+            let r = zgrab_probe(&eps, w.pki().root_store(), ep.ip, "www.apple.com", at);
+            assert!(r.tls_validated, "akamai edge serves apple certs");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Civil-time primitives for the off-net reproduction.
+//!
+//! The simulation is fully deterministic: no wall clocks, no time zones.
+//! Everything is expressed either as a [`Timestamp`] (seconds since the Unix
+//! epoch, UTC) or as a civil [`Date`]. Scan corpuses are organized into
+//! quarterly [`Snapshot`]s matching the paper's Oct. 2013 - Apr. 2021 cadence.
+
+mod date;
+mod snapshot;
+mod timestamp;
+
+pub use date::Date;
+pub use snapshot::{Snapshot, SnapshotSeries};
+pub use timestamp::Timestamp;
+
+/// Days in the given month (1-12) of the given year, accounting for leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2019));
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2021, 2), 28);
+        assert_eq!(days_in_month(2021, 12), 31);
+        assert_eq!(days_in_month(2021, 4), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_month_panics() {
+        days_in_month(2021, 13);
+    }
+}

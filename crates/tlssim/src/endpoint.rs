@@ -1,0 +1,250 @@
+use crate::hostname::hostname_matches;
+use crate::wire::{
+    parse_certificate_msg, parse_client_hello, parse_server_hello, CertificateMsg, ClientHello,
+    ServerHello, WireError,
+};
+use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
+
+/// A DER certificate chain as served on the wire (end entity first).
+pub type ChainDer = Arc<Vec<Bytes>>;
+
+/// What a simulated server does on port 443.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Speaks TLS and serves certificates.
+    Https,
+    /// Listens on port 80 only; TLS connections are refused. Models the
+    /// Netflix HTTP-downgrade episode (§6.2).
+    HttpOnly,
+    /// Nothing is listening.
+    Closed,
+}
+
+/// Per-endpoint TLS serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub mode: ServerMode,
+    /// Chain served when the client sends no SNI (the "default
+    /// certificate" Rapid7 observes, §7). `None` models a null default
+    /// certificate: the server completes the handshake with an empty
+    /// Certificate message.
+    pub default_chain: Option<ChainDer>,
+    /// SNI table: `(pattern, chain)` pairs; patterns may use a leading
+    /// `*.` wildcard. First match wins.
+    pub sni_chains: Vec<(String, ChainDer)>,
+}
+
+impl ServerConfig {
+    /// An HTTPS server that serves one chain for everything.
+    pub fn single_chain(chain: ChainDer) -> Self {
+        Self {
+            mode: ServerMode::Https,
+            default_chain: Some(chain),
+            sni_chains: Vec::new(),
+        }
+    }
+
+    pub fn closed() -> Self {
+        Self {
+            mode: ServerMode::Closed,
+            default_chain: None,
+            sni_chains: Vec::new(),
+        }
+    }
+
+    pub fn http_only() -> Self {
+        Self {
+            mode: ServerMode::HttpOnly,
+            default_chain: None,
+            sni_chains: Vec::new(),
+        }
+    }
+
+    fn chain_for(&self, sni: Option<&str>) -> Option<&ChainDer> {
+        if let Some(host) = sni {
+            for (pattern, chain) in &self.sni_chains {
+                if hostname_matches(pattern, host) {
+                    return Some(chain);
+                }
+            }
+        }
+        self.default_chain.as_ref()
+    }
+}
+
+/// Handshake failures visible to a scanning client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// TCP connection refused (closed port or HTTP-only server).
+    ConnectionRefused,
+    /// The peer sent bytes we could not parse.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::ConnectionRefused => write!(f, "connection refused"),
+            HandshakeError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+impl From<WireError> for HandshakeError {
+    fn from(e: WireError) -> Self {
+        HandshakeError::Wire(e)
+    }
+}
+
+/// A server endpoint holding a [`ServerConfig`]. The scanner talks to it in
+/// wire bytes, exactly as a real scan would.
+#[derive(Debug, Clone)]
+pub struct TlsEndpoint {
+    config: ServerConfig,
+}
+
+impl TlsEndpoint {
+    pub fn new(config: ServerConfig) -> Self {
+        Self { config }
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Process a ClientHello record; returns the server's flight
+    /// (ServerHello + Certificate records, concatenated).
+    pub fn handle(&self, client_hello_wire: &[u8]) -> Result<Bytes, HandshakeError> {
+        if self.config.mode != ServerMode::Https {
+            return Err(HandshakeError::ConnectionRefused);
+        }
+        let hello = parse_client_hello(client_hello_wire)?;
+        let chain = self
+            .config
+            .chain_for(hello.sni.as_deref())
+            .map(|c| c.as_ref().clone())
+            .unwrap_or_default();
+        let mut out = BytesMut::new();
+        // Server random derived from the client random for determinism.
+        let mut random = hello.random;
+        random.reverse();
+        out.extend_from_slice(&ServerHello { random }.encode());
+        out.extend_from_slice(&CertificateMsg { chain }.encode());
+        Ok(out.freeze())
+    }
+}
+
+/// A scanning TLS client.
+#[derive(Debug, Default)]
+pub struct TlsClient {
+    random: [u8; 32],
+}
+
+impl TlsClient {
+    pub fn new(random: [u8; 32]) -> Self {
+        Self { random }
+    }
+
+    /// Perform a handshake against `endpoint`, optionally with SNI, and
+    /// return the served DER chain (possibly empty for null-cert servers).
+    pub fn fetch_chain(
+        &self,
+        endpoint: &TlsEndpoint,
+        sni: Option<&str>,
+    ) -> Result<Vec<Bytes>, HandshakeError> {
+        let hello = ClientHello::new(self.random, sni);
+        let flight = endpoint.handle(&hello.encode())?;
+        // The flight is two back-to-back records; split on the first
+        // record's framed length.
+        if flight.len() < 5 {
+            return Err(HandshakeError::Wire(WireError::Truncated));
+        }
+        let first_len = 5 + usize::from(u16::from_be_bytes([flight[3], flight[4]]));
+        if flight.len() < first_len {
+            return Err(HandshakeError::Wire(WireError::Truncated));
+        }
+        let (sh_wire, cert_wire) = flight.split_at(first_len);
+        let _server_hello = parse_server_hello(sh_wire)?;
+        let msg = parse_certificate_msg(cert_wire)?;
+        Ok(msg.chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(label: &str) -> ChainDer {
+        Arc::new(vec![Bytes::copy_from_slice(label.as_bytes())])
+    }
+
+    fn client() -> TlsClient {
+        TlsClient::new([42u8; 32])
+    }
+
+    #[test]
+    fn default_chain_served_without_sni() {
+        let ep = TlsEndpoint::new(ServerConfig::single_chain(chain("default")));
+        let got = client().fetch_chain(&ep, None).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"default")]);
+    }
+
+    #[test]
+    fn sni_selects_specific_chain() {
+        let mut cfg = ServerConfig::single_chain(chain("default"));
+        cfg.sni_chains
+            .push(("*.google.com".into(), chain("google")));
+        let ep = TlsEndpoint::new(cfg);
+        let got = client().fetch_chain(&ep, Some("www.google.com")).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"google")]);
+        // Unmatched SNI falls back to the default.
+        let got = client().fetch_chain(&ep, Some("example.org")).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"default")]);
+    }
+
+    #[test]
+    fn null_default_cert_yields_empty_chain() {
+        let cfg = ServerConfig {
+            mode: ServerMode::Https,
+            default_chain: None,
+            sni_chains: vec![("www.hidden.com".into(), chain("hidden"))],
+        };
+        let ep = TlsEndpoint::new(cfg);
+        assert!(client().fetch_chain(&ep, None).unwrap().is_empty());
+        assert_eq!(
+            client().fetch_chain(&ep, Some("www.hidden.com")).unwrap(),
+            vec![Bytes::from_static(b"hidden")]
+        );
+    }
+
+    #[test]
+    fn http_only_refuses_tls() {
+        let ep = TlsEndpoint::new(ServerConfig::http_only());
+        assert_eq!(
+            client().fetch_chain(&ep, None).unwrap_err(),
+            HandshakeError::ConnectionRefused
+        );
+    }
+
+    #[test]
+    fn closed_port_refuses() {
+        let ep = TlsEndpoint::new(ServerConfig::closed());
+        assert_eq!(
+            client().fetch_chain(&ep, None).unwrap_err(),
+            HandshakeError::ConnectionRefused
+        );
+    }
+
+    #[test]
+    fn first_sni_match_wins() {
+        let mut cfg = ServerConfig::single_chain(chain("default"));
+        cfg.sni_chains.push(("*.example.com".into(), chain("a")));
+        cfg.sni_chains.push(("www.example.com".into(), chain("b")));
+        let ep = TlsEndpoint::new(cfg);
+        let got = client().fetch_chain(&ep, Some("www.example.com")).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"a")]);
+    }
+}

@@ -1,0 +1,114 @@
+/// RFC 6125-style hostname matching against a certificate name pattern.
+///
+/// A leading `*.` wildcard matches exactly one additional label; matching is
+/// case-insensitive; the wildcard may not match an empty label and is only
+/// honoured in the left-most position.
+pub fn hostname_matches(pattern: &str, host: &str) -> bool {
+    let pattern = pattern.trim_end_matches('.');
+    let host = host.trim_end_matches('.');
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        // host must be "<label>.<suffix>" with a non-empty, dot-free label.
+        let Some(rest) = strip_suffix_ci(host, suffix) else {
+            return false;
+        };
+        let Some(label) = rest.strip_suffix('.') else {
+            return false;
+        };
+        !label.is_empty() && !label.contains('.')
+    } else {
+        pattern.eq_ignore_ascii_case(host)
+    }
+}
+
+/// Case-insensitive suffix strip; returns the remaining prefix.
+fn strip_suffix_ci<'a>(s: &'a str, suffix: &str) -> Option<&'a str> {
+    let split = s.len().checked_sub(suffix.len())?;
+    // Non-ASCII input can put the split point inside a multi-byte
+    // character; such a host cannot end with an ASCII suffix anyway.
+    if !s.is_char_boundary(split) {
+        return None;
+    }
+    let (head, tail) = s.split_at(split);
+    tail.eq_ignore_ascii_case(suffix).then_some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(hostname_matches("google.com", "google.com"));
+        assert!(hostname_matches("google.com", "GOOGLE.COM"));
+        assert!(!hostname_matches("google.com", "www.google.com"));
+    }
+
+    #[test]
+    fn wildcard_matches_one_label() {
+        assert!(hostname_matches("*.google.com", "www.google.com"));
+        assert!(hostname_matches("*.google.com", "mail.google.com"));
+        assert!(!hostname_matches("*.google.com", "google.com"));
+        assert!(!hostname_matches("*.google.com", "a.b.google.com"));
+    }
+
+    #[test]
+    fn wildcard_requires_nonempty_label() {
+        assert!(!hostname_matches("*.google.com", ".google.com"));
+    }
+
+    #[test]
+    fn suffix_confusion_rejected() {
+        assert!(!hostname_matches("*.google.com", "evilgoogle.com"));
+        assert!(!hostname_matches("*.oogle.com", "google.com"));
+    }
+
+    #[test]
+    fn trailing_dots_normalized() {
+        assert!(hostname_matches("google.com.", "google.com"));
+        assert!(hostname_matches("*.google.com", "www.google.com."));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn exact_patterns_match_themselves(host in "[a-z0-9-]{1,12}(\\.[a-z0-9-]{1,12}){0,3}") {
+            prop_assert!(hostname_matches(&host, &host));
+        }
+
+        #[test]
+        fn wildcard_covers_exactly_one_label(
+            label in "[a-z0-9]{1,10}",
+            base in "[a-z0-9]{1,10}\\.[a-z]{2,5}"
+        ) {
+            let pattern = format!("*.{base}");
+            let one_label = format!("{label}.{base}");
+            let two_labels = format!("a.{label}.{base}");
+            prop_assert!(hostname_matches(&pattern, &one_label));
+            prop_assert!(!hostname_matches(&pattern, &base));
+            prop_assert!(!hostname_matches(&pattern, &two_labels));
+        }
+
+        #[test]
+        fn matching_is_case_insensitive(
+            pattern in "[a-z]{1,8}\\.[a-z]{2,4}",
+            flip in any::<u8>()
+        ) {
+            let host: String = pattern
+                .chars()
+                .enumerate()
+                .map(|(i, c)| if (flip as usize + i).is_multiple_of(2) { c.to_ascii_uppercase() } else { c })
+                .collect();
+            prop_assert!(hostname_matches(&pattern, &host));
+        }
+
+        #[test]
+        fn never_panics(pattern in "\\PC{0,24}", host in "\\PC{0,24}") {
+            let _ = hostname_matches(&pattern, &host);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! A simulated TLS layer: wire-format framing for the handshake subset the
+//! scanners exercise, plus in-memory server endpoints with real SNI
+//! semantics (default certificate vs per-hostname certificates, null-cert
+//! mode, HTTP-only mode).
+//!
+//! The simulation performs no key exchange or encryption — scanning only
+//! needs the certificate-carrying part of the handshake, which is sent in
+//! the clear in TLS 1.2. Record and handshake framing follow RFC 5246
+//! closely enough that the `scanner` crate's clients genuinely parse bytes
+//! off the "wire".
+
+mod endpoint;
+mod hostname;
+mod wire;
+
+pub use endpoint::{HandshakeError, ServerConfig, ServerMode, TlsClient, TlsEndpoint};
+pub use hostname::hostname_matches;
+pub use wire::{
+    parse_certificate_msg, parse_client_hello, parse_server_hello, CertificateMsg, ClientHello,
+    ServerHello, WireError,
+};

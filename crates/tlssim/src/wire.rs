@@ -1,0 +1,350 @@
+//! TLS 1.2 record / handshake framing for the messages scanning needs:
+//! ClientHello (with the server_name extension), ServerHello, and
+//! Certificate. Layouts follow RFC 5246 / RFC 6066.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors while parsing wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    BadRecordType,
+    BadHandshakeType,
+    BadLength,
+    BadExtension,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated TLS message",
+            WireError::BadRecordType => "unexpected TLS record type",
+            WireError::BadHandshakeType => "unexpected handshake type",
+            WireError::BadLength => "inconsistent length field",
+            WireError::BadExtension => "malformed extension",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const RECORD_HANDSHAKE: u8 = 22;
+const TLS12: [u8; 2] = [0x03, 0x03];
+const HS_CLIENT_HELLO: u8 = 1;
+const HS_SERVER_HELLO: u8 = 2;
+const HS_CERTIFICATE: u8 = 11;
+const EXT_SERVER_NAME: u16 = 0;
+
+/// A ClientHello carrying an optional SNI host name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// 32-byte client random (deterministic in the simulation).
+    pub random: [u8; 32],
+    /// The server_name extension value, if the client sent one.
+    pub sni: Option<String>,
+}
+
+impl ClientHello {
+    pub fn new(random: [u8; 32], sni: Option<&str>) -> Self {
+        Self {
+            random,
+            sni: sni.map(str::to_owned),
+        }
+    }
+
+    /// Encode as a complete handshake record.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(96);
+        body.put_slice(&TLS12); // client_version
+        body.put_slice(&self.random);
+        body.put_u8(0); // session_id length
+        body.put_u16(2); // cipher_suites length
+        body.put_u16(0x1301); // one placeholder suite
+        body.put_u8(1); // compression_methods length
+        body.put_u8(0); // null compression
+        let mut exts = BytesMut::new();
+        if let Some(sni) = &self.sni {
+            // server_name extension: list of (type=0 hostname, len, name)
+            let name = sni.as_bytes();
+            exts.put_u16(EXT_SERVER_NAME);
+            exts.put_u16((name.len() + 5) as u16); // extension_data length
+            exts.put_u16((name.len() + 3) as u16); // server_name_list length
+            exts.put_u8(0); // name_type host_name
+            exts.put_u16(name.len() as u16);
+            exts.put_slice(name);
+        }
+        body.put_u16(exts.len() as u16);
+        body.put_slice(&exts);
+        frame_handshake(HS_CLIENT_HELLO, &body)
+    }
+}
+
+/// A minimal ServerHello (random echoes the config; no extensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    pub random: [u8; 32],
+}
+
+impl ServerHello {
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(48);
+        body.put_slice(&TLS12);
+        body.put_slice(&self.random);
+        body.put_u8(0); // session_id length
+        body.put_u16(0x1301); // chosen cipher suite
+        body.put_u8(0); // compression
+        body.put_u16(0); // extensions length
+        frame_handshake(HS_SERVER_HELLO, &body)
+    }
+}
+
+/// The Certificate handshake message: an ordered list of DER certificates,
+/// end entity first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateMsg {
+    pub chain: Vec<Bytes>,
+}
+
+impl CertificateMsg {
+    pub fn encode(&self) -> Bytes {
+        let total: usize = self.chain.iter().map(|c| c.len() + 3).sum();
+        let mut body = BytesMut::with_capacity(total + 3);
+        put_u24(&mut body, total as u32);
+        for cert in &self.chain {
+            put_u24(&mut body, cert.len() as u32);
+            body.put_slice(cert);
+        }
+        frame_handshake(HS_CERTIFICATE, &body)
+    }
+}
+
+fn frame_handshake(hs_type: u8, body: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(body.len() + 9);
+    out.put_u8(RECORD_HANDSHAKE);
+    out.put_slice(&TLS12);
+    out.put_u16((body.len() + 4) as u16);
+    out.put_u8(hs_type);
+    put_u24(&mut out, body.len() as u32);
+    out.put_slice(body);
+    out.freeze()
+}
+
+fn put_u24(buf: &mut BytesMut, v: u32) {
+    debug_assert!(v < 1 << 24);
+    buf.put_u8((v >> 16) as u8);
+    buf.put_u8((v >> 8) as u8);
+    buf.put_u8(v as u8);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.data.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u24(&mut self) -> Result<u32, WireError> {
+        let b = self.take(3)?;
+        Ok(u32::from_be_bytes([0, b[0], b[1], b[2]]))
+    }
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+/// Strip the record + handshake headers, checking the expected type.
+fn unwrap_handshake(wire: &[u8], expect: u8) -> Result<&[u8], WireError> {
+    let mut c = Cursor::new(wire);
+    if c.u8()? != RECORD_HANDSHAKE {
+        return Err(WireError::BadRecordType);
+    }
+    let _version = c.take(2)?;
+    let rec_len = c.u16()? as usize;
+    if c.remaining() != rec_len {
+        return Err(WireError::BadLength);
+    }
+    let hs_type = c.u8()?;
+    if hs_type != expect {
+        return Err(WireError::BadHandshakeType);
+    }
+    let body_len = c.u24()? as usize;
+    let body = c.take(body_len)?;
+    if c.remaining() != 0 {
+        return Err(WireError::BadLength);
+    }
+    Ok(body)
+}
+
+/// Parse a ClientHello record.
+pub fn parse_client_hello(wire: &[u8]) -> Result<ClientHello, WireError> {
+    let body = unwrap_handshake(wire, HS_CLIENT_HELLO)?;
+    let mut c = Cursor::new(body);
+    let _version = c.take(2)?;
+    let random: [u8; 32] = c.take(32)?.try_into().expect("fixed size");
+    let sid_len = c.u8()? as usize;
+    c.take(sid_len)?;
+    let cs_len = c.u16()? as usize;
+    c.take(cs_len)?;
+    let comp_len = c.u8()? as usize;
+    c.take(comp_len)?;
+    let mut sni = None;
+    if c.remaining() > 0 {
+        let ext_total = c.u16()? as usize;
+        let exts = c.take(ext_total)?;
+        let mut e = Cursor::new(exts);
+        while e.remaining() > 0 {
+            let ext_type = e.u16()?;
+            let ext_len = e.u16()? as usize;
+            let data = e.take(ext_len)?;
+            if ext_type == EXT_SERVER_NAME {
+                let mut s = Cursor::new(data);
+                let list_len = s.u16()? as usize;
+                let list = s.take(list_len)?;
+                let mut l = Cursor::new(list);
+                let name_type = l.u8()?;
+                if name_type != 0 {
+                    return Err(WireError::BadExtension);
+                }
+                let name_len = l.u16()? as usize;
+                let name = l.take(name_len)?;
+                sni = Some(
+                    std::str::from_utf8(name)
+                        .map_err(|_| WireError::BadExtension)?
+                        .to_owned(),
+                );
+            }
+        }
+    }
+    Ok(ClientHello { random, sni })
+}
+
+/// Parse a ServerHello record.
+pub fn parse_server_hello(wire: &[u8]) -> Result<ServerHello, WireError> {
+    let body = unwrap_handshake(wire, HS_SERVER_HELLO)?;
+    let mut c = Cursor::new(body);
+    let _version = c.take(2)?;
+    let random: [u8; 32] = c.take(32)?.try_into().expect("fixed size");
+    Ok(ServerHello { random })
+}
+
+/// Parse a Certificate record into the DER chain.
+pub fn parse_certificate_msg(wire: &[u8]) -> Result<CertificateMsg, WireError> {
+    let body = unwrap_handshake(wire, HS_CERTIFICATE)?;
+    let mut c = Cursor::new(body);
+    let total = c.u24()? as usize;
+    let list = c.take(total)?;
+    if c.remaining() != 0 {
+        return Err(WireError::BadLength);
+    }
+    let mut l = Cursor::new(list);
+    let mut chain = Vec::new();
+    while l.remaining() > 0 {
+        let len = l.u24()? as usize;
+        let der = l.take(len)?;
+        chain.push(Bytes::copy_from_slice(der));
+    }
+    Ok(CertificateMsg { chain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn client_hello_roundtrip_with_sni() {
+        let ch = ClientHello::new([7u8; 32], Some("www.google.com"));
+        let wire = ch.encode();
+        assert_eq!(parse_client_hello(&wire).unwrap(), ch);
+    }
+
+    #[test]
+    fn client_hello_roundtrip_without_sni() {
+        let ch = ClientHello::new([0u8; 32], None);
+        let wire = ch.encode();
+        let parsed = parse_client_hello(&wire).unwrap();
+        assert_eq!(parsed.sni, None);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let sh = ServerHello { random: [9u8; 32] };
+        assert_eq!(parse_server_hello(&sh.encode()).unwrap(), sh);
+    }
+
+    #[test]
+    fn certificate_msg_roundtrip() {
+        let msg = CertificateMsg {
+            chain: vec![
+                Bytes::from_static(b"leaf-der"),
+                Bytes::from_static(b"intermediate-der"),
+            ],
+        };
+        assert_eq!(parse_certificate_msg(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_chain_roundtrip() {
+        let msg = CertificateMsg { chain: vec![] };
+        assert_eq!(parse_certificate_msg(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_message_type_rejected() {
+        let ch = ClientHello::new([0u8; 32], None).encode();
+        assert_eq!(
+            parse_server_hello(&ch).unwrap_err(),
+            WireError::BadHandshakeType
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let wire = ClientHello::new([1u8; 32], Some("x.example")).encode();
+        for cut in [0, 1, 5, 9, wire.len() - 1] {
+            assert!(parse_client_hello(&wire[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = parse_client_hello(&bytes);
+            let _ = parse_server_hello(&bytes);
+            let _ = parse_certificate_msg(&bytes);
+        }
+
+        #[test]
+        fn sni_roundtrip(host in "[a-z]{1,20}(\\.[a-z]{1,10}){1,3}") {
+            let ch = ClientHello::new([3u8; 32], Some(&host));
+            prop_assert_eq!(parse_client_hello(&ch.encode()).unwrap().sni.unwrap(), host);
+        }
+
+        #[test]
+        fn chain_roundtrip(chain in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 0..6)
+        ) {
+            let msg = CertificateMsg { chain: chain.iter().map(|c| Bytes::copy_from_slice(c)).collect() };
+            prop_assert_eq!(parse_certificate_msg(&msg.encode()).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+use asn1::{oids, Error, Reader, Result, Tag, Writer};
+
+/// The basicConstraints extension (RFC 5280 §4.2.1.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BasicConstraints {
+    /// Whether the certified key may sign other certificates.
+    pub is_ca: bool,
+    /// Maximum number of intermediate certificates below this one.
+    pub path_len: Option<u8>,
+}
+
+/// A minimal keyUsage model: we only need to distinguish certificate-signing
+/// CAs from end-entity server certs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsage {
+    pub digital_signature: bool,
+    pub key_cert_sign: bool,
+}
+
+/// The X.509 v3 extensions the methodology consumes.
+///
+/// `dns_names` corresponds to the subjectAltName dNSName entries — the
+/// authenticated list of domains the certificate certifies (§2, §4.2-4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Extensions {
+    pub subject_alt_names: Vec<String>,
+    pub basic_constraints: Option<BasicConstraints>,
+    pub key_usage: Option<KeyUsage>,
+}
+
+impl Extensions {
+    /// Encode as the `[3] EXPLICIT Extensions` element of a TBSCertificate.
+    /// Emits nothing when every extension is absent/empty.
+    pub fn encode(&self, w: &mut Writer) {
+        if self.subject_alt_names.is_empty()
+            && self.basic_constraints.is_none()
+            && self.key_usage.is_none()
+        {
+            return;
+        }
+        w.write_constructed(Tag::context_constructed(3), |w| {
+            w.write_constructed(Tag::SEQUENCE, |w| {
+                if let Some(bc) = &self.basic_constraints {
+                    encode_extension(w, &oids::basic_constraints(), bc.is_ca, |w| {
+                        w.write_constructed(Tag::SEQUENCE, |w| {
+                            if bc.is_ca {
+                                w.write_boolean(true);
+                            }
+                            if let Some(n) = bc.path_len {
+                                w.write_integer(u64::from(n));
+                            }
+                        });
+                    });
+                }
+                if let Some(ku) = &self.key_usage {
+                    encode_extension(w, &oids::key_usage(), true, |w| {
+                        // KeyUsage BIT STRING: bit 0 digitalSignature,
+                        // bit 5 keyCertSign. One content byte suffices.
+                        let mut bits: u8 = 0;
+                        if ku.digital_signature {
+                            bits |= 0x80;
+                        }
+                        if ku.key_cert_sign {
+                            bits |= 0x04;
+                        }
+                        w.write_bit_string(&[bits]);
+                    });
+                }
+                if !self.subject_alt_names.is_empty() {
+                    encode_extension(w, &oids::subject_alt_name(), false, |w| {
+                        w.write_constructed(Tag::SEQUENCE, |w| {
+                            for name in &self.subject_alt_names {
+                                // GeneralName dNSName is [2] IMPLICIT IA5String.
+                                w.write_primitive(Tag::context_primitive(2), name.as_bytes());
+                            }
+                        });
+                    });
+                }
+            });
+        });
+    }
+
+    /// Decode from the `[3]` element, which the caller must already have
+    /// detected. Unknown non-critical extensions are skipped; unknown
+    /// critical extensions are an error, per RFC 5280.
+    pub fn decode(explicit_content: &[u8]) -> Result<Self> {
+        let mut outer = Reader::new(explicit_content);
+        let mut list = outer.read_sequence()?;
+        outer.expect_end()?;
+        let mut out = Extensions::default();
+        while !list.is_empty() {
+            let mut ext = list.read_sequence()?;
+            let oid = ext.read_oid()?;
+            let critical = if ext.peek_tag() == Ok(Tag::BOOLEAN) {
+                ext.read_boolean()?
+            } else {
+                false
+            };
+            let value = ext.read_octet_string()?;
+            ext.expect_end()?;
+            if oid == oids::basic_constraints() {
+                out.basic_constraints = Some(decode_basic_constraints(value)?);
+            } else if oid == oids::key_usage() {
+                out.key_usage = Some(decode_key_usage(value)?);
+            } else if oid == oids::subject_alt_name() {
+                out.subject_alt_names = decode_san(value)?;
+            } else if critical {
+                return Err(Error::InvalidContent("unknown critical extension"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn encode_extension(w: &mut Writer, oid: &asn1::Oid, critical: bool, value: impl FnOnce(&mut Writer)) {
+    w.write_constructed(Tag::SEQUENCE, |w| {
+        w.write_oid(oid);
+        if critical {
+            w.write_boolean(true);
+        }
+        let mut inner = Writer::new();
+        value(&mut inner);
+        w.write_octet_string(&inner.finish());
+    });
+}
+
+fn decode_basic_constraints(value: &[u8]) -> Result<BasicConstraints> {
+    let mut r = Reader::new(value);
+    let mut seq = r.read_sequence()?;
+    r.expect_end()?;
+    let is_ca = if seq.peek_tag() == Ok(Tag::BOOLEAN) {
+        seq.read_boolean()?
+    } else {
+        false
+    };
+    let path_len = if seq.peek_tag() == Ok(Tag::INTEGER) {
+        let n = seq.read_integer_u64()?;
+        if n > 255 {
+            return Err(Error::Oversized);
+        }
+        Some(n as u8)
+    } else {
+        None
+    };
+    seq.expect_end()?;
+    Ok(BasicConstraints { is_ca, path_len })
+}
+
+fn decode_key_usage(value: &[u8]) -> Result<KeyUsage> {
+    let mut r = Reader::new(value);
+    let bits = r.read_bit_string()?;
+    r.expect_end()?;
+    let b0 = bits.first().copied().unwrap_or(0);
+    Ok(KeyUsage {
+        digital_signature: b0 & 0x80 != 0,
+        key_cert_sign: b0 & 0x04 != 0,
+    })
+}
+
+fn decode_san(value: &[u8]) -> Result<Vec<String>> {
+    let mut r = Reader::new(value);
+    let mut seq = r.read_sequence()?;
+    r.expect_end()?;
+    let mut names = Vec::new();
+    while !seq.is_empty() {
+        let (tag, content) = seq.read_any()?;
+        // Only dNSName ([2]) entries matter to the methodology; other
+        // GeneralName choices (IP, URI, ...) are skipped.
+        if tag == Tag::context_primitive(2) {
+            if !content.iter().all(|&b| b < 0x80) {
+                return Err(Error::InvalidContent("non-ASCII dNSName"));
+            }
+            names.push(
+                std::str::from_utf8(content)
+                    .expect("ASCII checked above")
+                    .to_owned(),
+            );
+        }
+    }
+    if names.len() > 10_000 {
+        return Err(Error::Oversized);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ext: &Extensions) -> Extensions {
+        let mut w = Writer::new();
+        ext.encode(&mut w);
+        let der = w.finish();
+        let mut r = Reader::new(&der);
+        let content = r.read_expected(Tag::context_constructed(3)).unwrap();
+        Extensions::decode(content).unwrap()
+    }
+
+    #[test]
+    fn san_roundtrip() {
+        let ext = Extensions {
+            subject_alt_names: vec![
+                "*.google.com".into(),
+                "*.googlevideo.com".into(),
+                "google.com".into(),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn ca_constraints_roundtrip() {
+        let ext = Extensions {
+            basic_constraints: Some(BasicConstraints {
+                is_ca: true,
+                path_len: Some(1),
+            }),
+            key_usage: Some(KeyUsage {
+                digital_signature: false,
+                key_cert_sign: true,
+            }),
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn empty_extensions_encode_nothing() {
+        let mut w = Writer::new();
+        Extensions::default().encode(&mut w);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn unknown_critical_extension_rejected() {
+        // Hand-build an extension list with an unknown critical OID.
+        let mut w = Writer::new();
+        w.write_constructed(Tag::SEQUENCE, |w| {
+            w.write_constructed(Tag::SEQUENCE, |w| {
+                w.write_oid(&asn1::Oid::from_arcs(&[1, 2, 3, 4]).unwrap());
+                w.write_boolean(true);
+                w.write_octet_string(&[0x05, 0x00]);
+            });
+        });
+        let der = w.finish();
+        assert!(Extensions::decode(&der).is_err());
+    }
+
+    #[test]
+    fn unknown_noncritical_extension_skipped() {
+        let mut w = Writer::new();
+        w.write_constructed(Tag::SEQUENCE, |w| {
+            w.write_constructed(Tag::SEQUENCE, |w| {
+                w.write_oid(&asn1::Oid::from_arcs(&[1, 2, 3, 4]).unwrap());
+                w.write_octet_string(&[0x05, 0x00]);
+            });
+        });
+        let der = w.finish();
+        let ext = Extensions::decode(&der).unwrap();
+        assert_eq!(ext, Extensions::default());
+    }
+
+    #[test]
+    fn default_basic_constraints_is_end_entity() {
+        let bc = BasicConstraints::default();
+        assert!(!bc.is_ca);
+        assert_eq!(bc.path_len, None);
+    }
+}

@@ -1,0 +1,236 @@
+use asn1::{oids, Error, Oid, Reader, Result, Tag, Writer};
+
+/// An X.501 distinguished name: an ordered list of single-attribute RDNs.
+///
+/// Only the attributes the paper's methodology touches are modelled:
+/// commonName, organizationName, and countryName. Unknown attribute types
+/// are preserved opaquely so round-trips are lossless for them too.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DistinguishedName {
+    attrs: Vec<(Oid, String)>,
+}
+
+impl DistinguishedName {
+    pub fn attributes(&self) -> &[(Oid, String)] {
+        &self.attrs
+    }
+
+    fn first(&self, oid: &Oid) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(o, _)| o == oid)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The commonName attribute, if present.
+    pub fn common_name(&self) -> Option<&str> {
+        self.first(&oids::common_name())
+    }
+
+    /// The organizationName attribute, if present. This is the field §4.2
+    /// searches (case-insensitively) for Hypergiant names.
+    pub fn organization(&self) -> Option<&str> {
+        self.first(&oids::organization())
+    }
+
+    /// The countryName attribute, if present.
+    pub fn country(&self) -> Option<&str> {
+        self.first(&oids::country())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Encode as a DER `Name` (SEQUENCE OF SET OF AttributeTypeAndValue).
+    pub fn encode(&self, w: &mut Writer) {
+        w.write_constructed(Tag::SEQUENCE, |w| {
+            for (oid, value) in &self.attrs {
+                w.write_constructed(Tag::SET, |w| {
+                    w.write_constructed(Tag::SEQUENCE, |w| {
+                        w.write_oid(oid);
+                        w.write_utf8_string(value);
+                    });
+                });
+            }
+        });
+    }
+
+    /// Decode from a DER `Name`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let mut seq = r.read_sequence()?;
+        let mut attrs = Vec::new();
+        while !seq.is_empty() {
+            let mut set = seq.read_set()?;
+            let mut atv = set.read_sequence()?;
+            let oid = atv.read_oid()?;
+            let value = atv.read_directory_string()?.to_owned();
+            atv.expect_end()?;
+            set.expect_end()?;
+            attrs.push((oid, value));
+        }
+        if attrs.len() > 32 {
+            return Err(Error::Oversized);
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Render as a one-line RFC 4514-style string, e.g. `C=US, O=Google LLC,
+    /// CN=*.google.com`.
+    pub fn display_string(&self) -> String {
+        let mut parts = Vec::with_capacity(self.attrs.len());
+        for (oid, value) in &self.attrs {
+            let label = if *oid == oids::common_name() {
+                "CN".to_owned()
+            } else if *oid == oids::organization() {
+                "O".to_owned()
+            } else if *oid == oids::country() {
+                "C".to_owned()
+            } else {
+                oid.to_string()
+            };
+            parts.push(format!("{label}={value}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Fluent builder for [`DistinguishedName`].
+#[derive(Debug, Default)]
+pub struct NameBuilder {
+    attrs: Vec<(Oid, String)>,
+}
+
+impl NameBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn country(mut self, c: &str) -> Self {
+        self.attrs.push((oids::country(), c.to_owned()));
+        self
+    }
+
+    pub fn organization(mut self, o: &str) -> Self {
+        self.attrs.push((oids::organization(), o.to_owned()));
+        self
+    }
+
+    pub fn common_name(mut self, cn: &str) -> Self {
+        self.attrs.push((oids::common_name(), cn.to_owned()));
+        self
+    }
+
+    pub fn attribute(mut self, oid: Oid, value: &str) -> Self {
+        self.attrs.push((oid, value.to_owned()));
+        self
+    }
+
+    pub fn build(self) -> DistinguishedName {
+        DistinguishedName { attrs: self.attrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistinguishedName {
+        NameBuilder::new()
+            .country("US")
+            .organization("Google LLC")
+            .common_name("*.google.com")
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let n = sample();
+        assert_eq!(n.country(), Some("US"));
+        assert_eq!(n.organization(), Some("Google LLC"));
+        assert_eq!(n.common_name(), Some("*.google.com"));
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let n = sample();
+        let mut w = Writer::new();
+        n.encode(&mut w);
+        let der = w.finish();
+        let mut r = Reader::new(&der);
+        let decoded = DistinguishedName::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(decoded, n);
+    }
+
+    #[test]
+    fn display_string() {
+        assert_eq!(
+            sample().display_string(),
+            "C=US, O=Google LLC, CN=*.google.com"
+        );
+    }
+
+    #[test]
+    fn empty_name_roundtrip() {
+        let n = DistinguishedName::default();
+        let mut w = Writer::new();
+        n.encode(&mut w);
+        let der = w.finish();
+        assert_eq!(der, vec![0x30, 0x00]);
+        let mut r = Reader::new(&der);
+        assert!(DistinguishedName::decode(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_attrs_are_none() {
+        let n = NameBuilder::new().common_name("x").build();
+        assert_eq!(n.organization(), None);
+        assert_eq!(n.country(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asn1::{Reader, Writer};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_names_roundtrip(
+            org in "[a-zA-Z0-9 .,'()-]{0,40}",
+            cn in "[a-zA-Z0-9 .*-]{0,40}",
+            country in "[A-Z]{2}"
+        ) {
+            let name = NameBuilder::new()
+                .country(&country)
+                .organization(&org)
+                .common_name(&cn)
+                .build();
+            let mut w = Writer::new();
+            name.encode(&mut w);
+            let der = w.finish();
+            let mut r = Reader::new(&der);
+            let decoded = DistinguishedName::decode(&mut r).unwrap();
+            prop_assert_eq!(decoded, name);
+        }
+
+        #[test]
+        fn unicode_attribute_values_roundtrip(value in "\\PC{0,30}") {
+            let name = NameBuilder::new().organization(&value).build();
+            let mut w = Writer::new();
+            name.encode(&mut w);
+            let der = w.finish();
+            let mut r = Reader::new(&der);
+            let decoded = DistinguishedName::decode(&mut r).unwrap();
+            prop_assert_eq!(decoded.organization(), Some(value.as_str()));
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut r = Reader::new(&bytes);
+            let _ = DistinguishedName::decode(&mut r);
+        }
+    }
+}

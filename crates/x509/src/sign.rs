@@ -1,0 +1,102 @@
+use sha2sim::{hmac_sha256, Sha256};
+
+/// The simulated public key: 32 opaque octets placed in the certificate's
+/// SubjectPublicKeyInfo BIT STRING.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A SimSig signature value (HMAC-SHA-256 output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 32]);
+
+/// A SimSig key pair.
+///
+/// SimSig is the simulation's stand-in for RSA/ECDSA: `sign(m)` is
+/// `HMAC-SHA-256(public_key_octets, m)`. This is *not* a secure signature
+/// scheme (anyone who knows the public key can produce signatures); the
+/// simulation does not model active forgers — impostor certificates are
+/// modelled as chains that terminate outside the trusted root store, which
+/// is exactly how §4.1 filters them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derive a key pair deterministically from a seed label (e.g.
+    /// `"root:SimTrust Root CA 1"`).
+    pub fn from_seed(seed: &str) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"simsig-keygen-v1:");
+        h.update(seed.as_bytes());
+        Self {
+            public: PublicKey(h.finalize()),
+        }
+    }
+
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.public.0, message))
+    }
+}
+
+impl PublicKey {
+    /// Verify a SimSig signature allegedly produced by this key's holder.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        hmac_sha256(&self.0, message) == signature.0
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 32] = bytes.try_into().ok()?;
+        Some(Self(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed("root:test");
+        let sig = kp.sign(b"hello");
+        assert!(kp.public_key().verify(b"hello", &sig));
+        assert!(!kp.public_key().verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        assert_ne!(
+            KeyPair::from_seed("a").public_key(),
+            KeyPair::from_seed("b").public_key()
+        );
+    }
+
+    #[test]
+    fn deterministic_keygen() {
+        assert_eq!(
+            KeyPair::from_seed("x").public_key(),
+            KeyPair::from_seed("x").public_key()
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let a = KeyPair::from_seed("a");
+        let b = KeyPair::from_seed("b");
+        let sig = a.sign(b"msg");
+        assert!(!b.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn public_key_from_bytes() {
+        let kp = KeyPair::from_seed("k");
+        let bytes = kp.public_key().0;
+        assert_eq!(PublicKey::from_bytes(&bytes), Some(kp.public_key()));
+        assert_eq!(PublicKey::from_bytes(&bytes[..31]), None);
+    }
+}

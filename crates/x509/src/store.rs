@@ -1,0 +1,104 @@
+use crate::{Certificate, DistinguishedName, Fingerprint, PublicKey};
+use std::collections::HashMap;
+
+/// A trusted root store — the simulation's Common CA Database (§4.1).
+///
+/// Lookup is by subject name; a matching entry's public key anchors chain
+/// verification.
+#[derive(Debug, Clone, Default)]
+pub struct RootStore {
+    by_subject: HashMap<DistinguishedName, PublicKey>,
+    fingerprints: HashMap<Fingerprint, ()>,
+}
+
+impl RootStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trusted root. Only self-issued CA certificates whose signature
+    /// self-verifies are accepted; anything else is rejected with `false`.
+    pub fn add_root(&mut self, cert: &Certificate) -> bool {
+        if !cert.is_ca() || !cert.is_self_issued() || !cert.verify_signature(&cert.public_key()) {
+            return false;
+        }
+        self.by_subject
+            .insert(cert.subject().clone(), cert.public_key());
+        self.fingerprints.insert(cert.fingerprint(), ());
+        true
+    }
+
+    /// Look up the trusted key for a subject name.
+    pub fn trusted_key_for(&self, subject: &DistinguishedName) -> Option<&PublicKey> {
+        self.by_subject.get(subject)
+    }
+
+    /// Whether the exact certificate is a trust anchor.
+    pub fn contains(&self, cert: &Certificate) -> bool {
+        self.fingerprints.contains_key(&cert.fingerprint())
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_subject.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_subject.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CertificateBuilder, KeyPair, NameBuilder};
+
+    fn root() -> (Certificate, KeyPair) {
+        let key = KeyPair::from_seed("root-store-test");
+        let cert = CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name("Root").build())
+            .ca(None)
+            .subject_key(&key)
+            .self_signed(&key);
+        (cert, key)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (cert, key) = root();
+        let mut store = RootStore::new();
+        assert!(store.add_root(&cert));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.trusted_key_for(cert.subject()),
+            Some(&key.public_key())
+        );
+        assert!(store.contains(&cert));
+    }
+
+    #[test]
+    fn rejects_non_ca_roots() {
+        let key = KeyPair::from_seed("ee");
+        let ee = CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name("EE").build())
+            .end_entity()
+            .subject_key(&key)
+            .self_signed(&key);
+        let mut store = RootStore::new();
+        assert!(!store.add_root(&ee));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn rejects_cross_signed_cert_as_root() {
+        let root_key = KeyPair::from_seed("r");
+        let root_name = NameBuilder::new().common_name("R").build();
+        let inter_key = KeyPair::from_seed("i");
+        let inter = CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name("I").build())
+            .ca(None)
+            .subject_key(&inter_key)
+            .issued_by(&root_name, &root_key);
+        let mut store = RootStore::new();
+        assert!(!store.add_root(&inter));
+    }
+}

@@ -1,0 +1,351 @@
+use crate::{Certificate, RootStore};
+use timebase::Timestamp;
+
+/// Why a presented chain was rejected (§4.1's filters, made explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainError {
+    /// No certificates were presented.
+    Empty,
+    /// The end-entity certificate was expired at observation time.
+    Expired,
+    /// The end-entity certificate was not yet valid at observation time.
+    NotYetValid,
+    /// The end-entity certificate is self-signed (issuer == subject and the
+    /// signature verifies under its own key) — discarded per §4.1 because
+    /// anyone can mint one that mimics a Hypergiant certificate.
+    SelfSignedEndEntity,
+    /// An intermediate was expired at observation time.
+    IntermediateExpired,
+    /// An intermediate lacks the CA basicConstraints bit.
+    IntermediateNotCa,
+    /// A signature in the chain failed to verify.
+    BadSignature,
+    /// The chain does not terminate at a trusted root.
+    UntrustedRoot,
+    /// The chain is longer than this implementation permits.
+    TooLong,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ChainError::Empty => "empty chain",
+            ChainError::Expired => "end-entity certificate expired",
+            ChainError::NotYetValid => "end-entity certificate not yet valid",
+            ChainError::SelfSignedEndEntity => "self-signed end-entity certificate",
+            ChainError::IntermediateExpired => "intermediate certificate expired",
+            ChainError::IntermediateNotCa => "intermediate is not a CA",
+            ChainError::BadSignature => "signature verification failed",
+            ChainError::UntrustedRoot => "chain does not reach a trusted root",
+            ChainError::TooLong => "chain too long",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A successfully verified chain.
+#[derive(Debug, Clone)]
+pub struct VerifiedChain<'a> {
+    /// The end-entity certificate.
+    pub end_entity: &'a Certificate,
+    /// Number of certificates participating in the verified path, including
+    /// the end entity but excluding the root-store anchor when the chain
+    /// ends with an omitted root.
+    pub path_len: usize,
+}
+
+const MAX_CHAIN: usize = 8;
+
+/// Verify a presented certificate chain against `roots` at time `at`.
+///
+/// `chain[0]` must be the end-entity certificate; each following certificate
+/// must certify the one before it. The final certificate may either be a
+/// trusted root itself or be issued by a subject present in the root store
+/// (servers commonly omit the root).
+///
+/// This implements the §4.1 policy: expired certificates (EE or
+/// intermediate) are rejected based on the scan-time `at`, self-signed end
+/// entities are rejected, and the chain must anchor in the WebPKI store.
+pub fn verify_chain<'a>(
+    chain: &'a [Certificate],
+    roots: &RootStore,
+    at: Timestamp,
+) -> Result<VerifiedChain<'a>, ChainError> {
+    let ee = chain.first().ok_or(ChainError::Empty)?;
+    if chain.len() > MAX_CHAIN {
+        return Err(ChainError::TooLong);
+    }
+    if at < ee.validity().not_before {
+        return Err(ChainError::NotYetValid);
+    }
+    if at > ee.validity().not_after {
+        return Err(ChainError::Expired);
+    }
+    if ee.is_self_issued() && ee.verify_signature(&ee.public_key()) {
+        // A trusted self-signed EE would still be suspicious; §4.1 drops all
+        // of them outright.
+        return Err(ChainError::SelfSignedEndEntity);
+    }
+
+    // Walk up: each certificate must be signed by the next one.
+    for i in 0..chain.len() {
+        let cert = &chain[i];
+        if i > 0 {
+            // Intermediates (and the presented root) must be CAs and valid.
+            if !cert.is_ca() {
+                return Err(ChainError::IntermediateNotCa);
+            }
+            if !cert.validity().contains(at) {
+                return Err(ChainError::IntermediateExpired);
+            }
+        }
+        match chain.get(i + 1) {
+            Some(issuer) => {
+                if !cert.verify_signature(&issuer.public_key()) {
+                    return Err(ChainError::BadSignature);
+                }
+            }
+            None => {
+                // Last presented certificate: either it is itself a trusted
+                // root, or its issuer must be in the store.
+                if cert.is_self_issued() {
+                    if !roots.contains(cert) {
+                        return Err(ChainError::UntrustedRoot);
+                    }
+                    if !cert.verify_signature(&cert.public_key()) {
+                        return Err(ChainError::BadSignature);
+                    }
+                } else {
+                    let anchor = roots
+                        .trusted_key_for(cert.issuer())
+                        .ok_or(ChainError::UntrustedRoot)?;
+                    if !cert.verify_signature(anchor) {
+                        return Err(ChainError::BadSignature);
+                    }
+                }
+            }
+        }
+    }
+    Ok(VerifiedChain {
+        end_entity: ee,
+        path_len: chain.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CertificateBuilder, DistinguishedName, KeyPair, NameBuilder};
+
+    struct Pki {
+        roots: RootStore,
+        root_name: DistinguishedName,
+        root_key: KeyPair,
+        inter: Certificate,
+        inter_name: DistinguishedName,
+        inter_key: KeyPair,
+    }
+
+    fn t(y: i32, m: u8) -> Timestamp {
+        Timestamp::from_civil(y, m, 1, 0, 0, 0)
+    }
+
+    fn pki() -> Pki {
+        let root_key = KeyPair::from_seed("verify-root");
+        let root_name = NameBuilder::new().common_name("SimTrust Root").build();
+        let root = CertificateBuilder::new()
+            .subject(root_name.clone())
+            .validity(t(2000, 1), t(2049, 1))
+            .ca(Some(2))
+            .subject_key(&root_key)
+            .self_signed(&root_key);
+        let inter_key = KeyPair::from_seed("verify-inter");
+        let inter_name = NameBuilder::new().common_name("SimTrust CA 1").build();
+        let inter = CertificateBuilder::new()
+            .serial(2)
+            .subject(inter_name.clone())
+            .validity(t(2010, 1), t(2040, 1))
+            .ca(Some(0))
+            .subject_key(&inter_key)
+            .issued_by(&root_name, &root_key);
+        let mut roots = RootStore::new();
+        assert!(roots.add_root(&root));
+        Pki {
+            roots,
+            root_name,
+            root_key,
+            inter,
+            inter_name,
+            inter_key,
+        }
+    }
+
+    fn ee(p: &Pki, nb: Timestamp, na: Timestamp) -> Certificate {
+        CertificateBuilder::new()
+            .serial(77)
+            .subject(NameBuilder::new().organization("Google LLC").build())
+            .dns_names(["*.google.com"])
+            .validity(nb, na)
+            .end_entity()
+            .subject_key(&KeyPair::from_seed("verify-ee"))
+            .issued_by(&p.inter_name, &p.inter_key)
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let p = pki();
+        let leaf = ee(&p, t(2019, 1), t(2020, 1));
+        let chain = vec![leaf, p.inter.clone()];
+        let v = verify_chain(&chain, &p.roots, t(2019, 6)).unwrap();
+        assert_eq!(v.path_len, 2);
+        assert_eq!(v.end_entity.subject().organization(), Some("Google LLC"));
+    }
+
+    #[test]
+    fn expired_rejected() {
+        let p = pki();
+        let leaf = ee(&p, t(2015, 1), t(2016, 1));
+        let chain = vec![leaf, p.inter.clone()];
+        assert_eq!(
+            verify_chain(&chain, &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::Expired
+        );
+    }
+
+    #[test]
+    fn not_yet_valid_rejected() {
+        let p = pki();
+        let leaf = ee(&p, t(2030, 1), t(2031, 1));
+        let chain = vec![leaf, p.inter.clone()];
+        assert_eq!(
+            verify_chain(&chain, &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::NotYetValid
+        );
+    }
+
+    #[test]
+    fn self_signed_ee_rejected() {
+        let p = pki();
+        let key = KeyPair::from_seed("imposter");
+        // An imposter self-signs a cert that *claims* to be Google.
+        let fake = CertificateBuilder::new()
+            .subject(NameBuilder::new().organization("Google LLC").build())
+            .dns_names(["*.google.com"])
+            .validity(t(2019, 1), t(2020, 1))
+            .end_entity()
+            .subject_key(&key)
+            .self_signed(&key);
+        assert_eq!(
+            verify_chain(&[fake], &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::SelfSignedEndEntity
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let p = pki();
+        let rogue_key = KeyPair::from_seed("rogue-ca");
+        let rogue_name = NameBuilder::new().common_name("Rogue CA").build();
+        let leaf = CertificateBuilder::new()
+            .subject(NameBuilder::new().organization("Google LLC").build())
+            .validity(t(2019, 1), t(2020, 1))
+            .end_entity()
+            .subject_key(&KeyPair::from_seed("x"))
+            .issued_by(&rogue_name, &rogue_key);
+        assert_eq!(
+            verify_chain(&[leaf], &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::UntrustedRoot
+        );
+    }
+
+    #[test]
+    fn chain_with_presented_root_passes() {
+        let p = pki();
+        let root = CertificateBuilder::new()
+            .subject(p.root_name.clone())
+            .validity(t(2000, 1), t(2049, 1))
+            .ca(Some(2))
+            .subject_key(&p.root_key)
+            .self_signed(&p.root_key);
+        let leaf = ee(&p, t(2019, 1), t(2020, 1));
+        let chain = vec![leaf, p.inter.clone(), root];
+        assert!(verify_chain(&chain, &p.roots, t(2019, 6)).is_ok());
+    }
+
+    #[test]
+    fn non_ca_intermediate_rejected() {
+        let p = pki();
+        // Build a "chain" where the leaf claims issuance from another EE.
+        let middle_key = KeyPair::from_seed("middle-ee");
+        let middle_name = NameBuilder::new().common_name("NotACA").build();
+        let middle = CertificateBuilder::new()
+            .subject(middle_name.clone())
+            .validity(t(2010, 1), t(2040, 1))
+            .end_entity()
+            .subject_key(&middle_key)
+            .issued_by(&p.inter_name, &p.inter_key);
+        let leaf = CertificateBuilder::new()
+            .subject(NameBuilder::new().organization("Evil").build())
+            .validity(t(2019, 1), t(2020, 1))
+            .end_entity()
+            .subject_key(&KeyPair::from_seed("leaf"))
+            .issued_by(&middle_name, &middle_key);
+        let chain = vec![leaf, middle, p.inter.clone()];
+        assert_eq!(
+            verify_chain(&chain, &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::IntermediateNotCa
+        );
+    }
+
+    #[test]
+    fn wrong_signature_rejected() {
+        let p = pki();
+        // Leaf claims p.inter as issuer but is signed by someone else.
+        let leaf = CertificateBuilder::new()
+            .subject(NameBuilder::new().organization("Google LLC").build())
+            .validity(t(2019, 1), t(2020, 1))
+            .end_entity()
+            .subject_key(&KeyPair::from_seed("leaf2"))
+            .issued_by(&p.inter_name, &KeyPair::from_seed("not-the-inter-key"));
+        let chain = vec![leaf, p.inter.clone()];
+        assert_eq!(
+            verify_chain(&chain, &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::BadSignature
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let p = pki();
+        assert_eq!(
+            verify_chain(&[], &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::Empty
+        );
+    }
+
+    #[test]
+    fn expired_intermediate_rejected() {
+        let p = pki();
+        let inter_key = KeyPair::from_seed("short-inter");
+        let inter_name = NameBuilder::new().common_name("ShortLived CA").build();
+        let inter = CertificateBuilder::new()
+            .subject(inter_name.clone())
+            .validity(t(2015, 1), t(2016, 1))
+            .ca(None)
+            .subject_key(&inter_key)
+            .issued_by(&p.root_name, &p.root_key);
+        let leaf = CertificateBuilder::new()
+            .subject(NameBuilder::new().organization("Google LLC").build())
+            .validity(t(2019, 1), t(2020, 1))
+            .end_entity()
+            .subject_key(&KeyPair::from_seed("leaf3"))
+            .issued_by(&inter_name, &inter_key);
+        let chain = vec![leaf, inter];
+        assert_eq!(
+            verify_chain(&chain, &p.roots, t(2019, 6)).unwrap_err(),
+            ChainError::IntermediateExpired
+        );
+    }
+}

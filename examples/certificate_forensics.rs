@@ -1,0 +1,92 @@
+//! Working with the PKI substrate directly: build chains, serve them over
+//! the simulated TLS layer, fetch them back off the wire, and watch each
+//! §4.1 validation filter fire.
+//!
+//! Run with:
+//!   cargo run --release -p offnet-bench --example certificate_forensics
+
+use bytes::Bytes;
+use hgsim::HgPki;
+use std::sync::Arc;
+use timebase::Timestamp;
+use tlssim::{ServerConfig, TlsClient, TlsEndpoint};
+use x509::{verify_chain, Certificate};
+
+fn ts(y: i32, m: u8) -> Timestamp {
+    Timestamp::from_civil(y, m, 1, 0, 0, 0)
+}
+
+fn show(label: &str, chain: &[Bytes], pki: &HgPki, at: Timestamp) {
+    let parsed: Result<Vec<Certificate>, _> = chain.iter().map(|d| Certificate::parse(d)).collect();
+    match parsed {
+        Ok(certs) => {
+            let leaf = &certs[0];
+            println!("--- {label} ---");
+            println!("  subject : {}", leaf.subject().display_string());
+            println!("  issuer  : {}", leaf.issuer().display_string());
+            println!(
+                "  validity: {} .. {}",
+                leaf.validity().not_before,
+                leaf.validity().not_after
+            );
+            println!("  dNSNames: {:?}", leaf.dns_names());
+            println!("  sha256  : {}", leaf.fingerprint());
+            match verify_chain(&certs, pki.root_store(), at) {
+                Ok(v) => println!("  verdict : VALID (path length {})", v.path_len),
+                Err(e) => println!("  verdict : REJECTED - {e}"),
+            }
+        }
+        Err(e) => println!("--- {label} ---\n  unparseable: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let pki = HgPki::new(7);
+    let at = ts(2019, 11);
+    let sans = vec![
+        "*.google.com".to_owned(),
+        "google.com".to_owned(),
+        "*.googlevideo.com".to_owned(),
+    ];
+
+    // A proper chain, as a Google off-net would serve it.
+    let good = pki.issue_chain("demo", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12), 0);
+    show("well-formed Hypergiant chain", &good, &pki, at);
+
+    // The §4.1 rejects, one by one.
+    let expired = pki.issue_chain("demo-exp", Some("Netflix, Inc."), "v", &sans, ts(2016, 4), ts(2017, 4), 1);
+    show("expired (the Netflix 2017-2019 default)", &expired, &pki, at);
+
+    let selfsigned = pki.issue_self_signed("demo-ss", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12));
+    show("self-signed imposter claiming Google", &selfsigned, &pki, at);
+
+    let untrusted =
+        pki.issue_untrusted_chain("demo-rogue", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12));
+    show("chain from an untrusted CA", &untrusted, &pki, at);
+
+    // A corrupted wire image: flip one byte in the TBS.
+    let mut corrupted = good[0].to_vec();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x20;
+    let chain = vec![Bytes::from(corrupted), good[1].clone()];
+    show("bit-flipped certificate", &chain, &pki, at);
+
+    // Fetch a chain over the simulated wire, with and without SNI.
+    println!("--- wire fetch with SNI semantics ---");
+    let cfg = ServerConfig {
+        mode: tlssim::ServerMode::Https,
+        default_chain: None, // null default certificate (§8 hide-and-seek)
+        sni_chains: vec![("*.google.com".into(), Arc::new(good.clone()))],
+    };
+    let endpoint = TlsEndpoint::new(cfg);
+    let client = TlsClient::new([9u8; 32]);
+    let no_sni = client.fetch_chain(&endpoint, None).expect("handshake");
+    println!("  without SNI: {} certificates (null default)", no_sni.len());
+    let with_sni = client
+        .fetch_chain(&endpoint, Some("www.google.com"))
+        .expect("handshake");
+    println!("  with SNI www.google.com: {} certificates", with_sni.len());
+    let leaf = Certificate::parse(&with_sni[0]).expect("parse");
+    println!("  served subject: {}", leaf.subject().display_string());
+}

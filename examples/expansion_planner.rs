@@ -1,0 +1,84 @@
+//! The §6.5 what-if analysis, generalized: given a Hypergiant's current
+//! footprint, greedily pick the few additional host ASes that raise its
+//! user-population coverage the most ("Facebook could significantly
+//! increase coverage in the US from 33.9% to 61.8% by deploying off-net
+//! servers in only 5 ASes").
+//!
+//! Run with:
+//!   cargo run --release -p offnet-bench --example expansion_planner [hg] [k]
+
+use hgsim::{HgWorld, ScenarioConfig, ALL_HGS};
+use netsim::AsId;
+use offnet_core::{run_study, StudyConfig};
+use scanner::ScanEngine;
+use std::collections::BTreeSet;
+
+fn main() {
+    let keyword = std::env::args().nth(1).unwrap_or_else(|| "facebook".into());
+    let k: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("k must be an integer"))
+        .unwrap_or(5);
+    let hg = ALL_HGS
+        .into_iter()
+        .find(|h| h.spec().keyword == keyword.to_ascii_lowercase())
+        .expect("known hypergiant keyword");
+
+    println!("generating world and inferring {hg}'s 2021-04 footprint...");
+    let world = HgWorld::generate(ScenarioConfig::small());
+    let study = run_study(&world, &ScanEngine::rapid7(), &StudyConfig::default());
+    let t = 30;
+    let hosting: BTreeSet<AsId> = study.confirmed_at(hg, t).clone();
+
+    let baseline = worldwide(&world, &hosting, t);
+    println!(
+        "current footprint: {} ASes, worldwide coverage {:.1}%",
+        hosting.len(),
+        100.0 * baseline
+    );
+
+    // Greedy selection over the APNIC-measured eyeball ASes.
+    let snap = world.population().apnic_snapshot(t, world.config().seed);
+    let mut chosen = hosting.clone();
+    let mut current = baseline;
+    println!("\ngreedy expansion (top {k} additions):");
+    for step in 1..=k {
+        let mut best: Option<(AsId, f64)> = None;
+        for (asn, _, _) in snap.iter() {
+            if chosen.contains(&asn) || !world.topology().alive_at(asn, t) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.insert(asn);
+            let cov = worldwide(&world, &trial, t);
+            if best.map(|(_, b)| cov > b).unwrap_or(true) {
+                best = Some((asn, cov));
+            }
+        }
+        let Some((asn, cov)) = best else { break };
+        let gain = cov - current;
+        let country = world
+            .population()
+            .country_of(asn)
+            .map(|c| world.topology().world().country(c).code.clone())
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "  {step}. add {asn} ({country}, share {:.1}%): worldwide {:.1}% (+{:.2} pts)",
+            100.0 * snap.share(asn),
+            100.0 * cov,
+            100.0 * gain
+        );
+        chosen.insert(asn);
+        current = cov;
+    }
+    println!(
+        "\n{k} additions raise coverage {:.1}% -> {:.1}%",
+        100.0 * baseline,
+        100.0 * current
+    );
+}
+
+fn worldwide(world: &HgWorld, hosting: &BTreeSet<AsId>, t: usize) -> f64 {
+    let cov = analysis::coverage_by_country(world, hosting, t);
+    analysis::worldwide_coverage(&cov)
+}

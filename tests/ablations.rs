@@ -1,0 +1,116 @@
+//! Ablation integration tests: disabling each methodology filter must
+//! reproduce the failure mode the paper designed it against.
+
+use hgsim::{Hg, HgWorld, ScenarioConfig};
+use offnet_core::candidates::CandidateOptions;
+use offnet_core::study::learn_reference_fingerprints;
+use offnet_core::{process_snapshot, PipelineContext, SnapshotResult};
+use scanner::{observe_snapshot, ScanEngine, SnapshotObservations};
+use std::sync::OnceLock;
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+fn obs() -> &'static SnapshotObservations {
+    static O: OnceLock<SnapshotObservations> = OnceLock::new();
+    O.get_or_init(|| observe_snapshot(world(), &ScanEngine::rapid7(), 30).unwrap())
+}
+
+fn run_with(options: CandidateOptions) -> SnapshotResult {
+    static FPS: OnceLock<offnet_core::HeaderFingerprints> = OnceLock::new();
+    let fps = FPS
+        .get_or_init(|| learn_reference_fingerprints(world(), &ScanEngine::rapid7(), 28))
+        .clone();
+    let mut ctx = PipelineContext::new(world().pki().root_store().clone(), world().org_db(), fps);
+    ctx.candidate_options = options;
+    process_snapshot(obs(), &ctx)
+}
+
+#[test]
+fn san_subset_rule_guards_against_org_spoofing() {
+    let strict = run_with(CandidateOptions::default());
+    let naive = run_with(CandidateOptions {
+        require_san_subset: false,
+        cloudflare_filter: true,
+    });
+    // Without the rule, joint-venture certificates and keyword-bait orgs
+    // leak into the footprints.
+    let s = strict.per_hg[&Hg::Google].candidate_ases.len();
+    let n = naive.per_hg[&Hg::Google].candidate_ases.len();
+    assert!(n > s, "naive {n} !> strict {s}");
+    // And the extra candidate ASes are wrong: they are not true hosts.
+    let truth = world().true_offnet_ases(Hg::Google, 30);
+    let extra_wrong = naive.per_hg[&Hg::Google]
+        .candidate_ases
+        .difference(&strict.per_hg[&Hg::Google].candidate_ases)
+        .filter(|a| !truth.contains(a))
+        .count();
+    assert!(extra_wrong > 0, "the extra candidates should be spurious");
+}
+
+#[test]
+fn cloudflare_filter_prunes_universal_ssl() {
+    let strict = run_with(CandidateOptions::default());
+    let unfiltered = run_with(CandidateOptions {
+        require_san_subset: true,
+        cloudflare_filter: false,
+    });
+    let s = strict.per_hg[&Hg::Cloudflare].candidate_ases.len();
+    let u = unfiltered.per_hg[&Hg::Cloudflare].candidate_ases.len();
+    // The filter removes the free universal-SSL customers but cannot catch
+    // paid dedicated certificates — Cloudflare's residual false positive.
+    assert!(u > s * 2, "filter too weak: {u} vs {s}");
+    assert!(s > 0, "paid-cert false positives should survive");
+    // No true Cloudflare off-nets exist at all.
+    assert!(world().true_offnet_ases(Hg::Cloudflare, 30).is_empty());
+}
+
+#[test]
+fn header_confirmation_kills_cert_only_footprints() {
+    let result = run_with(CandidateOptions::default());
+    for hg in [Hg::Apple, Hg::Twitter] {
+        let r = &result.per_hg[&hg];
+        assert!(
+            r.candidate_ases.len() >= 3,
+            "{hg}: candidates {}",
+            r.candidate_ases.len()
+        );
+        assert!(
+            r.confirmed_ases.len() * 3 <= r.candidate_ases.len(),
+            "{hg}: headers failed to prune {} -> {}",
+            r.candidate_ases.len(),
+            r.confirmed_ases.len()
+        );
+    }
+}
+
+#[test]
+fn ip2as_stability_filter_blocks_hijack_noise() {
+    let topo = world().topology();
+    let noisy = netsim::BgpNoiseConfig {
+        hijack_rate: 0.3,
+        moas_rate: 0.0,
+        flap_rate: 0.0,
+    };
+    let rib = netsim::MonthlyRib::build(topo, 30, &noisy, 99);
+    let filtered = netsim::IpToAsMap::build(&rib);
+    let unfiltered = netsim::IpToAsMap::build_with_threshold(&rib, 0.0);
+    // Count lookups that would return a wrong (hijacker) origin.
+    let mut wrong_f = 0usize;
+    let mut wrong_u = 0usize;
+    for a in topo.ases().iter().take(2000) {
+        let ip = a.prefixes[0].addr(1);
+        if filtered.lookup(ip).iter().any(|o| *o != a.id) {
+            wrong_f += 1;
+        }
+        if unfiltered.lookup(ip).iter().any(|o| *o != a.id) {
+            wrong_u += 1;
+        }
+    }
+    assert!(
+        wrong_u > wrong_f * 5,
+        "filter ineffective: {wrong_u} vs {wrong_f}"
+    );
+}

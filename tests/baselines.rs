@@ -1,0 +1,53 @@
+//! Prior-work baselines vs the certificate methodology: the paper's core
+//! claim is that DNS-vantage techniques lack coverage while the
+//! certificate approach is general and complete.
+
+use hgsim::{Hg, HgWorld, ScenarioConfig};
+use offnet_core::baselines::{recall_against_truth, vantage_point_baseline};
+use offnet_core::{run_study, StudyConfig};
+use scanner::ScanEngine;
+use std::sync::OnceLock;
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+#[test]
+fn certificate_method_beats_vantage_baseline() {
+    let w = world();
+    let study = run_study(w, &ScanEngine::rapid7(), &StudyConfig {
+        snapshots: (30, 30),
+        ..Default::default()
+    });
+    let cert_recall = {
+        let inferred = study.snapshots[0].per_hg[&Hg::Google].confirmed_ases.clone();
+        recall_against_truth(w, Hg::Google, 30, &inferred)
+    };
+    let vantage_recall = {
+        let discovered = vantage_point_baseline(w, Hg::Google, 30, 200);
+        recall_against_truth(w, Hg::Google, 30, &discovered)
+    };
+    assert!(cert_recall > 0.85, "cert recall {cert_recall}");
+    assert!(
+        cert_recall > vantage_recall + 0.2,
+        "certificates {cert_recall} vs vantage {vantage_recall}"
+    );
+}
+
+#[test]
+fn vantage_baseline_saturates_below_full_coverage() {
+    let w = world();
+    let r100 = recall_against_truth(
+        w, Hg::Netflix, 30,
+        &vantage_point_baseline(w, Hg::Netflix, 30, 100),
+    );
+    // 400 vantages is already ~17% of the small world's ASes — far denser
+    // than any real measurement platform — and coverage still falls short.
+    let r400 = recall_against_truth(
+        w, Hg::Netflix, 30,
+        &vantage_point_baseline(w, Hg::Netflix, 30, 400),
+    );
+    assert!(r400 >= r100);
+    assert!(r400 < 0.9, "even 400 vantages should not reach global coverage: {r400}");
+}

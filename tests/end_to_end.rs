@@ -1,0 +1,150 @@
+//! End-to-end integration: world generation → scans → inference →
+//! analyses, asserting the paper's qualitative findings hold across crate
+//! boundaries.
+
+use hgsim::{Hg, HgWorld, ScenarioConfig, TOP4};
+use offnet_core::{run_study, StudyConfig, StudySeries};
+use scanner::ScanEngine;
+use std::sync::OnceLock;
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+fn study() -> &'static StudySeries {
+    static S: OnceLock<StudySeries> = OnceLock::new();
+    S.get_or_init(|| run_study(world(), &ScanEngine::rapid7(), &StudyConfig::default()))
+}
+
+#[test]
+fn headline_finding_footprints_triple() {
+    // "the number of networks hosting Hypergiant off-nets has tripled from
+    // 2013 to 2021"
+    let first = &study().snapshots[0];
+    let last = &study().snapshots[30];
+    let union = |snap: &offnet_core::SnapshotResult| {
+        let mut set = std::collections::HashSet::new();
+        for hg in TOP4 {
+            set.extend(snap.per_hg[&hg].confirmed_ases.iter().copied());
+        }
+        set.len()
+    };
+    let (start, end) = (union(first), union(last));
+    let growth = end as f64 / start as f64;
+    assert!(
+        (2.0..5.0).contains(&growth),
+        "hosting ASes {start} -> {end} (x{growth:.2})"
+    );
+}
+
+#[test]
+fn top4_ordering_at_study_end() {
+    let series: Vec<(Hg, usize)> = TOP4
+        .iter()
+        .map(|hg| (*hg, study().confirmed_series(*hg)[30]))
+        .collect();
+    let google = series[0].1;
+    for (hg, n) in &series[1..] {
+        assert!(google > *n, "google {google} !> {hg} {n}");
+    }
+}
+
+#[test]
+fn survey_validation_bands() {
+    // §5: operators confirmed 89-95% of hosting ASes were found.
+    let metrics = analysis::survey_metrics(world(), &study().snapshots[30], 30);
+    for m in &metrics {
+        if TOP4.contains(&m.hg) {
+            assert!(
+                (0.80..=1.0).contains(&m.recall),
+                "{}: recall {}",
+                m.hg,
+                m.recall
+            );
+        }
+    }
+    // The Cloudflare false positive must be visible.
+    let cf = metrics
+        .iter()
+        .find(|m| m.hg == Hg::Cloudflare)
+        .expect("cloudflare row");
+    assert_eq!(cf.truth, 0);
+    assert!(cf.inferred > 0);
+}
+
+#[test]
+fn demographics_match_section_6_3() {
+    let internet = analysis::demographics::internet_category_shares(world(), 30);
+    // Internet: stub-dominated.
+    assert!(internet[0] > 0.7);
+    for hg in [Hg::Google, Hg::Netflix, Hg::Facebook] {
+        let fp = analysis::demographics::footprint_category_shares(study(), world(), hg, 30);
+        // Stub+Small+Medium carry most of the footprint...
+        assert!(fp[0] + fp[1] + fp[2] > 0.75, "{hg}: {fp:?}");
+        // ...but Large/XLarge are over-represented vs the Internet.
+        assert!(fp[3] + fp[4] > (internet[3] + internet[4]) * 2.0, "{hg}");
+    }
+}
+
+#[test]
+fn coverage_analyses_consistent() {
+    let hosting = study().confirmed_at(Hg::Google, 30);
+    let direct = analysis::coverage_by_country(world(), hosting, 30);
+    let cone = analysis::coverage_with_cone(world(), hosting, 30);
+    for (d, c) in direct.iter().zip(&cone) {
+        assert!(
+            c.fraction >= d.fraction - 1e-9,
+            "{}: cone {} < direct {}",
+            d.code,
+            c.fraction,
+            d.fraction
+        );
+    }
+    assert!(
+        analysis::worldwide_coverage(&cone) > analysis::worldwide_coverage(&direct)
+    );
+}
+
+#[test]
+fn netflix_envelope_reconstruction() {
+    let nf = &study().netflix;
+    // The three curves coincide outside the episode window...
+    assert_eq!(nf.initial[10], nf.with_expired[10]);
+    // ...and diverge inside it.
+    let mid = 18;
+    assert!(nf.with_expired[mid] > nf.initial[mid]);
+    assert!(nf.with_non_tls[mid] > nf.with_expired[mid]);
+    // After 2019-10 the initial curve recovers to the envelope.
+    assert!(nf.initial[26] as f64 > 0.9 * nf.with_expired[26] as f64);
+}
+
+#[test]
+fn no_footprint_hgs_absent_from_table3() {
+    let rows = analysis::table3(study());
+    for hg in [Hg::Hulu, Hg::Disney, Hg::Yahoo, Hg::Bamtech, Hg::Highwinds] {
+        let row = rows.iter().find(|r| r.hg == hg);
+        if let Some(row) = row {
+            assert_eq!(row.max_confirmed, 0, "{hg} should have no footprint");
+        }
+    }
+}
+
+#[test]
+fn censys_study_covers_supplemental_window_only() {
+    let cs = run_study(
+        world(),
+        &ScanEngine::censys(),
+        &StudyConfig {
+            snapshots: (0, 30),
+            ..Default::default()
+        },
+    );
+    assert_eq!(cs.snapshots.len(), 7, "Censys corpus is 2019-10..2021-04");
+    assert_eq!(cs.snapshots[0].snapshot_idx, 24);
+    // At overlapping snapshots both engines infer similar Google counts.
+    let r7_google = study().confirmed_series(Hg::Google)[24];
+    let cs_google = cs.snapshots[0].per_hg[&Hg::Google].confirmed_ases.len();
+    let ratio = cs_google as f64 / r7_google as f64;
+    assert!((0.85..1.2).contains(&ratio), "r7 {r7_google} cs {cs_google}");
+}

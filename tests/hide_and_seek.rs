@@ -1,0 +1,69 @@
+//! §8 "hide-and-seek": each countermeasure a Hypergiant could deploy
+//! degrades the methodology exactly the way the paper predicts.
+
+use hgsim::{Countermeasure, Hg, HgWorld, ScenarioConfig};
+use offnet_core::study::learn_reference_fingerprints;
+use offnet_core::{process_snapshot, PipelineContext};
+use scanner::{observe_snapshot, ScanEngine};
+
+fn footprints(cm: Option<Countermeasure>) -> (usize, usize) {
+    let mut config = ScenarioConfig::small();
+    if let Some(cm) = cm {
+        config = config.with_countermeasure(Hg::Google, cm);
+    }
+    let world = HgWorld::generate(config);
+    let engine = ScanEngine::rapid7();
+    let fps = learn_reference_fingerprints(&world, &engine, 28);
+    let ctx = PipelineContext::new(world.pki().root_store().clone(), world.org_db(), fps);
+    let obs = observe_snapshot(&world, &engine, 30).unwrap();
+    let result = process_snapshot(&obs, &ctx);
+    let google = &result.per_hg[&Hg::Google];
+    (google.candidate_ases.len(), google.confirmed_ases.len())
+}
+
+#[test]
+fn baseline_visibility() {
+    let (candidates, confirmed) = footprints(None);
+    assert!(candidates > 100, "baseline candidates {candidates}");
+    assert!(confirmed > 100, "baseline confirmed {confirmed}");
+}
+
+#[test]
+fn null_default_cert_hides_offnets() {
+    // §8 approach 1: "the default certificate should not disclose
+    // information ... these changes would make existing datasets less
+    // suitable to our methodology".
+    let (candidates, confirmed) = footprints(Some(Countermeasure::NullDefaultCert));
+    assert!(candidates < 5, "null-default left {candidates} candidates");
+    assert!(confirmed < 5);
+}
+
+#[test]
+fn stripping_organization_blinds_fingerprinting() {
+    // §8 approach 3: without the Organization entry, §4.2 cannot identify
+    // the HG's certificates at all.
+    let (candidates, confirmed) = footprints(Some(Countermeasure::StripOrganization));
+    assert_eq!(candidates, 0, "org-stripped certs must not match");
+    assert_eq!(confirmed, 0);
+}
+
+#[test]
+fn unique_domains_defeat_san_subset_rule() {
+    // §8 approach 3b: per-deployment domains are never served on-net, so
+    // the §4.3 subset rule (correctly) rejects every off-net certificate.
+    let (candidates, confirmed) = footprints(Some(Countermeasure::UniqueDomains));
+    assert!(candidates < 5, "unique-domain certs left {candidates}");
+    assert!(confirmed < 5);
+}
+
+#[test]
+fn anonymized_headers_blind_confirmation_only() {
+    // §8 approach 4: headers are stripped, so §4.5 confirms nothing — but
+    // the certificate footprint remains fully visible.
+    let (candidates, confirmed) = footprints(Some(Countermeasure::AnonymizeHeaders));
+    assert!(candidates > 100, "certificates still reveal: {candidates}");
+    assert!(
+        confirmed < candidates / 10,
+        "header anonymization should break confirmation: {confirmed} of {candidates}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate wire-format integration: certificates built by `hgsim`
+//! survive TLS framing, scanning, re-parsing, and re-encoding byte-for-byte.
+
+use hgsim::{Attribution, Hg, HgWorld, ScenarioConfig};
+use std::sync::OnceLock;
+use tlssim::{parse_client_hello, ClientHello, TlsClient, TlsEndpoint};
+use x509::Certificate;
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+#[test]
+fn scanned_chains_reparse_to_identical_der() {
+    let eps = world().endpoints(30);
+    let client = TlsClient::new([1u8; 32]);
+    let mut checked = 0;
+    for ep in eps.endpoints().iter().take(1000) {
+        let endpoint = TlsEndpoint::new(ep.tls.clone());
+        let Ok(chain) = client.fetch_chain(&endpoint, None) else {
+            continue;
+        };
+        for der in &chain {
+            let cert = Certificate::parse(der).expect("scanned cert parses");
+            // The parser retains the exact wire bytes.
+            assert_eq!(cert.der(), der.as_ref());
+            // Re-assembling the parsed content reproduces the encoding.
+            let rebuilt = Certificate::assemble(cert.tbs().clone(), *cert.signature());
+            assert_eq!(rebuilt.der(), der.as_ref(), "re-encode mismatch");
+            checked += 1;
+        }
+    }
+    assert!(checked > 500, "only {checked} certificates checked");
+}
+
+#[test]
+fn sni_routing_through_real_frames() {
+    let eps = world().endpoints(30);
+    // Find an Akamai multi-CDN edge (it carries SNI chains).
+    let edge = eps
+        .endpoints()
+        .iter()
+        .find(|e| e.attribution == Attribution::OffNet(Hg::Akamai) && !e.tls.sni_chains.is_empty())
+        .expect("akamai multi-CDN edge exists");
+    let endpoint = TlsEndpoint::new(edge.tls.clone());
+    let client = TlsClient::new([2u8; 32]);
+    let default = client.fetch_chain(&endpoint, None).unwrap();
+    let leaf = Certificate::parse(&default[0]).unwrap();
+    assert_eq!(
+        leaf.subject().organization(),
+        Some("Akamai Technologies"),
+        "default certificate is Akamai's"
+    );
+    let apple = client.fetch_chain(&endpoint, Some("www.apple.com")).unwrap();
+    let leaf = Certificate::parse(&apple[0]).unwrap();
+    assert_eq!(leaf.subject().organization(), Some("Apple Inc."));
+}
+
+#[test]
+fn client_hello_framing_carries_sni() {
+    let hello = ClientHello::new([7u8; 32], Some("edge.example.net"));
+    let wire = hello.encode();
+    // A middlebox (or our server) can recover the SNI from raw bytes.
+    let parsed = parse_client_hello(&wire).unwrap();
+    assert_eq!(parsed.sni.as_deref(), Some("edge.example.net"));
+    assert_eq!(parsed.random, [7u8; 32]);
+}
+
+#[test]
+fn null_default_certificates_hide_google_onnets() {
+    // §8: post-2019 Google on-nets serve certificates only via SNI.
+    let eps = world().endpoints(30);
+    let client = TlsClient::new([3u8; 32]);
+    let mut hidden = 0;
+    let mut visible = 0;
+    for ep in eps.endpoints() {
+        if ep.attribution != Attribution::OnNet(Hg::Google) {
+            continue;
+        }
+        let endpoint = TlsEndpoint::new(ep.tls.clone());
+        let default = client.fetch_chain(&endpoint, None).unwrap();
+        if default.is_empty() {
+            hidden += 1;
+            // ...but the certificate is still there behind SNI.
+            let sni = client
+                .fetch_chain(&endpoint, Some("www.google.com"))
+                .unwrap();
+            assert!(!sni.is_empty(), "SNI request must be answered");
+        } else {
+            visible += 1;
+        }
+    }
+    assert!(hidden > 0, "no SNI-only on-nets at 2021-04");
+    assert!(visible > 0, "some on-nets still serve default certs");
+}

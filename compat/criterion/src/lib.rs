@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate, covering the subset this
+//! workspace's benches use: `Criterion::benchmark_group`, group
+//! `sample_size`/`throughput`/`bench_function`/`finish`, `Bencher::iter`,
+//! `Throughput::Bytes`/`Elements`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is simple wall-clock timing: each benchmark is calibrated
+//! to ~2 ms per sample, `sample_size` samples are taken, and the median
+//! per-iteration time is reported. No plots, no statistics beyond
+//! median/min/max — enough to compare implementations in this repo.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            per_iter: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut line = format!(
+            "{label:<40} time: [{} {} {}]",
+            fmt_duration(bencher.min),
+            fmt_duration(bencher.per_iter),
+            fmt_duration(bencher.max),
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| count as f64 / bencher.per_iter.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        " thrpt: {:.2} MiB/s",
+                        per_sec(n) / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" thrpt: {:.2} Melem/s", per_sec(n) / 1e6));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow the iteration count until one sample takes ~2 ms.
+        let mut iters: u64 = 1;
+        let per_sample = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample || iters >= 1 << 20 {
+                break;
+            }
+            // Aim past the target so the loop terminates quickly.
+            let scale = per_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort();
+        self.per_iter = samples[samples.len() / 2];
+        self.min = samples[0];
+        self.max = *samples.last().expect("sample_size >= 2");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(64));
+        let mut calls = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

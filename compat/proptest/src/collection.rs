@@ -1,0 +1,58 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing a `Vec` of values from `element`, with a length
+/// drawn from `size` (any strategy over `usize`, e.g. `0..512`).
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+pub fn vec<S, R>(element: S, size: R) -> VecStrategy<S, R>
+where
+    S: Strategy,
+    R: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+impl<S, R> Strategy for VecStrategy<S, R>
+where
+    S: Strategy,
+    R: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_size_range() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = vec(any::<u8>(), 2usize..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_works() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let strat = vec(vec(any::<u8>(), 0usize..3), 0usize..4);
+        let v = strat.generate(&mut rng);
+        assert!(v.len() < 4);
+        assert!(v.iter().all(|inner| inner.len() < 3));
+    }
+}

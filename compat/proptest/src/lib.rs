@@ -1,0 +1,88 @@
+//! Offline mini property-testing harness, API-compatible with the subset
+//! of `proptest` this workspace uses: the `proptest!` macro, `any::<T>()`,
+//! integer/float range strategies, regex-literal string strategies, and
+//! `proptest::collection::vec`.
+//!
+//! Each generated test runs `PROPTEST_CASES` (default 256) deterministic
+//! cases seeded from the test's name, so failures are reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let mut __proptest_rng = $crate::test_runner::rng_for(stringify!($name));
+            for __proptest_case in 0..$crate::test_runner::cases() {
+                $(let $arg = ($strat).generate(&mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!($($rest)*);
+    };
+    () => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in 0u8..10, y in any::<u32>(), f in 0.0f64..1.0) {
+            prop_assert!(x < 10);
+            let _ = y;
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_regex(
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            s in "[a-z]{1,5}(\\.[a-z]{1,3}){1,2}",
+        ) {
+            prop_assert!(v.len() < 16);
+            let labels: Vec<&str> = s.split('.').collect();
+            prop_assert!(labels.len() >= 2 && labels.len() <= 3, "{}", s);
+            prop_assert!(labels.iter().all(|l| !l.is_empty()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        let sa = (0u64..1000).generate(&mut a);
+        let sb = (0u64..1000).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

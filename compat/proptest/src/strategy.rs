@@ -1,0 +1,103 @@
+//! Value-generation strategies.
+
+use crate::string::RegexGen;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// The full-domain strategy, `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitive types with a whole-domain uniform distribution.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.$method() as $ty
+            }
+        })+
+    };
+}
+
+arbitrary_uint!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl<V: rand::SampleUniform> Strategy for Range<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<V: rand::SampleUniform> Strategy for RangeInclusive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Regex-literal string strategy (`"[a-z]{1,10}"` style patterns).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexGen::parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_and_ranges_generate() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let _: u8 = any::<u8>().generate(&mut rng);
+        let v = (5u32..9).generate(&mut rng);
+        assert!((5..9).contains(&v));
+        let w = (1u8..=3).generate(&mut rng);
+        assert!((1..=3).contains(&w));
+    }
+}

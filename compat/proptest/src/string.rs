@@ -1,0 +1,251 @@
+//! Regex-literal string generation for patterns like
+//! `"[a-z0-9-]{1,12}(\\.[a-z0-9-]{1,12}){0,3}"` and `"\\PC{0,24}"`.
+//!
+//! Supports exactly the syntax this workspace's tests use: character
+//! classes with ranges and a literal trailing `-`, `\`-escaped literals,
+//! the `\PC` (any non-control character) escape, groups, and `{n}` /
+//! `{m,n}` repetition. Anything else panics with a clear message so a
+//! new pattern fails loudly instead of generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+enum Node {
+    /// Inclusive char ranges; a literal char is a `(c, c)` range.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    AnyNonControl,
+    Group(Vec<Rep>),
+}
+
+struct Rep {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+pub struct RegexGen {
+    seq: Vec<Rep>,
+}
+
+impl RegexGen {
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false, pattern);
+        if chars.next().is_some() {
+            panic!("regex strategy: unbalanced ')' in {pattern:?}");
+        }
+        RegexGen { seq }
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn generate_seq(seq: &[Rep], rng: &mut TestRng, out: &mut String) {
+    for rep in seq {
+        let count = rng.gen_range(rep.min..=rep.max);
+        for _ in 0..count {
+            match &rep.node {
+                Node::Class(ranges) => out.push(sample_class(ranges, rng)),
+                Node::AnyNonControl => out.push(sample_non_control(rng)),
+                Node::Group(inner) => generate_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut idx = rng.gen_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if idx < span {
+            return char::from_u32(lo as u32 + idx).expect("class range holds valid chars");
+        }
+        idx -= span;
+    }
+    unreachable!("index within total weight")
+}
+
+/// Pool for `\PC`: printable ASCII plus a spread of multi-byte
+/// characters, so UTF-8 handling gets exercised without emitting
+/// control characters.
+fn sample_non_control(rng: &mut TestRng) -> char {
+    const EXTRA: &[char] = &['à', 'é', 'ß', 'λ', 'Ж', '中', '日', '\u{2603}'];
+    let n = (0x7f - 0x20) as u32 + EXTRA.len() as u32;
+    let idx = rng.gen_range(0..n);
+    if idx < (0x7f - 0x20) {
+        char::from_u32(0x20 + idx).unwrap()
+    } else {
+        EXTRA[(idx - (0x7f - 0x20)) as usize]
+    }
+}
+
+fn parse_seq(chars: &mut Peekable<Chars<'_>>, in_group: bool, pattern: &str) -> Vec<Rep> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            ')' if in_group => break,
+            '(' => {
+                chars.next();
+                let inner = parse_seq(chars, true, pattern);
+                match chars.next() {
+                    Some(')') => {}
+                    _ => panic!("regex strategy: unclosed group in {pattern:?}"),
+                }
+                Node::Group(inner)
+            }
+            '[' => {
+                chars.next();
+                Node::Class(parse_class(chars, pattern))
+            }
+            '\\' => {
+                chars.next();
+                match chars.next() {
+                    Some('P') => match chars.next() {
+                        Some('C') => Node::AnyNonControl,
+                        other => panic!("regex strategy: unsupported \\P{other:?} in {pattern:?}"),
+                    },
+                    Some(esc) => Node::Class(vec![(esc, esc)]),
+                    None => panic!("regex strategy: trailing backslash in {pattern:?}"),
+                }
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '|' | '^' | '$' => {
+                panic!("regex strategy: unsupported metacharacter {c:?} in {pattern:?}")
+            }
+            lit => {
+                chars.next();
+                Node::Class(vec![(lit, lit)])
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        seq.push(Rep { node, min, max });
+    }
+    seq
+}
+
+fn parse_class(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => return ranges,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("regex strategy: trailing backslash in {pattern:?}")),
+            Some(c) => c,
+            None => panic!("regex strategy: unclosed class in {pattern:?}"),
+        };
+        // `a-z` range, unless the `-` is last in the class (then literal).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => ranges.push((c, c)),
+                Some(&hi) => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= hi, "regex strategy: inverted range in {pattern:?}");
+                    ranges.push((c, hi));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut min_digits = String::new();
+    let mut max_digits = None;
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(',') => max_digits = Some(String::new()),
+            Some(d) if d.is_ascii_digit() => match &mut max_digits {
+                Some(m) => m.push(d),
+                None => min_digits.push(d),
+            },
+            other => panic!("regex strategy: bad quantifier char {other:?} in {pattern:?}"),
+        }
+    }
+    let min: u32 = min_digits
+        .parse()
+        .unwrap_or_else(|_| panic!("regex strategy: bad quantifier in {pattern:?}"));
+    let max = match max_digits {
+        Some(m) => m
+            .parse()
+            .unwrap_or_else(|_| panic!("regex strategy: bad quantifier in {pattern:?}")),
+        None => min,
+    };
+    assert!(
+        min <= max,
+        "regex strategy: inverted quantifier in {pattern:?}"
+    );
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hostname_pattern_generates_valid_hosts() {
+        let gen = RegexGen::parse("[a-z0-9-]{1,12}(\\.[a-z0-9-]{1,12}){0,3}");
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = gen.generate(&mut rng);
+            let labels: Vec<&str> = s.split('.').collect();
+            assert!((1..=4).contains(&labels.len()), "{s}");
+            for l in &labels {
+                assert!((1..=12).contains(&l.len()), "{s}");
+                assert!(l
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_class_with_punct() {
+        let gen = RegexGen::parse("[A-Z]{2}");
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = gen.generate(&mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+        let gen = RegexGen::parse("[a-zA-Z0-9 .,'()-]{0,40}");
+        for _ in 0..200 {
+            let s = gen.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .,'()-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let gen = RegexGen::parse("\\PC{0,24}");
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = gen.generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic per-test RNG plumbing for the `proptest!` macro.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Seed a [`TestRng`] from a test's name (FNV-1a), so each property test
+/// gets its own stable, reproducible stream.
+pub fn rng_for(name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Number of cases each property test runs (`PROPTEST_CASES`, default 256).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = rng_for("alpha");
+        let mut b = rng_for("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = rng_for("alpha");
+        let mut b = rng_for("beta");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

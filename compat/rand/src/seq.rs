@@ -1,0 +1,99 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, iterating from the tail as rand 0.8 does.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Choose `amount` distinct elements (Floyd's algorithm, the branch
+    /// rand 0.8 takes for small amounts).
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Choose one element uniformly, `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..i + 1));
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len()) as u32;
+        let length = self.len() as u32;
+        let mut indices: Vec<u32> = Vec::with_capacity(amount as usize);
+        for j in length - amount..length {
+            let t = rng.gen_range(0..=j);
+            if indices.contains(&t) {
+                indices.push(j);
+            } else {
+                indices.push(t);
+            }
+        }
+        indices
+            .into_iter()
+            .map(|i| &self[i as usize])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..50).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "duplicates in {picked:?}");
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1u8, 2, 3];
+        assert_eq!(v.choose_multiple(&mut rng, 10).count(), 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Uniform range sampling, following rand 0.8's algorithms: widening
+//! multiply with rejection for integers, the exponent trick for floats.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types usable with `Rng::gen_range`.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_single_excl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_incl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single_excl(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty inclusive range");
+        T::sample_single_incl(low, high, rng)
+    }
+}
+
+/// Widening multiply: returns (hi, lo) of the double-width product.
+trait WideningMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let t = self as u64 * other as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let t = self as u128 * other as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single_excl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                uniform_int_sample::<$ty, $u_large, R>(low, range, rng)
+            }
+
+            fn sample_single_incl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full integer domain: every draw is acceptable.
+                    return rng.gen::<$u_large>() as $ty;
+                }
+                uniform_int_sample::<$ty, $u_large, R>(low, range, rng)
+            }
+        }
+
+        impl UniformIntHelper<$u_large> for $ty {
+            const SMALL_UNSIGNED: bool = <$unsigned>::MAX as u128 <= u16::MAX as u128;
+
+            fn add_wrapping(self, v: $u_large) -> Self {
+                self.wrapping_add(v as $ty)
+            }
+        }
+    };
+}
+
+/// Per-type constants/conversions for the shared rejection loop.
+trait UniformIntHelper<L>: Copy {
+    const SMALL_UNSIGNED: bool;
+    fn add_wrapping(self, v: L) -> Self;
+}
+
+macro_rules! uniform_int_sample_fn {
+    ($name:ident, $large:ty) => {
+        fn $name<T, R>(low: T, range: $large, rng: &mut R) -> T
+        where
+            T: UniformIntHelper<$large>,
+            R: RngCore + ?Sized,
+            $large: WideningMul + crate::Standard,
+        {
+            // rand 0.8: small types compute the zone by modulo, larger ones
+            // by the leading-zeros shortcut.
+            let zone = if T::SMALL_UNSIGNED {
+                let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                <$large>::MAX - ints_to_reject
+            } else {
+                (range << range.leading_zeros()).wrapping_sub(1)
+            };
+            loop {
+                let v: $large = rng.gen();
+                let (hi, lo) = v.wmul(range);
+                if lo <= zone {
+                    return low.add_wrapping(hi);
+                }
+            }
+        }
+    };
+}
+
+uniform_int_sample_fn!(uniform_int_sample_u32, u32);
+uniform_int_sample_fn!(uniform_int_sample_u64, u64);
+
+// Dispatch on the "large" draw type via a small shim so the macro above
+// stays readable.
+fn uniform_int_sample<T, L, R>(low: T, range: L, rng: &mut R) -> T
+where
+    T: UniformIntHelper<L>,
+    L: LargeDraw<T>,
+    R: RngCore + ?Sized,
+{
+    L::run(low, range, rng)
+}
+
+trait LargeDraw<T>: Sized {
+    fn run<R: RngCore + ?Sized>(low: T, range: Self, rng: &mut R) -> T;
+}
+
+impl<T: UniformIntHelper<u32>> LargeDraw<T> for u32 {
+    fn run<R: RngCore + ?Sized>(low: T, range: Self, rng: &mut R) -> T {
+        uniform_int_sample_u32(low, range, rng)
+    }
+}
+
+impl<T: UniformIntHelper<u64>> LargeDraw<T> for u64 {
+    fn run<R: RngCore + ?Sized>(low: T, range: Self, rng: &mut R) -> T {
+        uniform_int_sample_u64(low, range, rng)
+    }
+}
+
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(usize, usize, u64);
+uniform_int_impl!(i8, u8, u32);
+uniform_int_impl!(i16, u16, u32);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(i64, u64, u64);
+uniform_int_impl!(isize, usize, u64);
+
+/// `[1, 2)` from 52 random fraction bits (rand's exponent trick).
+fn f64_value1_2<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12))
+}
+
+impl SampleUniform for f64 {
+    fn sample_single_excl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8 UniformFloat::sample_single.
+        let scale = high - low;
+        let offset = low - scale;
+        f64_value1_2(rng) * scale + offset
+    }
+
+    fn sample_single_incl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8 new_inclusive: scale chosen so the maximum draw hits
+        // `high`, shrinking by one ULP while it overshoots.
+        let max_rand = f64::from_bits((1023u64 << 52) | (u64::MAX >> 12)) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        loop {
+            let mask = scale * max_rand + low;
+            if mask <= high {
+                break;
+            }
+            scale = prev_f64(scale);
+        }
+        let value0_1 = f64_value1_2(rng) - 1.0;
+        value0_1 * scale + low
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_single_excl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        let offset = low - scale;
+        let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+        value1_2 * scale + offset
+    }
+
+    fn sample_single_incl<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let max_rand = f32::from_bits((127u32 << 23) | (u32::MAX >> 9)) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        loop {
+            let mask = scale * max_rand + low;
+            if mask <= high {
+                break;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+        let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+        (value1_2 - 1.0) * scale + low
+    }
+}
+
+fn prev_f64(v: f64) -> f64 {
+    f64::from_bits(v.to_bits() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_integer_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match rng.gen_range(0u8..=2) {
+                0 => lo_seen = true,
+                2 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.9..=1.0);
+            assert!((0.9..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-200_000i64..200_000);
+            assert!((-200_000..200_000).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline drop-in stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of types
+//! but never serializes anything (there is no `serde_json` or other
+//! format crate in the tree), so inert marker traits plus no-op derive
+//! macros satisfy every use site.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

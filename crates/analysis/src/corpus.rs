@@ -141,7 +141,11 @@ mod tests {
                 "unique not small: {rows:?}"
             );
         }
-        let ac_unique = rows.iter().find(|r| r.engine == EngineId::Certigo).unwrap().unique_ases;
+        let ac_unique = rows
+            .iter()
+            .find(|r| r.engine == EngineId::Certigo)
+            .unwrap()
+            .unique_ases;
         assert!(rows.iter().all(|r| ac_unique >= r.unique_ases), "{rows:?}");
     }
 
@@ -149,7 +153,12 @@ mod tests {
     fn table2_hg_ordering() {
         let rows = table2(world(), ctx(), 24);
         for r in &rows {
-            assert!(r.google > r.netflix, "google {} netflix {}", r.google, r.netflix);
+            assert!(
+                r.google > r.netflix,
+                "google {} netflix {}",
+                r.google,
+                r.netflix
+            );
             assert!(r.google > r.akamai);
             assert!(r.hg_any >= r.google);
             assert!(r.ases_with_certs > r.hg_any);

@@ -81,7 +81,10 @@ pub fn worldwide_coverage(per_country: &[CountryCoverage]) -> f64 {
 
 /// Countries where coverage exceeds a threshold.
 pub fn countries_above(per_country: &[CountryCoverage], threshold: f64) -> usize {
-    per_country.iter().filter(|c| c.fraction > threshold).count()
+    per_country
+        .iter()
+        .filter(|c| c.fraction > threshold)
+        .count()
 }
 
 #[cfg(test)]
@@ -99,7 +102,12 @@ mod tests {
         let cov = coverage_by_country(world(), &hosting(Hg::Google, 30), 30);
         assert_eq!(cov.len(), 150);
         for c in &cov {
-            assert!((0.0..=1.0).contains(&c.fraction), "{}: {}", c.code, c.fraction);
+            assert!(
+                (0.0..=1.0).contains(&c.fraction),
+                "{}: {}",
+                c.code,
+                c.fraction
+            );
         }
     }
 
@@ -125,8 +133,16 @@ mod tests {
     #[test]
     fn facebook_coverage_grows_2017_to_2021() {
         // Figure 9: 2017-10 (idx 16) vs 2021-04 (idx 30).
-        let early = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Facebook, 16), 16));
-        let late = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Facebook, 30), 30));
+        let early = worldwide_coverage(&coverage_by_country(
+            world(),
+            &hosting(Hg::Facebook, 16),
+            16,
+        ));
+        let late = worldwide_coverage(&coverage_by_country(
+            world(),
+            &hosting(Hg::Facebook, 30),
+            30,
+        ));
         assert!(late > early * 1.3, "facebook coverage {early} -> {late}");
     }
 
@@ -143,9 +159,13 @@ mod tests {
                 .map(|(i, _)| i)
                 .unwrap()
         };
-        let at_peak =
-            worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Akamai, peak_t), peak_t));
-        let at_end = worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Akamai, 30), 30));
+        let at_peak = worldwide_coverage(&coverage_by_country(
+            world(),
+            &hosting(Hg::Akamai, peak_t),
+            peak_t,
+        ));
+        let at_end =
+            worldwide_coverage(&coverage_by_country(world(), &hosting(Hg::Akamai, 30), 30));
         assert!(
             at_end > at_peak * 0.6,
             "coverage collapsed with footprint: peak {at_peak} end {at_end}"

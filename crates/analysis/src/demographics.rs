@@ -24,7 +24,12 @@ pub fn fig5(series: &StudySeries, world: &HgWorld, hg: Hg) -> Vec<[usize; 5]> {
 }
 
 /// Category shares of the footprint at one snapshot (fractions).
-pub fn footprint_category_shares(series: &StudySeries, world: &HgWorld, hg: Hg, idx: usize) -> [f64; 5] {
+pub fn footprint_category_shares(
+    series: &StudySeries,
+    world: &HgWorld,
+    hg: Hg,
+    idx: usize,
+) -> [f64; 5] {
     let counts = &fig5(series, world, hg)[idx];
     let total: usize = counts.iter().sum();
     let mut out = [0.0; 5];

@@ -166,10 +166,7 @@ mod tests {
         };
         let early = multi_share(&dist[0]);
         let late = multi_share(&dist[29]);
-        assert!(
-            late > early + 0.15,
-            "multi-hosting share {early} -> {late}"
-        );
+        assert!(late > early + 0.15, "multi-hosting share {early} -> {late}");
         // By 2020 the majority of hosting ASes host 2+ (paper: >70%).
         assert!(late > 0.5, "late multi share {late}");
     }

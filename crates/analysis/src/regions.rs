@@ -22,10 +22,16 @@ pub fn region_series(series: &StudySeries, world: &HgWorld, hg: Hg, region: Regi
 /// Figure 6 for one region: series for Google, Akamai, Netflix, Facebook,
 /// and Alibaba (the HGs the paper plots).
 pub fn fig6(series: &StudySeries, world: &HgWorld, region: Region) -> Vec<(Hg, Vec<usize>)> {
-    [Hg::Google, Hg::Akamai, Hg::Netflix, Hg::Facebook, Hg::Alibaba]
-        .into_iter()
-        .map(|hg| (hg, region_series(series, world, hg, region)))
-        .collect()
+    [
+        Hg::Google,
+        Hg::Akamai,
+        Hg::Netflix,
+        Hg::Facebook,
+        Hg::Alibaba,
+    ]
+    .into_iter()
+    .map(|hg| (hg, region_series(series, world, hg, region)))
+    .collect()
 }
 
 /// All regions in the paper's panel order.

@@ -134,7 +134,10 @@ mod tests {
         let rows = table3(study());
         // Top-4 must lead the table in the paper's order.
         let order: Vec<Hg> = rows.iter().take(4).map(|r| r.hg).collect();
-        assert_eq!(order, vec![Hg::Google, Hg::Facebook, Hg::Netflix, Hg::Akamai]);
+        assert_eq!(
+            order,
+            vec![Hg::Google, Hg::Facebook, Hg::Netflix, Hg::Akamai]
+        );
     }
 
     #[test]
@@ -222,7 +225,9 @@ mod cross_engine_tests {
         assert_eq!(cs.snapshots[0].snapshot_idx, 24);
         for (i, cs_snap) in cs.snapshots.iter().enumerate() {
             let r7_idx = cs_snap.snapshot_idx;
-            let r7_google = r7.snapshots[r7_idx].per_hg[&Hg::Google].confirmed_ases.len();
+            let r7_google = r7.snapshots[r7_idx].per_hg[&Hg::Google]
+                .confirmed_ases
+                .len();
             let cs_google = cs_snap.per_hg[&Hg::Google].confirmed_ases.len();
             let ratio = cs_google as f64 / r7_google.max(1) as f64;
             assert!(

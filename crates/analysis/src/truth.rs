@@ -295,6 +295,10 @@ mod tests {
         // Nearly all validating IPs were already inferred (paper: 98%;
         // third-party CDN placements are over-represented at small scale,
         // so the bound here is much looser).
-        assert!(r.inferred_share > 0.55, "inferred share {}", r.inferred_share);
+        assert!(
+            r.inferred_share > 0.55,
+            "inferred share {}",
+            r.inferred_share
+        );
     }
 }

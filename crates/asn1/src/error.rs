@@ -26,7 +26,10 @@ impl fmt::Display for Error {
         match self {
             Error::UnexpectedEof => write!(f, "unexpected end of DER input"),
             Error::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}")
+                write!(
+                    f,
+                    "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}"
+                )
             }
             Error::InvalidLength => write!(f, "invalid or non-minimal DER length"),
             Error::InvalidContent(what) => write!(f, "invalid DER content: {what}"),

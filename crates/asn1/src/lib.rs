@@ -19,7 +19,9 @@ pub use error::{Error, Result};
 pub use oid::Oid;
 pub use reader::Reader;
 pub use tag::{Class, Tag};
-pub use time::{decode_generalized_time, decode_utc_time, encode_generalized_time, encode_utc_time};
+pub use time::{
+    decode_generalized_time, decode_utc_time, encode_generalized_time, encode_utc_time,
+};
 pub use writer::Writer;
 
 /// Well-known object identifiers used by the `x509` crate.

@@ -43,7 +43,9 @@ impl Oid {
                 return Err(Error::InvalidOid); // truncated arc
             }
         }
-        Ok(Self { der: bytes.to_vec() })
+        Ok(Self {
+            der: bytes.to_vec(),
+        })
     }
 
     /// The DER content octets (without tag/length).

@@ -306,9 +306,15 @@ mod tests {
     #[test]
     fn rejects_negative_and_non_minimal_integers() {
         let mut r = Reader::new(&[0x02, 0x01, 0x80]);
-        assert!(matches!(r.read_integer_u64(), Err(Error::InvalidContent(_))));
+        assert!(matches!(
+            r.read_integer_u64(),
+            Err(Error::InvalidContent(_))
+        ));
         let mut r = Reader::new(&[0x02, 0x02, 0x00, 0x05]);
-        assert!(matches!(r.read_integer_u64(), Err(Error::InvalidContent(_))));
+        assert!(matches!(
+            r.read_integer_u64(),
+            Err(Error::InvalidContent(_))
+        ));
     }
 
     #[test]

@@ -15,7 +15,15 @@ fn bench_parse(c: &mut Criterion) {
         "google.com".to_owned(),
         "*.googlevideo.com".to_owned(),
     ];
-    let chain = pki.issue_chain("bench", Some("Google LLC"), "*.google.com", &sans, t0, t1, 0);
+    let chain = pki.issue_chain(
+        "bench",
+        Some("Google LLC"),
+        "*.google.com",
+        &sans,
+        t0,
+        t1,
+        0,
+    );
     let leaf_der = chain[0].clone();
     let at = Timestamp::from_civil(2019, 6, 1, 0, 0, 0);
 
@@ -24,7 +32,10 @@ fn bench_parse(c: &mut Criterion) {
     group.bench_function("parse_leaf", |b| {
         b.iter(|| Certificate::parse(std::hint::black_box(&leaf_der)).unwrap())
     });
-    let parsed: Vec<Certificate> = chain.iter().map(|d| Certificate::parse(d).unwrap()).collect();
+    let parsed: Vec<Certificate> = chain
+        .iter()
+        .map(|d| Certificate::parse(d).unwrap())
+        .collect();
     group.bench_function("verify_chain", |b| {
         b.iter(|| verify_chain(std::hint::black_box(&parsed), pki.root_store(), at).unwrap())
     });

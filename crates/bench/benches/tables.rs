@@ -11,9 +11,7 @@ fn bench_tables(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
-    group.bench_function("table2", |b| {
-        b.iter(|| analysis::table2(world, ctx, 24))
-    });
+    group.bench_function("table2", |b| b.iter(|| analysis::table2(world, ctx, 24)));
     group.bench_function("table3", |b| b.iter(|| analysis::table3(study)));
     group.finish();
 }

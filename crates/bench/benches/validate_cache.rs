@@ -1,0 +1,73 @@
+//! Certificate-validation cache benchmarks: §4.1 chain verification over
+//! two adjacent snapshots, cold (empty cache) vs warm (chains already
+//! parsed and verified by a previous snapshot), against the uncached
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use offnet_bench::small_world;
+use offnet_core::validate::{validate_records, ValidateOptions};
+use offnet_core::{validate_records_cached, ValidationCache};
+use scanner::{observe_snapshot, ScanEngine};
+use std::sync::Arc;
+
+fn bench_validate_cache(c: &mut Criterion) {
+    let world = small_world();
+    let engine = ScanEngine::rapid7();
+    let snaps: Vec<_> = [29usize, 30]
+        .iter()
+        .map(|&t| {
+            let obs = observe_snapshot(world, &engine, t).expect("snapshot in corpus");
+            let at = world.snapshot_date(t).midnight().plus_seconds(12 * 3600);
+            (obs, at)
+        })
+        .collect();
+    let opts = ValidateOptions::default();
+    let roots = world.pki().root_store();
+    let records: u64 = snaps.iter().map(|(o, _)| o.cert.records.len() as u64).sum();
+
+    let mut group = c.benchmark_group("validate_cache");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            for (obs, at) in &snaps {
+                std::hint::black_box(validate_records(&obs.cert.records, roots, *at, &opts));
+            }
+        })
+    });
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let cache = Arc::new(ValidationCache::new());
+            for (obs, at) in &snaps {
+                std::hint::black_box(validate_records_cached(
+                    &obs.cert.records,
+                    roots,
+                    *at,
+                    &opts,
+                    &cache,
+                ));
+            }
+        })
+    });
+    let warm = Arc::new(ValidationCache::new());
+    for (obs, at) in &snaps {
+        validate_records_cached(&obs.cert.records, roots, *at, &opts, &warm);
+    }
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            for (obs, at) in &snaps {
+                std::hint::black_box(validate_records_cached(
+                    &obs.cert.records,
+                    roots,
+                    *at,
+                    &opts,
+                    &warm,
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate_cache);
+criterion_main!(benches);

@@ -2,10 +2,14 @@
 //! Hypergiants' Off-Nets" (SIGCOMM 2021) against the simulated Internet.
 //!
 //! Usage:
-//!   reproduce [--scale small|paper] [--seed N] [--csv DIR] <experiment|all>
+//!   reproduce [--scale small|paper] [--seed N] [--csv DIR] [--threads N]
+//!             [--sequential] <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
-//! for external plotting.
+//! for external plotting. Studies run on a snapshot-parallel pipeline with
+//! a shared certificate-validation cache by default; `--threads N` pins
+//! the worker count (default: available parallelism, or `OFFNET_THREADS`)
+//! and `--sequential` restores the single-threaded uncached driver.
 //!
 //! Experiments: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 certlifetimes validate ablation
@@ -17,15 +21,20 @@ use analysis::{coverage, demographics, overlap, regions as regions_mod, series a
 use hgsim::{Hg, HgWorld, ScenarioConfig, TOP4};
 use offnet_core::candidates::CandidateOptions;
 use offnet_core::study::learn_reference_fingerprints;
-use offnet_core::{run_study, PipelineContext, StudyConfig, StudySeries};
+use offnet_core::{
+    default_thread_count, run_study, run_study_parallel, PipelineContext, StudyConfig, StudySeries,
+};
 use scanner::ScanEngine;
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 struct Cli {
     scale: String,
     seed: u64,
     csv_dir: Option<std::path::PathBuf>,
+    threads: usize,
+    sequential: bool,
     experiments: Vec<String>,
 }
 
@@ -33,6 +42,8 @@ fn parse_args() -> Cli {
     let mut scale = "paper".to_owned();
     let mut seed = 7u64;
     let mut csv_dir = None;
+    let mut threads = default_thread_count();
+    let mut sequential = false;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,9 +61,18 @@ fn parse_args() -> Cli {
                     .parse()
                     .expect("seed must be an integer")
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("threads must be an integer");
+                threads = threads.max(1);
+            }
+            "--sequential" => sequential = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--seed N] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -66,6 +86,8 @@ fn parse_args() -> Cli {
         scale,
         seed,
         csv_dir,
+        threads,
+        sequential,
         experiments,
     }
 }
@@ -81,6 +103,8 @@ fn emit_csv(cli: &Cli, name: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 struct Fixtures {
     world: HgWorld,
+    threads: usize,
+    sequential: bool,
     r7: OnceLock<StudySeries>,
     cs: OnceLock<StudySeries>,
     ctx: OnceLock<PipelineContext>,
@@ -93,32 +117,56 @@ impl Fixtures {
             "paper" => ScenarioConfig::paper().with_seed(cli.seed),
             other => panic!("unknown scale {other:?} (use small|paper)"),
         };
-        eprintln!("[reproduce] generating world (scale={}, seed={})...", cli.scale, cli.seed);
+        eprintln!(
+            "[reproduce] generating world (scale={}, seed={})...",
+            cli.scale, cli.seed
+        );
         Fixtures {
             world: HgWorld::generate(config),
+            threads: cli.threads,
+            sequential: cli.sequential,
             r7: OnceLock::new(),
             cs: OnceLock::new(),
             ctx: OnceLock::new(),
         }
     }
 
+    fn study(&self, engine: ScanEngine, config: &StudyConfig, label: &str) -> StudySeries {
+        let start = Instant::now();
+        let series = if self.sequential {
+            run_study(&self.world, &engine, config)
+        } else {
+            run_study_parallel(&self.world, &engine, config, self.threads)
+        };
+        let mode = if self.sequential {
+            "sequential".to_owned()
+        } else {
+            format!("{} threads + validation cache", self.threads)
+        };
+        eprintln!(
+            "[reproduce] {label} study: {:.2}s ({mode})",
+            start.elapsed().as_secs_f64()
+        );
+        series
+    }
+
     fn r7(&self) -> &StudySeries {
         self.r7.get_or_init(|| {
             eprintln!("[reproduce] running Rapid7 longitudinal study (31 snapshots)...");
-            run_study(&self.world, &ScanEngine::rapid7(), &StudyConfig::default())
+            self.study(ScanEngine::rapid7(), &StudyConfig::default(), "rapid7")
         })
     }
 
     fn cs(&self) -> &StudySeries {
         self.cs.get_or_init(|| {
             eprintln!("[reproduce] running Censys study (2019-10..2021-04)...");
-            run_study(
-                &self.world,
-                &ScanEngine::censys(),
+            self.study(
+                ScanEngine::censys(),
                 &StudyConfig {
                     snapshots: (24, 30),
                     ..Default::default()
                 },
+                "censys",
             )
         })
     }
@@ -232,7 +280,17 @@ fn table2(fx: &Fixtures) {
     println!(
         "{}",
         table(
-            &["Scan", "#IPs w/certs", "#ASes", "unique", "any HG", "Google", "Netflix", "Facebook", "Akamai"],
+            &[
+                "Scan",
+                "#IPs w/certs",
+                "#ASes",
+                "unique",
+                "any HG",
+                "Google",
+                "Netflix",
+                "Facebook",
+                "Akamai"
+            ],
             &body
         )
     );
@@ -254,7 +312,15 @@ fn table3(fx: &Fixtures) {
         .collect();
     println!(
         "{}",
-        table(&["Hypergiant", "2013-10 (certs)", "max [snap]", "2021-04 (certs)"], &body)
+        table(
+            &[
+                "Hypergiant",
+                "2013-10 (certs)",
+                "max [snap]",
+                "2021-04 (certs)"
+            ],
+            &body
+        )
     );
     println!(
         "total ASes hosting a top-4 HG at 2021-04: {}",
@@ -283,7 +349,10 @@ fn table4(fx: &Fixtures) {
             fp.support.to_string(),
         ]);
     }
-    println!("{}", table(&["Hypergiant", "fingerprints", "on-net support"], &body));
+    println!(
+        "{}",
+        table(&["Hypergiant", "fingerprints", "on-net support"], &body)
+    );
 }
 
 fn fig2(fx: &Fixtures, cli: &Cli) {
@@ -320,7 +389,15 @@ fn fig3(fx: &Fixtures, cli: &Cli) {
             f.netflix_with_non_tls[i].to_string(),
         ]);
     }
-    let headers = ["snapshot", "Google", "Facebook", "Akamai", "NF(init)", "NF(+exp)", "NF(+nonTLS)"];
+    let headers = [
+        "snapshot",
+        "Google",
+        "Facebook",
+        "Akamai",
+        "NF(init)",
+        "NF(+exp)",
+        "NF(+nonTLS)",
+    ];
     println!("{}", table(&headers, &body));
     emit_csv(cli, "fig3", &headers, &body);
 }
@@ -342,7 +419,10 @@ fn fig4(fx: &Fixtures) {
             println!("[{}]", series.engine);
             println!(
                 "{}",
-                table(&["snapshot", "certs only", "certs&(H||S)", "certs&(H&&S)"], &body)
+                table(
+                    &["snapshot", "certs only", "certs&(H||S)", "certs&(H&&S)"],
+                    &body
+                )
             );
         }
     }
@@ -366,7 +446,10 @@ fn fig5(fx: &Fixtures) {
         }
         println!(
             "{}",
-            table(&["snapshot", "Stub", "Small", "Medium", "Large", "XLarge"], &body)
+            table(
+                &["snapshot", "Stub", "Small", "Medium", "Large", "XLarge"],
+                &body
+            )
         );
     }
     let internet = demographics::internet_category_shares(&fx.world, 30);
@@ -445,8 +528,18 @@ fn fig8(fx: &Fixtures) {
 
 fn fig9(fx: &Fixtures) {
     heading("Figure 9: Facebook coverage, 2017-10 vs 2021-04");
-    coverage_table(fx, fx.r7().confirmed_at(Hg::Facebook, 16), 16, "facebook 2017-10");
-    coverage_table(fx, fx.r7().confirmed_at(Hg::Facebook, 30), 30, "facebook 2021-04");
+    coverage_table(
+        fx,
+        fx.r7().confirmed_at(Hg::Facebook, 16),
+        16,
+        "facebook 2017-10",
+    );
+    coverage_table(
+        fx,
+        fx.r7().confirmed_at(Hg::Facebook, 30),
+        30,
+        "facebook 2021-04",
+    );
 }
 
 fn fig10(fx: &Fixtures, cli: &Cli) {
@@ -540,7 +633,13 @@ fn fig14(fx: &Fixtures) {
 
 fn certlifetimes(fx: &Fixtures) {
     heading("Appendix A.3: median certificate lifetimes (days)");
-    let hgs = [Hg::Google, Hg::Netflix, Hg::Microsoft, Hg::Facebook, Hg::Akamai];
+    let hgs = [
+        Hg::Google,
+        Hg::Netflix,
+        Hg::Microsoft,
+        Hg::Facebook,
+        Hg::Akamai,
+    ];
     let mut body = Vec::new();
     for i in 0..fx.r7().snapshots.len() {
         let mut row = vec![snapshot_label(fx.r7().snapshots[i].snapshot_idx)];
@@ -552,7 +651,17 @@ fn certlifetimes(fx: &Fixtures) {
     }
     println!(
         "{}",
-        table(&["snapshot", "Google", "Netflix", "Microsoft", "Facebook", "Akamai"], &body)
+        table(
+            &[
+                "snapshot",
+                "Google",
+                "Netflix",
+                "Microsoft",
+                "Facebook",
+                "Akamai"
+            ],
+            &body
+        )
     );
 }
 
@@ -576,7 +685,16 @@ fn validate(fx: &Fixtures) {
     println!("Operator-survey stand-in (oracle comparison, 2021-04):");
     println!(
         "{}",
-        table(&["Hypergiant", "truth ASes", "inferred", "recall", "precision"], &body)
+        table(
+            &[
+                "Hypergiant",
+                "truth ASes",
+                "inferred",
+                "recall",
+                "precision"
+            ],
+            &body
+        )
     );
 
     eprintln!("[reproduce] generating endpoints for active probes...");
@@ -619,7 +737,10 @@ fn baselines(fx: &Fixtures) {
             pct(recall),
         ]);
     }
-    println!("{}", table(&["technique", "google ASes found", "recall"], &body));
+    println!(
+        "{}",
+        table(&["technique", "google ASes found", "recall"], &body)
+    );
 }
 
 fn hide_and_seek(cli: &Cli) {
@@ -655,7 +776,10 @@ fn hide_and_seek(cli: &Cli) {
             google.confirmed_ases.len().to_string(),
         ]);
     }
-    println!("{}", table(&["Google countermeasure", "candidates", "confirmed"], &body));
+    println!(
+        "{}",
+        table(&["Google countermeasure", "candidates", "confirmed"], &body)
+    );
 }
 
 fn ablation(fx: &Fixtures) {
@@ -690,13 +814,24 @@ fn ablation(fx: &Fixtures) {
         body.push(vec![
             label.to_owned(),
             result.per_hg[&Hg::Google].candidate_ases.len().to_string(),
-            result.per_hg[&Hg::Cloudflare].candidate_ases.len().to_string(),
+            result.per_hg[&Hg::Cloudflare]
+                .candidate_ases
+                .len()
+                .to_string(),
             result.per_hg[&Hg::Amazon].candidate_ases.len().to_string(),
         ]);
     }
     println!(
         "{}",
-        table(&["variant", "google cands", "cloudflare cands", "amazon cands"], &body)
+        table(
+            &[
+                "variant",
+                "google cands",
+                "cloudflare cands",
+                "amazon cands"
+            ],
+            &body
+        )
     );
 
     // IP-to-AS stability-filter ablation.

@@ -17,7 +17,13 @@ pub fn small_world() -> &'static HgWorld {
 /// A Rapid7 study over the small world.
 pub fn small_study() -> &'static StudySeries {
     static S: OnceLock<StudySeries> = OnceLock::new();
-    S.get_or_init(|| run_study(small_world(), &ScanEngine::rapid7(), &StudyConfig::default()))
+    S.get_or_init(|| {
+        run_study(
+            small_world(),
+            &ScanEngine::rapid7(),
+            &StudyConfig::default(),
+        )
+    })
 }
 
 /// A pipeline context for the small world.

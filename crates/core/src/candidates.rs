@@ -34,7 +34,9 @@ pub fn is_cloudflare_free_san(name: &str) -> bool {
     let Some(prefix) = name.strip_suffix(".cloudflaressl.com") else {
         return false;
     };
-    let digits_start = prefix.strip_prefix("ssl").or_else(|| prefix.strip_prefix("sni"));
+    let digits_start = prefix
+        .strip_prefix("ssl")
+        .or_else(|| prefix.strip_prefix("sni"));
     match digits_start {
         Some(rest) => rest.chars().all(|c| c.is_ascii_digit()),
         None => false,
@@ -60,14 +62,19 @@ impl Default for CandidateOptions {
     }
 }
 
-/// Identify candidate off-net IPs/ASes for one HG.
-pub fn find_candidates(
+/// Identify candidate off-net IPs/ASes for one HG. Accepts any borrowed
+/// iterable of certificates so callers can pass a slice or an
+/// index-mapped view without cloning.
+pub fn find_candidates<'a, I>(
     fp: &TlsFingerprint,
     hg_ases: &HashSet<AsId>,
-    valid_certs: &[ValidatedCert],
+    valid_certs: I,
     ip_to_as: &IpToAsMap,
     options: &CandidateOptions,
-) -> CandidateSet {
+) -> CandidateSet
+where
+    I: IntoIterator<Item = &'a ValidatedCert>,
+{
     let mut out = CandidateSet::default();
     for vc in valid_certs {
         if !fp.org_matches(vc.leaf.subject().organization()) {
@@ -77,7 +84,11 @@ pub fn find_candidates(
             continue;
         }
         if options.cloudflare_filter
-            && vc.leaf.dns_names().iter().any(|n| is_cloudflare_free_san(n))
+            && vc
+                .leaf
+                .dns_names()
+                .iter()
+                .any(|n| is_cloudflare_free_san(n))
         {
             continue;
         }
@@ -122,8 +133,11 @@ mod tests {
             at,
             &Default::default(),
         );
-        let hg_ases: HashSet<AsId> =
-            w.org_db().ases_matching(hg.spec().keyword).into_iter().collect();
+        let hg_ases: HashSet<AsId> = w
+            .org_db()
+            .ases_matching(hg.spec().keyword)
+            .into_iter()
+            .collect();
         let fp = crate::tls_fingerprint::learn_tls_fingerprints(
             hg.spec().keyword,
             &hg_ases,

@@ -187,7 +187,10 @@ mod tests {
                 .iter()
                 .map(|(ip, hs)| HttpRecord {
                     ip: *ip,
-                    headers: hs.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect(),
+                    headers: hs
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), v.to_string()))
+                        .collect(),
                 })
                 .collect(),
         };
@@ -240,10 +243,7 @@ mod tests {
         let ip = topo.ases()[100].prefixes[0].addr(1);
         // Banner carries BOTH apple-ish and akamai headers (cache miss
         // through an Akamai edge) — apple must not be confirmed, akamai is.
-        let banners = banner_index(&[(
-            ip,
-            &[("Server", "AkamaiGHost"), ("CDNUUID", "abc-123")],
-        )]);
+        let banners = banner_index(&[(ip, &[("Server", "AkamaiGHost"), ("CDNUUID", "abc-123")])]);
         let apple = confirm_candidates(
             "apple",
             &candidate(&[ip]),

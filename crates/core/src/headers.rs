@@ -208,8 +208,7 @@ pub fn learn_header_fingerprints(
             *pair_counts.entry((name_lc, value.clone())).or_insert(0) += 1;
         }
     }
-    let min_support =
-        ((onnet_banners.len() as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
+    let min_support = ((onnet_banners.len() as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
 
     // Top pairs by on-net frequency (the paper's "50 most frequent header
     // name-value pairs").
@@ -314,7 +313,7 @@ mod tests {
         let banners: Vec<HttpRecord> = (0..100)
             .map(|i| {
                 rec(&[
-                    ("X-FB-Debug", &format!("h{i}")[..],),
+                    ("X-FB-Debug", &format!("h{i}")[..]),
                     ("Server", "proxygen-bolt"),
                 ])
             })
@@ -332,8 +331,7 @@ mod tests {
     fn generic_values_rejected() {
         let g = global();
         // On-nets that answer with plain nginx: nothing distinctive.
-        let banners: Vec<HttpRecord> =
-            (0..100).map(|_| rec(&[("Server", "nginx")])).collect();
+        let banners: Vec<HttpRecord> = (0..100).map(|_| rec(&[("Server", "nginx")])).collect();
         let refs: Vec<&HttpRecord> = banners.iter().collect();
         let fp = learn_header_fingerprints("hulu", &refs, &g);
         assert!(fp.is_empty(), "{fp:?}");
@@ -396,8 +394,7 @@ mod tests {
         let g = global();
         // A header seen on a single on-net banner is noise, not a
         // fingerprint.
-        let mut banners: Vec<HttpRecord> =
-            (0..99).map(|_| rec(&[("Server", "nginx")])).collect();
+        let mut banners: Vec<HttpRecord> = (0..99).map(|_| rec(&[("Server", "nginx")])).collect();
         banners.push(rec(&[("X-Oddball", "1")]));
         let refs: Vec<&HttpRecord> = banners.iter().collect();
         let fp = learn_header_fingerprints("yahoo", &refs, &g);

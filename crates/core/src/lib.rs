@@ -35,19 +35,25 @@
 //! println!("google off-nets inferred in {} ASes", google.confirmed_ases.len());
 //! ```
 
+pub mod baselines;
 pub mod candidates;
 pub mod confirm;
 pub mod headers;
-pub mod baselines;
+pub mod parallel;
 pub mod pipeline;
 pub mod study;
 pub mod tls_fingerprint;
 pub mod validate;
+pub mod validation_cache;
 
 pub use candidates::{find_candidates, CandidateSet};
 pub use confirm::{confirm_candidates, ConfirmedSet};
 pub use headers::{learn_header_fingerprints, HeaderFingerprint, HeaderFingerprints};
-pub use pipeline::{process_snapshot, HgSnapshotResult, PipelineContext, SnapshotResult};
-pub use study::{run_study, NetflixVariants, StudyConfig, StudySeries};
+pub use parallel::{default_thread_count, parallel_map};
+pub use pipeline::{
+    process_snapshot, process_snapshots_parallel, HgSnapshotResult, PipelineContext, SnapshotResult,
+};
+pub use study::{run_study, run_study_parallel, NetflixVariants, StudyConfig, StudySeries};
 pub use tls_fingerprint::{learn_tls_fingerprints, TlsFingerprint};
 pub use validate::{validate_records, InvalidReason, ValidatedCert, ValidationStats};
+pub use validation_cache::{validate_records_cached, ValidationCache};

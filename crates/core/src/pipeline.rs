@@ -3,12 +3,15 @@
 use crate::candidates::{find_candidates, CandidateOptions};
 use crate::confirm::{confirm_candidates, BannerIndex, ConfirmMode};
 use crate::headers::HeaderFingerprints;
+use crate::parallel::{default_thread_count, parallel_map};
 use crate::tls_fingerprint::learn_tls_fingerprints;
-use crate::validate::{validate_records, ValidateOptions, ValidatedCert, ValidationStats};
+use crate::validate::{validate_records, ValidateOptions, ValidationStats};
+use crate::validation_cache::{validate_records_cached, ValidationCache};
 use hgsim::{Hg, ALL_HGS};
 use netsim::{AsId, OrgDb};
 use scanner::SnapshotObservations;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use timebase::Timestamp;
 use x509::RootStore;
 
@@ -22,6 +25,12 @@ pub struct PipelineContext {
     pub header_fps: HeaderFingerprints,
     pub candidate_options: CandidateOptions,
     pub confirm_mode: ConfirmMode,
+    /// Worker count for the per-HG and per-snapshot fan-out (`1` =
+    /// sequential). Defaults to `OFFNET_THREADS` / available parallelism.
+    pub threads: usize,
+    /// Optional cross-snapshot chain-verdict cache. `None` re-verifies
+    /// every chain per snapshot, exactly as §4.1 describes.
+    pub validation_cache: Option<Arc<ValidationCache>>,
 }
 
 impl PipelineContext {
@@ -31,7 +40,10 @@ impl PipelineContext {
         for hg in ALL_HGS {
             hg_ases.insert(
                 hg,
-                org_db.ases_matching(hg.spec().keyword).into_iter().collect(),
+                org_db
+                    .ases_matching(hg.spec().keyword)
+                    .into_iter()
+                    .collect(),
             );
         }
         Self {
@@ -40,7 +52,21 @@ impl PipelineContext {
             header_fps,
             candidate_options: CandidateOptions::default(),
             confirm_mode: ConfirmMode::HttpOrHttps,
+            threads: default_thread_count(),
+            validation_cache: None,
         }
+    }
+
+    /// Set the fan-out width (`1` forces the sequential path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attach a shared cross-snapshot validation cache.
+    pub fn with_validation_cache(mut self, cache: Arc<ValidationCache>) -> Self {
+        self.validation_cache = Some(cache);
+        self
     }
 }
 
@@ -97,49 +123,57 @@ impl SnapshotResult {
 
 /// Run the full §4 pipeline over one snapshot's observations.
 pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> SnapshotResult {
-    let at: Timestamp = obs
-        .cert
-        .date
-        .midnight()
-        .plus_seconds(12 * 3600);
+    let at: Timestamp = obs.cert.date.midnight().plus_seconds(12 * 3600);
 
     // §4.1 with the Netflix expiry exemption folded into one pass; the
     // standard path simply skips exempted certificates.
     let opts = ValidateOptions {
         ignore_expiry_for_org_containing: Some("netflix".to_owned()),
     };
-    let (valids_all, validation) = validate_records(&obs.cert.records, &ctx.roots, at, &opts);
+    let (valids_all, validation) = match &ctx.validation_cache {
+        Some(cache) => validate_records_cached(&obs.cert.records, &ctx.roots, at, &opts, cache),
+        None => validate_records(&obs.cert.records, &ctx.roots, at, &opts),
+    };
 
     // Pre-index org-matching certificates per HG (one lowercase pass).
-    let mut by_hg_std: HashMap<Hg, Vec<ValidatedCert>> = HashMap::new();
-    let mut by_hg_all: HashMap<Hg, Vec<ValidatedCert>> = HashMap::new();
-    for vc in &valids_all {
+    // Indices into `valids_all` rather than clones: 23 HGs over a corpus
+    // of cloned `ValidatedCert`s was the pipeline's top allocator.
+    let mut by_hg_std: HashMap<Hg, Vec<u32>> = HashMap::new();
+    let mut by_hg_all: HashMap<Hg, Vec<u32>> = HashMap::new();
+    for (i, vc) in valids_all.iter().enumerate() {
         let Some(org) = vc.leaf.subject().organization() else {
             continue;
         };
         let org_lc = org.to_ascii_lowercase();
         for hg in ALL_HGS {
             if org_lc.contains(hg.spec().keyword) {
-                by_hg_all.entry(hg).or_default().push(vc.clone());
+                by_hg_all.entry(hg).or_default().push(i as u32);
                 if !vc.expiry_exempted {
-                    by_hg_std.entry(hg).or_default().push(vc.clone());
+                    by_hg_std.entry(hg).or_default().push(i as u32);
                 }
             }
         }
     }
 
     let banners = BannerIndex::build(obs.http80.as_ref(), obs.https443.as_ref());
-    let empty: Vec<ValidatedCert> = Vec::new();
+    let empty: Vec<u32> = Vec::new();
 
-    let mut per_hg = HashMap::new();
-    for hg in ALL_HGS {
+    let process_hg = |hg: &Hg| -> (Hg, HgSnapshotResult) {
+        let hg = *hg;
         let keyword = hg.spec().keyword;
         let hg_ases = &ctx.hg_ases[&hg];
-        let certs_std = by_hg_std.get(&hg).unwrap_or(&empty);
+        let idx_std = by_hg_std.get(&hg).unwrap_or(&empty);
+        let certs_std = || idx_std.iter().map(|&i| &valids_all[i as usize]);
         // §4.2 — on-net dNSName fingerprint.
-        let fp = learn_tls_fingerprints(keyword, hg_ases, certs_std, &obs.ip_to_as);
+        let fp = learn_tls_fingerprints(keyword, hg_ases, certs_std(), &obs.ip_to_as);
         // §4.3 — candidates.
-        let cands = find_candidates(&fp, hg_ases, certs_std, &obs.ip_to_as, &ctx.candidate_options);
+        let cands = find_candidates(
+            &fp,
+            hg_ases,
+            certs_std(),
+            &obs.ip_to_as,
+            &ctx.candidate_options,
+        );
         // §4.5 — header confirmation.
         let confirmed = confirm_candidates(
             keyword,
@@ -157,9 +191,13 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
             &obs.ip_to_as,
             ConfirmMode::HttpAndHttps,
         );
-        let onnet_ip_count = certs_std
-            .iter()
-            .filter(|vc| obs.ip_to_as.lookup(vc.ip).iter().any(|a| hg_ases.contains(a)))
+        let onnet_ip_count = certs_std()
+            .filter(|vc| {
+                obs.ip_to_as
+                    .lookup(vc.ip)
+                    .iter()
+                    .any(|a| hg_ases.contains(a))
+            })
             .count();
 
         // App. A.3: median certificate lifetime over *distinct* HG-owned
@@ -168,8 +206,7 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         let median_cert_lifetime_days = {
             let mut lifetimes: Vec<i64> = {
                 let mut seen = HashSet::new();
-                certs_std
-                    .iter()
+                certs_std()
                     .filter(|vc| fp.covers_all(vc.leaf.dns_names()))
                     .filter(|vc| seen.insert(vc.leaf.fingerprint()))
                     .map(|vc| {
@@ -186,11 +223,18 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         };
 
         // §6.2 — the with-expired variant (only meaningful for Netflix).
+        // The fingerprint is always learned from the standard (unexpired)
+        // on-net set; only the candidate pool widens to restored certs.
         let (with_expired_ases, with_expired_ips) = if hg == Hg::Netflix {
-            let certs_all = by_hg_all.get(&hg).unwrap_or(&empty);
-            let fp_all = learn_tls_fingerprints(keyword, hg_ases, certs_std, &obs.ip_to_as);
-            let cands_all =
-                find_candidates(&fp_all, hg_ases, certs_all, &obs.ip_to_as, &ctx.candidate_options);
+            let idx_all = by_hg_all.get(&hg).unwrap_or(&empty);
+            let certs_all = idx_all.iter().map(|&i| &valids_all[i as usize]);
+            let cands_all = find_candidates(
+                &fp,
+                hg_ases,
+                certs_all,
+                &obs.ip_to_as,
+                &ctx.candidate_options,
+            );
             let confirmed_all = confirm_candidates(
                 keyword,
                 &cands_all,
@@ -207,7 +251,7 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         // Figure 11 groups span every IP serving one of the HG's own
         // certificates (SAN-subset-passing), on-net and off-net alike.
         let mut group_map: HashMap<x509::Fingerprint, u32> = HashMap::new();
-        for vc in certs_std {
+        for vc in certs_std() {
             if fp.covers_all(vc.leaf.dns_names()) {
                 *group_map.entry(vc.leaf.fingerprint()).or_insert(0) += 1;
             }
@@ -215,7 +259,7 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         let mut groups: Vec<u32> = group_map.into_values().collect();
         groups.sort_unstable_by(|a, b| b.cmp(a));
 
-        per_hg.insert(
+        (
             hg,
             HgSnapshotResult {
                 candidate_ases: cands.ases.clone(),
@@ -229,8 +273,13 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
                 with_expired_ases,
                 with_expired_ips,
             },
-        );
-    }
+        )
+    };
+
+    // The 23 HG stages are independent: fan out across the worker pool.
+    let per_hg: HashMap<Hg, HgSnapshotResult> = parallel_map(&ALL_HGS, ctx.threads, process_hg)
+        .into_iter()
+        .collect();
 
     // Corpus-level statistics.
     let mut cert_ips: HashSet<u32> = HashSet::with_capacity(obs.cert.records.len());
@@ -261,6 +310,23 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         per_hg,
         http_only_ips,
     }
+}
+
+/// Process independent snapshots across the worker pool, returning
+/// results in input order.
+///
+/// Each snapshot runs `process_snapshot` with the per-HG fan-out forced
+/// sequential (the parallelism budget is spent at the snapshot level, not
+/// squared), sharing `ctx.validation_cache` if one is attached. Output is
+/// byte-identical to mapping `process_snapshot` sequentially.
+pub fn process_snapshots_parallel(
+    observations: &[SnapshotObservations],
+    ctx: &PipelineContext,
+) -> Vec<SnapshotResult> {
+    let inner = ctx.clone().with_threads(1);
+    parallel_map(observations, ctx.threads, |obs| {
+        process_snapshot(obs, &inner)
+    })
 }
 
 /// Extract each confirmed set (collapsing the result for external use).
@@ -354,6 +420,70 @@ mod tests {
                 result.per_hg[&hg].confirmed_ases.len()
             );
         }
+    }
+
+    /// Pins the §6.2 branch to the *standard* fingerprint: the restored
+    /// (expired) certificates widen only the candidate pool, never the
+    /// on-net dNSName set the pool is filtered against.
+    #[test]
+    fn netflix_with_expired_uses_standard_fingerprint() {
+        use crate::validate::{validate_records, ValidateOptions};
+        let w = world();
+        let ctx = ctx();
+        let obs = observe_snapshot(w, &ScanEngine::rapid7(), 18).unwrap();
+        let result = process_snapshot(&obs, ctx);
+
+        // Recompute the branch by hand from first principles.
+        let at = obs.cert.date.midnight().plus_seconds(12 * 3600);
+        let opts = ValidateOptions {
+            ignore_expiry_for_org_containing: Some("netflix".to_owned()),
+        };
+        let (valids, _) = validate_records(&obs.cert.records, &ctx.roots, at, &opts);
+        let keyword = Hg::Netflix.spec().keyword;
+        let hg_ases = &ctx.hg_ases[&Hg::Netflix];
+        let is_netflix = |vc: &&crate::validate::ValidatedCert| {
+            vc.leaf
+                .subject()
+                .organization()
+                .map(|o| o.to_ascii_lowercase().contains(keyword))
+                .unwrap_or(false)
+        };
+        let std_set: Vec<_> = valids
+            .iter()
+            .filter(is_netflix)
+            .filter(|vc| !vc.expiry_exempted)
+            .collect();
+        let all_set: Vec<_> = valids.iter().filter(is_netflix).collect();
+        let fp = crate::tls_fingerprint::learn_tls_fingerprints(
+            keyword,
+            hg_ases,
+            std_set.iter().copied(),
+            &obs.ip_to_as,
+        );
+        let cands_all = crate::candidates::find_candidates(
+            &fp,
+            hg_ases,
+            all_set.iter().copied(),
+            &obs.ip_to_as,
+            &ctx.candidate_options,
+        );
+        let banners = BannerIndex::build(obs.http80.as_ref(), obs.https443.as_ref());
+        let confirmed_all = confirm_candidates(
+            keyword,
+            &cands_all,
+            &ctx.header_fps,
+            &banners,
+            &obs.ip_to_as,
+            ctx.confirm_mode,
+        );
+        assert_eq!(
+            result.per_hg[&Hg::Netflix].with_expired_ases,
+            confirmed_all.ases
+        );
+        assert_eq!(
+            result.per_hg[&Hg::Netflix].with_expired_ips,
+            confirmed_all.ips
+        );
     }
 
     #[test]

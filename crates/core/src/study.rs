@@ -3,11 +3,14 @@
 
 use crate::confirm::ConfirmMode;
 use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
+use crate::parallel::parallel_map;
 use crate::pipeline::{process_snapshot, PipelineContext, SnapshotResult};
+use crate::validation_cache::ValidationCache;
 use hgsim::{Hg, HgWorld, ALL_HGS};
 use netsim::AsId;
 use scanner::{observe_snapshot, ScanEngine};
 use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 
 /// Study parameters.
 #[derive(Debug, Clone)]
@@ -103,9 +106,18 @@ pub fn learn_reference_fingerprints(
         let onnet: Vec<&scanner::HttpRecord> = banner_snap
             .records
             .iter()
-            .filter(|r| obs.ip_to_as.lookup(r.ip).iter().any(|a| hg_ases.contains(a)))
+            .filter(|r| {
+                obs.ip_to_as
+                    .lookup(r.ip)
+                    .iter()
+                    .any(|a| hg_ases.contains(a))
+            })
             .collect();
-        fps.insert(learn_header_fingerprints(hg.spec().keyword, &onnet, &global));
+        fps.insert(learn_header_fingerprints(
+            hg.spec().keyword,
+            &onnet,
+            &global,
+        ));
     }
     fps
 }
@@ -145,6 +157,78 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
                 for a in obs.ip_to_as.lookup(*ip) {
                     with_non_tls.insert(*a);
                 }
+            }
+        }
+        netflix.with_non_tls.push(with_non_tls.len());
+
+        netflix_ip_history.extend(nf.with_expired_ips.iter().copied());
+        netflix_ip_history.extend(nf.confirmed_ips.iter().copied());
+
+        snapshots.push(result);
+    }
+
+    StudySeries {
+        engine: engine.id,
+        snapshots,
+        netflix,
+        header_fps,
+    }
+}
+
+/// Parallel variant of [`run_study`]: snapshots are observed and processed
+/// across `threads` workers sharing one cross-snapshot
+/// [`ValidationCache`], then the order-dependent Netflix non-TLS
+/// restoration is folded sequentially. Produces the same `StudySeries` as
+/// the sequential driver for any thread count.
+pub fn run_study_parallel(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    threads: usize,
+) -> StudySeries {
+    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let mut ctx = PipelineContext::new(
+        world.pki().root_store().clone(),
+        world.org_db(),
+        header_fps.clone(),
+    )
+    .with_threads(threads)
+    .with_validation_cache(Arc::new(ValidationCache::new()));
+    ctx.candidate_options = config.candidate_options.clone();
+    ctx.confirm_mode = config.confirm_mode;
+
+    // Observe + process each snapshot independently; alongside the result,
+    // record the AS origins of its HTTP-only IPs so the observation bundle
+    // can be dropped before the sequential fold below.
+    let ts: Vec<usize> =
+        (config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1)).collect();
+    let inner = ctx.clone().with_threads(1);
+    type SnapOut = (SnapshotResult, Vec<(u32, Vec<AsId>)>);
+    let outputs: Vec<Option<SnapOut>> = parallel_map(&ts, ctx.threads, |&t| {
+        let obs = observe_snapshot(world, engine, t)?;
+        let result = process_snapshot(&obs, &inner);
+        let http_only_origins = result
+            .http_only_ips
+            .iter()
+            .map(|&ip| (ip, obs.ip_to_as.lookup(ip).to_vec()))
+            .collect();
+        Some((result, http_only_origins))
+    });
+
+    // The §6.2 non-TLS restoration consults the cumulative IP history, so
+    // it must run in snapshot order — but it is cheap set arithmetic.
+    let mut snapshots = Vec::new();
+    let mut netflix = NetflixVariants::default();
+    let mut netflix_ip_history: HashSet<u32> = HashSet::new();
+    for (result, http_only_origins) in outputs.into_iter().flatten() {
+        let nf = &result.per_hg[&Hg::Netflix];
+        netflix.initial.push(nf.confirmed_ases.len());
+        netflix.with_expired.push(nf.with_expired_ases.len());
+
+        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
+        for (ip, origins) in &http_only_origins {
+            if netflix_ip_history.contains(ip) {
+                with_non_tls.extend(origins.iter().copied());
             }
         }
         netflix.with_non_tls.push(with_non_tls.len());

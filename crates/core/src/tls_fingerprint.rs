@@ -36,13 +36,18 @@ impl TlsFingerprint {
 }
 
 /// Learn a TLS fingerprint for the HG named `keyword`, whose own ASes are
-/// `hg_ases`, from one snapshot's validated certificates.
-pub fn learn_tls_fingerprints(
+/// `hg_ases`, from one snapshot's validated certificates. Accepts any
+/// borrowed iterable of certificates so callers can pass a slice or an
+/// index-mapped view without cloning.
+pub fn learn_tls_fingerprints<'a, I>(
     keyword: &str,
     hg_ases: &HashSet<AsId>,
-    valid_certs: &[ValidatedCert],
+    valid_certs: I,
     ip_to_as: &IpToAsMap,
-) -> TlsFingerprint {
+) -> TlsFingerprint
+where
+    I: IntoIterator<Item = &'a ValidatedCert>,
+{
     let keyword_lc = keyword.to_ascii_lowercase();
     let mut fp = TlsFingerprint {
         keyword: keyword_lc.clone(),
@@ -93,8 +98,11 @@ mod tests {
             at,
             &Default::default(),
         );
-        let hg_ases: HashSet<AsId> =
-            w.org_db().ases_matching(hg.spec().keyword).into_iter().collect();
+        let hg_ases: HashSet<AsId> = w
+            .org_db()
+            .ases_matching(hg.spec().keyword)
+            .into_iter()
+            .collect();
         learn_tls_fingerprints(hg.spec().keyword, &hg_ases, &valids, &obs.ip_to_as)
     }
 
@@ -115,7 +123,10 @@ mod tests {
     #[test]
     fn foreign_names_not_covered() {
         let fp = learn(Hg::Google, 30);
-        assert!(!fp.covers_all(&["google.com".to_owned(), "jointventure-google.example".to_owned()]));
+        assert!(!fp.covers_all(&[
+            "google.com".to_owned(),
+            "jointventure-google.example".to_owned()
+        ]));
         assert!(!fp.covers_all(&[]));
     }
 

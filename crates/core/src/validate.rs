@@ -32,7 +32,7 @@ pub enum InvalidReason {
 }
 
 /// Aggregate §4.1 statistics for one snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValidationStats {
     pub total_records: usize,
     pub valid: usize,
@@ -130,7 +130,10 @@ fn verify_one(
                 let org_matches = leaf
                     .subject()
                     .organization()
-                    .map(|o| o.to_ascii_lowercase().contains(&org_needle.to_ascii_lowercase()))
+                    .map(|o| {
+                        o.to_ascii_lowercase()
+                            .contains(&org_needle.to_ascii_lowercase())
+                    })
                     .unwrap_or(false);
                 if org_matches && verify_chain(&chain, roots, leaf.validity().not_after).is_ok() {
                     return Ok((Arc::new(chain[0].clone()), true));
@@ -153,7 +156,10 @@ mod tests {
     }
 
     fn record(chain: Vec<Bytes>, ip: u32) -> CertScanRecord {
-        CertScanRecord { ip, chain_der: chain }
+        CertScanRecord {
+            ip,
+            chain_der: chain,
+        }
     }
 
     #[test]
@@ -178,10 +184,7 @@ mod tests {
         assert_eq!(stats.total_records, 6);
         assert_eq!(stats.valid, 2);
         assert_eq!(stats.invalid_total(), 4);
-        assert_eq!(
-            stats.invalid[&InvalidReason::Chain(ChainError::Expired)],
-            1
-        );
+        assert_eq!(stats.invalid[&InvalidReason::Chain(ChainError::Expired)], 1);
         assert_eq!(
             stats.invalid[&InvalidReason::Chain(ChainError::SelfSignedEndEntity)],
             1
@@ -232,8 +235,7 @@ mod tests {
         let pki = HgPki::new(7);
         let sans = vec!["a.example".to_owned()];
         let valid = pki.issue_chain("v", None, "a", &sans, t(2019, 1), t(2019, 12), 0);
-        let records: Vec<CertScanRecord> =
-            (0..100).map(|i| record(valid.clone(), i)).collect();
+        let records: Vec<CertScanRecord> = (0..100).map(|i| record(valid.clone(), i)).collect();
         let (valids, stats) =
             validate_records(&records, pki.root_store(), t(2019, 6), &Default::default());
         assert_eq!(valids.len(), 100);

@@ -1,0 +1,485 @@
+//! Cross-snapshot certificate-validation cache.
+//!
+//! §4.1 re-verifies every chain at each snapshot's scan time, yet most
+//! chains recur across all 31 snapshots and everything about a chain
+//! except the clock comparison is time-invariant. This module caches, per
+//! distinct chain, the parsed end-entity certificate plus a *verdict
+//! skeleton*: the validity windows, CA bits, and signature/anchoring
+//! results that [`x509::verify_chain`] would consult, recorded in its
+//! exact evaluation order. Replaying the skeleton at a snapshot's `at`
+//! reproduces `verify_chain`'s result — same `Ok`/`ChainError`, same
+//! precedence — without touching the DER again; only the time-dependent
+//! window comparisons run per snapshot.
+//!
+//! The cache is fingerprint-keyed (SHA-256 over the length-framed DER
+//! chain) and safe to share across the snapshot worker pool.
+
+use crate::validate::{InvalidReason, ValidateOptions, ValidatedCert, ValidationStats};
+use parking_lot::RwLock;
+use scanner::CertScanRecord;
+use sha2sim::Sha256;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use timebase::Timestamp;
+use x509::{Certificate, ChainError, RootStore, MAX_CHAIN};
+
+/// SHA-256 over the length-framed concatenation of a chain's DER certs.
+type ChainKey = [u8; 32];
+
+fn chain_key(rec: &CertScanRecord) -> ChainKey {
+    let mut h = Sha256::new();
+    for der in &rec.chain_der {
+        h.update(&(der.len() as u64).to_le_bytes());
+        h.update(der.as_ref());
+    }
+    h.finalize()
+}
+
+/// Time-invariant facts about one link of a chain, in the order
+/// `verify_chain` consults them at that index.
+#[derive(Debug)]
+struct LinkFacts {
+    is_ca: bool,
+    not_before: Timestamp,
+    not_after: Timestamp,
+    /// Outcome of this index's signature (or, for the last link,
+    /// anchoring) check; `None` means it passed.
+    sig_err: Option<ChainError>,
+}
+
+/// Everything `verify_chain` would compute for one chain except the
+/// clock comparisons.
+#[derive(Debug)]
+pub struct ChainSkeleton {
+    leaf: Arc<Certificate>,
+    /// Lowercased leaf Subject Organization (for the §6.2 exemption).
+    org_lc: Option<String>,
+    too_long: bool,
+    ee_not_before: Timestamp,
+    ee_not_after: Timestamp,
+    self_signed_ee: bool,
+    /// Per-link facts, truncated after the first link whose
+    /// time-independent checks fail — `verify_chain` can never walk past
+    /// that link at any `at`.
+    links: Vec<LinkFacts>,
+}
+
+impl ChainSkeleton {
+    fn build(chain: &[Certificate], roots: &RootStore) -> Self {
+        let ee = &chain[0];
+        let mut skeleton = ChainSkeleton {
+            leaf: Arc::new(ee.clone()),
+            org_lc: ee.subject().organization().map(|o| o.to_ascii_lowercase()),
+            too_long: chain.len() > MAX_CHAIN,
+            ee_not_before: ee.validity().not_before,
+            ee_not_after: ee.validity().not_after,
+            self_signed_ee: ee.is_self_issued() && ee.verify_signature(&ee.public_key()),
+            links: Vec::with_capacity(chain.len()),
+        };
+        for (i, cert) in chain.iter().enumerate() {
+            let sig_err = match chain.get(i + 1) {
+                Some(issuer) => (!cert.verify_signature(&issuer.public_key()))
+                    .then_some(ChainError::BadSignature),
+                None => {
+                    if cert.is_self_issued() {
+                        if !roots.contains(cert) {
+                            Some(ChainError::UntrustedRoot)
+                        } else {
+                            (!cert.verify_signature(&cert.public_key()))
+                                .then_some(ChainError::BadSignature)
+                        }
+                    } else {
+                        match roots.trusted_key_for(cert.issuer()) {
+                            None => Some(ChainError::UntrustedRoot),
+                            Some(anchor) => {
+                                (!cert.verify_signature(anchor)).then_some(ChainError::BadSignature)
+                            }
+                        }
+                    }
+                }
+            };
+            let link = LinkFacts {
+                is_ca: cert.is_ca(),
+                not_before: cert.validity().not_before,
+                not_after: cert.validity().not_after,
+                sig_err,
+            };
+            let terminal = (i > 0 && !link.is_ca) || link.sig_err.is_some();
+            skeleton.links.push(link);
+            if terminal {
+                break;
+            }
+        }
+        skeleton
+    }
+
+    /// Replay `verify_chain(chain, roots, at)` from the recorded facts.
+    pub fn replay(&self, at: Timestamp) -> Result<(), ChainError> {
+        if self.too_long {
+            return Err(ChainError::TooLong);
+        }
+        if at < self.ee_not_before {
+            return Err(ChainError::NotYetValid);
+        }
+        if at > self.ee_not_after {
+            return Err(ChainError::Expired);
+        }
+        if self.self_signed_ee {
+            return Err(ChainError::SelfSignedEndEntity);
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            if i > 0 {
+                if !link.is_ca {
+                    return Err(ChainError::IntermediateNotCa);
+                }
+                if at < link.not_before || at > link.not_after {
+                    return Err(ChainError::IntermediateExpired);
+                }
+            }
+            if let Some(e) = link.sig_err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// The §4.1/§6.2 verdict at `at`: parsed leaf plus whether the expiry
+    /// exemption fired, or the rejection reason. Mirrors
+    /// `validate::verify_one` exactly.
+    fn verdict_at(
+        &self,
+        at: Timestamp,
+        options: &ValidateOptions,
+    ) -> Result<(Arc<Certificate>, bool), InvalidReason> {
+        match self.replay(at) {
+            Ok(()) => Ok((self.leaf.clone(), false)),
+            Err(ChainError::Expired) => {
+                if let Some(needle) = &options.ignore_expiry_for_org_containing {
+                    let org_matches = self
+                        .org_lc
+                        .as_deref()
+                        .map(|o| o.contains(&needle.to_ascii_lowercase()))
+                        .unwrap_or(false);
+                    if org_matches && self.replay(self.ee_not_after).is_ok() {
+                        return Ok((self.leaf.clone(), true));
+                    }
+                }
+                Err(InvalidReason::Chain(ChainError::Expired))
+            }
+            Err(e) => Err(InvalidReason::Chain(e)),
+        }
+    }
+}
+
+/// A cached per-chain outcome: either the DER never parsed, or a replayable
+/// skeleton.
+#[derive(Debug)]
+enum CachedChain {
+    Malformed,
+    Parsed(ChainSkeleton),
+}
+
+/// Concurrent, fingerprint-keyed chain-verdict cache shared across
+/// snapshots (and across the snapshot worker pool).
+#[derive(Default)]
+pub struct ValidationCache {
+    map: RwLock<HashMap<ChainKey, Arc<CachedChain>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ValidationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.hit_stats();
+        f.debug_struct("ValidationCache")
+            .field("chains", &self.map.read().len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+impl ValidationCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct chains cached so far.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn lookup_or_build(&self, rec: &CertScanRecord, roots: &RootStore) -> Arc<CachedChain> {
+        let key = chain_key(rec);
+        if let Some(hit) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Parse and verify outside the lock; a racing builder of the same
+        // chain produces an identical skeleton, so last-write-wins is fine.
+        let built = Arc::new(match parse_chain(rec) {
+            Some(chain) => CachedChain::Parsed(ChainSkeleton::build(&chain, roots)),
+            None => CachedChain::Malformed,
+        });
+        self.map.write().entry(key).or_insert(built).clone()
+    }
+}
+
+fn parse_chain(rec: &CertScanRecord) -> Option<Vec<Certificate>> {
+    rec.chain_der
+        .iter()
+        .map(|d| Certificate::parse(d).ok())
+        .collect()
+}
+
+/// A snapshot-local verdict for one distinct leaf: the parsed leaf and its
+/// expiry-exemption flag, or the rejection reason.
+type LeafVerdict = Result<(Arc<Certificate>, bool), InvalidReason>;
+
+/// Drop-in replacement for [`crate::validate::validate_records`] backed by
+/// a shared [`ValidationCache`]: same verdicts, same `ValidationStats`,
+/// same per-snapshot first-record-wins dedup by leaf DER.
+pub fn validate_records_cached(
+    records: &[CertScanRecord],
+    roots: &RootStore,
+    at: Timestamp,
+    options: &ValidateOptions,
+    cache: &ValidationCache,
+) -> (Vec<ValidatedCert>, ValidationStats) {
+    let mut stats = ValidationStats {
+        total_records: records.len(),
+        ..Default::default()
+    };
+    let mut out = Vec::with_capacity(records.len());
+    // Mirror validate_records' per-snapshot dedup keyed by leaf DER: the
+    // first record with a given leaf decides the verdict for all of them.
+    let mut local: HashMap<&[u8], LeafVerdict> = HashMap::new();
+    for rec in records {
+        let Some(leaf_der) = rec.chain_der.first() else {
+            *stats.invalid.entry(InvalidReason::Malformed).or_insert(0) += 1;
+            continue;
+        };
+        let verdict = local.entry(leaf_der.as_ref()).or_insert_with(|| {
+            match &*cache.lookup_or_build(rec, roots) {
+                CachedChain::Malformed => Err(InvalidReason::Malformed),
+                CachedChain::Parsed(skeleton) => skeleton.verdict_at(at, options),
+            }
+        });
+        match verdict {
+            Ok((leaf, exempted)) => {
+                stats.valid += 1;
+                out.push(ValidatedCert {
+                    ip: rec.ip,
+                    leaf: leaf.clone(),
+                    expiry_exempted: *exempted,
+                });
+            }
+            Err(reason) => {
+                *stats.invalid.entry(*reason).or_insert(0) += 1;
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_records;
+    use bytes::Bytes;
+    use hgsim::HgPki;
+    use x509::verify_chain;
+
+    fn t(y: i32, m: u8) -> Timestamp {
+        Timestamp::from_civil(y, m, 1, 0, 0, 0)
+    }
+
+    fn record(chain: Vec<Bytes>, ip: u32) -> CertScanRecord {
+        CertScanRecord {
+            ip,
+            chain_der: chain,
+        }
+    }
+
+    /// Every chain variety, replayed at several times, must agree with a
+    /// fresh verify_chain run.
+    #[test]
+    fn replay_matches_verify_chain() {
+        let pki = HgPki::new(7);
+        let sans = vec!["a.example".to_owned()];
+        let chains = vec![
+            pki.issue_chain("v", Some("Org A"), "a", &sans, t(2019, 1), t(2019, 12), 0),
+            pki.issue_chain("e", None, "a", &sans, t(2017, 1), t(2017, 12), 0),
+            pki.issue_self_signed("s", None, "a", &sans, t(2019, 1), t(2019, 12)),
+            pki.issue_untrusted_chain("u", None, "a", &sans, t(2019, 1), t(2019, 12)),
+        ];
+        let ats = [t(2015, 6), t(2017, 6), t(2019, 6), t(2023, 6)];
+        for ders in &chains {
+            let parsed: Vec<Certificate> = ders
+                .iter()
+                .map(|d| Certificate::parse(d).unwrap())
+                .collect();
+            let skeleton = ChainSkeleton::build(&parsed, pki.root_store());
+            for at in ats {
+                let expect = verify_chain(&parsed, pki.root_store(), at).map(|_| ());
+                assert_eq!(skeleton.replay(at), expect, "at {at:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_path_identical_to_sequential() {
+        let pki = HgPki::new(7);
+        let sans = vec!["a.example".to_owned()];
+        let valid = pki.issue_chain("v", None, "a", &sans, t(2019, 1), t(2019, 12), 0);
+        let expired = pki.issue_chain("e", None, "a", &sans, t(2017, 1), t(2017, 12), 0);
+        let selfsigned = pki.issue_self_signed("s", None, "a", &sans, t(2019, 1), t(2019, 12));
+        let untrusted = pki.issue_untrusted_chain("u", None, "a", &sans, t(2019, 1), t(2019, 12));
+        let records = vec![
+            record(valid.clone(), 1),
+            record(valid, 2),
+            record(expired, 3),
+            record(selfsigned, 4),
+            record(untrusted, 5),
+            record(vec![Bytes::from_static(b"garbage")], 6),
+            record(vec![], 7),
+        ];
+        let cache = ValidationCache::new();
+        let opts = ValidateOptions::default();
+        // Two snapshots at different times: the second is fully warm.
+        for at in [t(2019, 6), t(2020, 6)] {
+            let (seq, seq_stats) = validate_records(&records, pki.root_store(), at, &opts);
+            let (hot, hot_stats) =
+                validate_records_cached(&records, pki.root_store(), at, &opts, &cache);
+            assert_eq!(seq.len(), hot.len());
+            for (a, b) in seq.iter().zip(&hot) {
+                assert_eq!(a.ip, b.ip);
+                assert_eq!(a.leaf.fingerprint(), b.leaf.fingerprint());
+                assert_eq!(a.expiry_exempted, b.expiry_exempted);
+            }
+            assert_eq!(seq_stats.total_records, hot_stats.total_records);
+            assert_eq!(seq_stats.valid, hot_stats.valid);
+            assert_eq!(seq_stats.invalid, hot_stats.invalid);
+        }
+        let (hits, misses) = cache.hit_stats();
+        assert_eq!(cache.len(), 5, "distinct parseable+garbage chains cached");
+        assert!(hits > 0 && misses == 5, "hits {hits} misses {misses}");
+    }
+
+    #[test]
+    fn netflix_exemption_replays_from_cache() {
+        let pki = HgPki::new(7);
+        let nf = pki.issue_chain(
+            "nf",
+            Some("Netflix, Inc."),
+            "v",
+            &["v.netflix.com".to_owned()],
+            t(2016, 6),
+            t(2017, 4),
+            0,
+        );
+        let other = pki.issue_chain(
+            "ot",
+            Some("Other Org"),
+            "v",
+            &["x.example".to_owned()],
+            t(2016, 6),
+            t(2017, 4),
+            0,
+        );
+        let records = vec![record(nf, 1), record(other, 2)];
+        let opts = ValidateOptions {
+            ignore_expiry_for_org_containing: Some("netflix".to_owned()),
+        };
+        let cache = ValidationCache::new();
+        // Run twice so the second pass exercises the warm path.
+        for _ in 0..2 {
+            let (valids, stats) =
+                validate_records_cached(&records, pki.root_store(), t(2018, 6), &opts, &cache);
+            assert_eq!(valids.len(), 1);
+            assert_eq!(valids[0].ip, 1);
+            assert!(valids[0].expiry_exempted);
+            assert_eq!(stats.invalid_total(), 1);
+        }
+    }
+
+    #[test]
+    fn leaf_arcs_shared_within_and_across_snapshots() {
+        let pki = HgPki::new(7);
+        let valid = pki.issue_chain(
+            "v",
+            None,
+            "a",
+            &["a.example".to_owned()],
+            t(2019, 1),
+            t(2019, 12),
+            0,
+        );
+        let records: Vec<CertScanRecord> = (0..50).map(|i| record(valid.clone(), i)).collect();
+        let cache = ValidationCache::new();
+        let (a, _) = validate_records_cached(
+            &records,
+            pki.root_store(),
+            t(2019, 6),
+            &Default::default(),
+            &cache,
+        );
+        let (b, _) = validate_records_cached(
+            &records,
+            pki.root_store(),
+            t(2019, 7),
+            &Default::default(),
+            &cache,
+        );
+        assert!(Arc::ptr_eq(&a[0].leaf, &a[49].leaf));
+        assert!(
+            Arc::ptr_eq(&a[0].leaf, &b[0].leaf),
+            "cache must share parses across snapshots"
+        );
+    }
+
+    #[test]
+    fn concurrent_lookups_converge() {
+        let pki = HgPki::new(7);
+        let chains: Vec<Vec<Bytes>> = (0..16)
+            .map(|i| {
+                pki.issue_chain(
+                    &format!("c{i}"),
+                    None,
+                    "a",
+                    &[format!("h{i}.example")],
+                    t(2019, 1),
+                    t(2019, 12),
+                    0,
+                )
+            })
+            .collect();
+        let cache = ValidationCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (ip, chain) in chains.iter().enumerate() {
+                        let rec = record(chain.clone(), ip as u32);
+                        let v = cache.lookup_or_build(&rec, pki.root_store());
+                        assert!(matches!(&*v, CachedChain::Parsed(_)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 16);
+    }
+}

@@ -74,7 +74,15 @@ impl DeploymentTimeline {
                 if members.len() < target {
                     let need = target - members.len();
                     let added = sample_additions(
-                        &mut rng, topology, &candidates, members, &top4_count, spec, plan, t, need,
+                        &mut rng,
+                        topology,
+                        &candidates,
+                        members,
+                        &top4_count,
+                        spec,
+                        plan,
+                        t,
+                        need,
                     );
                     for asn in added {
                         members.insert(asn);
@@ -84,8 +92,15 @@ impl DeploymentTimeline {
                     }
                 } else if members.len() > target {
                     let drop = members.len() - target;
-                    let removed =
-                        sample_removals(&mut rng, topology, members, &spec.type_preference, hg, t, drop);
+                    let removed = sample_removals(
+                        &mut rng,
+                        topology,
+                        members,
+                        &spec.type_preference,
+                        hg,
+                        t,
+                        drop,
+                    );
                     for asn in removed {
                         members.remove(&asn);
                         if TOP4.contains(&hg) {
@@ -97,7 +112,9 @@ impl DeploymentTimeline {
                 }
                 let mut snapshot_set: Vec<AsId> = members.iter().copied().collect();
                 snapshot_set.sort_unstable();
-                sets.get_mut(&hg).expect("all HGs present").push(snapshot_set);
+                sets.get_mut(&hg)
+                    .expect("all HGs present")
+                    .push(snapshot_set);
             }
         }
         Self { sets, n_snapshots }
@@ -155,7 +172,11 @@ fn sample_additions(
     for a in candidates {
         let mut w = 0.0;
         if a.birth as usize <= t && !members.contains(&a.id) {
-            let eyeball_bonus = if a.eyeball_weight > 0.0 { 1.0 + a.eyeball_weight.min(5.0) } else { 0.25 };
+            let eyeball_bonus = if a.eyeball_weight > 0.0 {
+                1.0 + a.eyeball_weight.min(5.0)
+            } else {
+                0.25
+            };
             let co = f64::from(*top4_count.get(&a.id).unwrap_or(&0));
             let bonus = plan.co_host_bonus * frac;
             w = region_weight(topology.region_of(a.id))

@@ -3,7 +3,6 @@
 //! attribution. The scanner crate observes these endpoints; the pipeline
 //! tries to recover the attribution.
 
-
 use crate::scenario::{Countermeasure, HgWorld};
 use crate::spec::{interpolate_anchors, interpolate_pair, Hg, ALL_HGS};
 use netsim::AsId;
@@ -131,15 +130,31 @@ enum CertOnlyHost {
 type CertOnlyRule = (Hg, &'static [(u32, u32)], CertOnlyHost);
 
 const CERT_ONLY: &[CertOnlyRule] = &[
-    (Hg::Apple, &[(0, 113), (26, 240), (30, 267)], CertOnlyHost::AkamaiEdge),
-    (Hg::Twitter, &[(0, 101), (30, 176)], CertOnlyHost::AkamaiEdge),
+    (
+        Hg::Apple,
+        &[(0, 113), (26, 240), (30, 267)],
+        CertOnlyHost::AkamaiEdge,
+    ),
+    (
+        Hg::Twitter,
+        &[(0, 101), (30, 176)],
+        CertOnlyHost::AkamaiEdge,
+    ),
     (Hg::Netflix, &[(0, 96), (30, 173)], CertOnlyHost::Datacenter),
     (Hg::Amazon, &[(0, 147), (30, 156)], CertOnlyHost::Mgmt),
     (Hg::Google, &[(0, 61), (30, 25)], CertOnlyHost::Mgmt),
     (Hg::Facebook, &[(0, 8), (30, 15)], CertOnlyHost::Mgmt),
     (Hg::Akamai, &[(0, 35), (30, 13)], CertOnlyHost::Mgmt),
-    (Hg::Alibaba, &[(0, 0), (10, 60), (30, 165)], CertOnlyHost::Datacenter),
-    (Hg::Cdnetworks, &[(0, 4), (30, 20)], CertOnlyHost::Datacenter),
+    (
+        Hg::Alibaba,
+        &[(0, 0), (10, 60), (30, 165)],
+        CertOnlyHost::Datacenter,
+    ),
+    (
+        Hg::Cdnetworks,
+        &[(0, 4), (30, 20)],
+        CertOnlyHost::Datacenter,
+    ),
 ];
 
 struct Generator<'a> {
@@ -367,7 +382,8 @@ impl<'a> Generator<'a> {
         let t = self.t;
         let scale = self.world.config().footprint_scale;
         for (hg, anchors, host) in CERT_ONLY {
-            let n_ases = (f64::from(interpolate_anchors(anchors, t as u32)) * scale).round() as usize;
+            let n_ases =
+                (f64::from(interpolate_anchors(anchors, t as u32)) * scale).round() as usize;
             if n_ases == 0 {
                 continue;
             }
@@ -421,9 +437,7 @@ impl<'a> Generator<'a> {
         let paid_anchors = [(0u32, 0u32), (14, 20), (20, 60), (30, 137)];
         for (paid, anchors) in [(false, &free_anchors[..]), (true, &paid_anchors[..])] {
             let n = (f64::from(interpolate_anchors(anchors, t)) * scale).round() as usize;
-            let pool = self
-                .world
-                .stable_as_pool(&format!("cf:{paid}"), n, self.t);
+            let pool = self.world.stable_as_pool(&format!("cf:{paid}"), n, self.t);
             for (i, asn) in pool.into_iter().enumerate() {
                 let salt = hstr(&format!("cf:{paid}:{}", asn.0));
                 let ip = self.ip_in_as(asn, salt);
@@ -511,9 +525,9 @@ impl<'a> Generator<'a> {
                 (asn, format!("bgp:{p}:{group}"), true)
             };
             let ip = self.ip_in_as(asn, salt ^ 0xbb);
-            let chain = self
-                .world
-                .background_chain(&cert_label, shared_group, self.t, self.scan_time);
+            let chain =
+                self.world
+                    .background_chain(&cert_label, shared_group, self.t, self.scan_time);
             let headers = background_headers(salt);
             self.push(Endpoint {
                 ip,

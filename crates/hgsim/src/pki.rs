@@ -128,7 +128,8 @@ impl HgPki {
         issuer_hint: usize,
     ) -> Vec<Bytes> {
         let issuer = &self.issuers[issuer_hint % self.issuers.len()];
-        let leaf = self.build_leaf(label, org, common_name, sans, not_before, not_after)
+        let leaf = self
+            .build_leaf(label, org, common_name, sans, not_before, not_after)
             .issued_by(&issuer.name, &issuer.key);
         vec![Bytes::copy_from_slice(leaf.der()), issuer.cert_der.clone()]
     }
@@ -143,7 +144,8 @@ impl HgPki {
         not_before: Timestamp,
         not_after: Timestamp,
     ) -> Vec<Bytes> {
-        let leaf = self.build_leaf(label, org, common_name, sans, not_before, not_after)
+        let leaf = self
+            .build_leaf(label, org, common_name, sans, not_before, not_after)
             .issued_by(&self.untrusted.name, &self.untrusted.key);
         vec![
             Bytes::copy_from_slice(leaf.der()),
@@ -162,7 +164,8 @@ impl HgPki {
         not_after: Timestamp,
     ) -> Vec<Bytes> {
         let key = KeyPair::from_seed(&format!("ss:{label}"));
-        let leaf = self.build_leaf(label, org, common_name, sans, not_before, not_after)
+        let leaf = self
+            .build_leaf(label, org, common_name, sans, not_before, not_after)
             .self_signed(&key);
         vec![Bytes::copy_from_slice(leaf.der())]
     }
@@ -227,7 +230,8 @@ mod tests {
     fn untrusted_chain_fails() {
         let pki = HgPki::new(7);
         let sans = vec!["x.example".to_owned()];
-        let chain = pki.issue_untrusted_chain("u1", None, "x.example", &sans, t(2019, 1), t(2019, 6));
+        let chain =
+            pki.issue_untrusted_chain("u1", None, "x.example", &sans, t(2019, 1), t(2019, 6));
         let certs = parse_chain(&chain);
         assert_eq!(
             verify_chain(&certs, pki.root_store(), t(2019, 3)).unwrap_err(),
@@ -239,8 +243,14 @@ mod tests {
     fn self_signed_fails() {
         let pki = HgPki::new(7);
         let sans = vec!["*.google.com".to_owned()];
-        let chain =
-            pki.issue_self_signed("s1", Some("Google LLC"), "*.google.com", &sans, t(2019, 1), t(2019, 6));
+        let chain = pki.issue_self_signed(
+            "s1",
+            Some("Google LLC"),
+            "*.google.com",
+            &sans,
+            t(2019, 1),
+            t(2019, 6),
+        );
         let certs = parse_chain(&chain);
         assert_eq!(
             verify_chain(&certs, pki.root_store(), t(2019, 3)).unwrap_err(),
@@ -252,7 +262,15 @@ mod tests {
     fn expired_chain_fails_at_scan_time() {
         let pki = HgPki::new(7);
         let sans = vec!["v.netflix.com".to_owned()];
-        let chain = pki.issue_chain("n1", Some("Netflix, Inc."), "v", &sans, t(2016, 1), t(2017, 4), 1);
+        let chain = pki.issue_chain(
+            "n1",
+            Some("Netflix, Inc."),
+            "v",
+            &sans,
+            t(2016, 1),
+            t(2017, 4),
+            1,
+        );
         let certs = parse_chain(&chain);
         assert_eq!(
             verify_chain(&certs, pki.root_store(), t(2018, 1)).unwrap_err(),

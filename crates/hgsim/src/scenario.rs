@@ -2,9 +2,9 @@
 //! + organization registry, with caches for per-snapshot derived data.
 
 use crate::deploy::{DeploymentPlan, DeploymentTimeline};
-use crate::pki::CLOUDFLARE_FREE_SAN_MARKER;
 use crate::endpoints::EndpointSet;
 use crate::pki::HgPki;
+use crate::pki::CLOUDFLARE_FREE_SAN_MARKER;
 use crate::spec::{interpolate_pair, Hg, ALL_HGS};
 use bytes::Bytes;
 use netsim::{
@@ -131,7 +131,10 @@ impl HgWorld {
         // content AS; every other AS gets a generic operator org.
         let mut org_db = OrgDb::new();
         let content = topology.content_as_ids();
-        assert!(content.len() >= ALL_HGS.len(), "not enough content AS slots");
+        assert!(
+            content.len() >= ALL_HGS.len(),
+            "not enough content AS slots"
+        );
         let mut hg_as = HashMap::new();
         for (i, hg) in ALL_HGS.iter().enumerate() {
             let org = org_db.add_org(hg.spec().org_name);
@@ -319,7 +322,9 @@ impl HgWorld {
                 .plus_days(period * lifetime);
             let na = nb.plus_days(lifetime + 10);
             let label = format!("hgc:{hg}:{i}:{period}:{lifetime}:{}", org.is_some());
-            let chain = self.pki.issue_chain(&label, org, &sans[0].clone(), &sans, nb, na, i);
+            let chain = self
+                .pki
+                .issue_chain(&label, org, &sans[0].clone(), &sans, nb, na, i);
             out.push(Arc::new(chain));
         }
         if hg == Hg::Cloudflare {
@@ -383,7 +388,12 @@ impl HgWorld {
     /// 2017-04 and 2019-10 (§6.2).
     pub fn netflix_expired_chain(&self) -> Arc<Vec<Bytes>> {
         let spec = Hg::Netflix.spec();
-        let sans: Vec<String> = spec.base_domains.iter().take(3).map(|s| s.to_string()).collect();
+        let sans: Vec<String> = spec
+            .base_domains
+            .iter()
+            .take(3)
+            .map(|s| s.to_string())
+            .collect();
         Arc::new(self.pki.issue_chain(
             "netflix:expired-default",
             Some(spec.org_name),
@@ -449,7 +459,12 @@ impl HgWorld {
         let spec = hg.spec();
         let nb = self.snapshot_date(t).midnight().plus_days(-100);
         let na = nb.plus_days(730);
-        let sans: Vec<String> = spec.base_domains.iter().take(2).map(|s| s.to_string()).collect();
+        let sans: Vec<String> = spec
+            .base_domains
+            .iter()
+            .take(2)
+            .map(|s| s.to_string())
+            .collect();
         Arc::new(self.pki.issue_self_signed(
             &format!("imp:{hg}:{i}"),
             Some(spec.org_name),
@@ -482,7 +497,10 @@ impl HgWorld {
             .plus_days(period * lifetime);
         let na = nb.plus_days(lifetime + 10);
         let site = mix64(h ^ 0x51);
-        let sans = vec![format!("www.site{site:x}.example"), format!("site{site:x}.example")];
+        let sans = vec![
+            format!("www.site{site:x}.example"),
+            format!("site{site:x}.example"),
+        ];
         let org: Option<String> = if mix64(h ^ 0x99) % 1000 < 2 {
             // Keyword bait: a reseller whose name contains an HG keyword.
             Some("Google Cloud Hosting Reseller Ltd".to_owned())
@@ -515,12 +533,18 @@ impl HgWorld {
                     (h % 4) as usize,
                 )
             }
-            79..=90 => self
-                .pki
-                .issue_self_signed(label, org.as_deref(), &sans[0].clone(), &sans, nb, na),
-            _ => self
-                .pki
-                .issue_untrusted_chain(label, org.as_deref(), &sans[0].clone(), &sans, nb, na),
+            79..=90 => {
+                self.pki
+                    .issue_self_signed(label, org.as_deref(), &sans[0].clone(), &sans, nb, na)
+            }
+            _ => self.pki.issue_untrusted_chain(
+                label,
+                org.as_deref(),
+                &sans[0].clone(),
+                &sans,
+                nb,
+                na,
+            ),
         };
         Arc::new(chain)
     }
@@ -542,13 +566,17 @@ impl HgWorld {
                 .map(|(j, _)| j)
                 .collect();
             if same_name.len() > 1 {
-                let chosen = same_name[(mix64(salt ^ hstr(name)) % same_name.len() as u64) as usize];
+                let chosen =
+                    same_name[(mix64(salt ^ hstr(name)) % same_name.len() as u64) as usize];
                 if chosen != i {
                     continue;
                 }
             }
             let rendered = if value.contains("{}") {
-                value.replace("{}", &format!("{:08x}", mix64(salt ^ hstr(value)) & 0xffff_ffff))
+                value.replace(
+                    "{}",
+                    &format!("{:08x}", mix64(salt ^ hstr(value)) & 0xffff_ffff),
+                )
             } else {
                 (*value).to_owned()
             };
@@ -619,8 +647,10 @@ mod tests {
             let scan = w.snapshot_date(t).midnight().plus_seconds(3600);
             for hg in [Hg::Google, Hg::Akamai, Hg::Netflix] {
                 for chain in w.hg_profile_chains(hg, t) {
-                    let certs: Vec<Certificate> =
-                        chain.iter().map(|d| Certificate::parse(d).unwrap()).collect();
+                    let certs: Vec<Certificate> = chain
+                        .iter()
+                        .map(|d| Certificate::parse(d).unwrap())
+                        .collect();
                     let v = verify_chain(&certs, w.pki().root_store(), scan)
                         .unwrap_or_else(|e| panic!("{hg} t={t}: {e}"));
                     assert_eq!(
@@ -636,8 +666,10 @@ mod tests {
     fn netflix_expired_chain_is_expired_in_2018() {
         let w = world();
         let chain = w.netflix_expired_chain();
-        let certs: Vec<Certificate> =
-            chain.iter().map(|d| Certificate::parse(d).unwrap()).collect();
+        let certs: Vec<Certificate> = chain
+            .iter()
+            .map(|d| Certificate::parse(d).unwrap())
+            .collect();
         let at = Timestamp::from_civil(2018, 1, 1, 0, 0, 0);
         assert!(verify_chain(&certs, w.pki().root_store(), at).is_err());
     }

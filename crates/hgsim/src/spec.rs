@@ -288,10 +288,7 @@ static SPECS: [HgSpec; 23] = [
             "*.nflxext.com",
             "*.nflxso.net",
         ],
-        headers: &[
-            ("X-Netflix.nfstatus", "1_1{}"),
-            ("X-TCP-Info", "rtt={}"),
-        ],
+        headers: &[("X-Netflix.nfstatus", "1_1{}"), ("X-TCP-Info", "rtt={}")],
         headers_documented: false,
         offnet_anchors: &[
             (0, 47),
@@ -380,7 +377,11 @@ static SPECS: [HgSpec; 23] = [
         org_name: "Cloudflare, Inc.",
         keyword: "cloudflare",
         base_domains: &["*.cloudflare.com", "cloudflare.com", "*.cloudflare-dns.com"],
-        headers: &[("Server", "cloudflare"), ("CF-RAY", "{}"), ("CF-Request-Id", "{}")],
+        headers: &[
+            ("Server", "cloudflare"),
+            ("CF-RAY", "{}"),
+            ("CF-Request-Id", "{}"),
+        ],
         headers_documented: true,
         // No true off-nets: the apparent footprint is customer origins
         // holding Cloudflare-issued certificates (§6.1, §7).
@@ -747,12 +748,30 @@ mod tests {
 
     #[test]
     fn table3_endpoint_anchors() {
-        assert_eq!(interpolate_anchors(Hg::Google.spec().offnet_anchors, 0), 1044);
-        assert_eq!(interpolate_anchors(Hg::Google.spec().offnet_anchors, 30), 3810);
-        assert_eq!(interpolate_anchors(Hg::Facebook.spec().offnet_anchors, 30), 2214);
-        assert_eq!(interpolate_anchors(Hg::Netflix.spec().offnet_anchors, 0), 47);
-        assert_eq!(interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 18), 1463);
-        assert_eq!(interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 30), 1094);
+        assert_eq!(
+            interpolate_anchors(Hg::Google.spec().offnet_anchors, 0),
+            1044
+        );
+        assert_eq!(
+            interpolate_anchors(Hg::Google.spec().offnet_anchors, 30),
+            3810
+        );
+        assert_eq!(
+            interpolate_anchors(Hg::Facebook.spec().offnet_anchors, 30),
+            2214
+        );
+        assert_eq!(
+            interpolate_anchors(Hg::Netflix.spec().offnet_anchors, 0),
+            47
+        );
+        assert_eq!(
+            interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 18),
+            1463
+        );
+        assert_eq!(
+            interpolate_anchors(Hg::Akamai.spec().offnet_anchors, 30),
+            1094
+        );
     }
 
     #[test]

@@ -80,10 +80,7 @@ impl IpToAsMap {
 
     /// Total address space covered.
     pub fn covered_addresses(&self) -> u64 {
-        self.ranges
-            .iter()
-            .map(|r| u64::from(r.1 - r.0) + 1)
-            .sum()
+        self.ranges.iter().map(|r| u64::from(r.1 - r.0) + 1).sum()
     }
 }
 
@@ -121,8 +118,12 @@ mod tests {
         let map = IpToAsMap::build(&rib);
         // 203.0.113.0 (TEST-NET-3) far beyond the allocator cursor at small
         // scale, and bogon 10.0.0.1 must both be unmapped.
-        assert!(map.lookup(u32::from(std::net::Ipv4Addr::new(203, 0, 113, 9))).is_empty());
-        assert!(map.lookup(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1))).is_empty());
+        assert!(map
+            .lookup(u32::from(std::net::Ipv4Addr::new(203, 0, 113, 9)))
+            .is_empty());
+        assert!(map
+            .lookup(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)))
+            .is_empty());
     }
 
     #[test]

@@ -26,5 +26,8 @@ pub use ip2as::IpToAsMap;
 pub use org::{OrgDb, OrgId};
 pub use paths::{reachable_within, valley_free_path, AsPath};
 pub use prefix::{Prefix, PrefixAllocator};
-pub use topology::{AsNode, Topology, TopologyConfig, LEVEL_CONTENT, LEVEL_CORE, LEVEL_LARGE, LEVEL_MEDIUM, LEVEL_SMALL, LEVEL_STUB};
+pub use topology::{
+    AsNode, Topology, TopologyConfig, LEVEL_CONTENT, LEVEL_CORE, LEVEL_LARGE, LEVEL_MEDIUM,
+    LEVEL_SMALL, LEVEL_STUB,
+};
 pub use types::{AsId, Region, ALL_REGIONS};

@@ -52,10 +52,7 @@ impl OrgDb {
     }
 
     pub fn ases_of(&self, org: OrgId) -> &[AsId] {
-        self.org_to_ases
-            .get(&org)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.org_to_ases.get(&org).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All ASes whose organization name contains `needle`
@@ -65,7 +62,11 @@ impl OrgDb {
         let mut out: Vec<AsId> = self
             .org_to_ases
             .iter()
-            .filter(|(org, _)| self.names[org.0 as usize].to_ascii_lowercase().contains(&needle))
+            .filter(|(org, _)| {
+                self.names[org.0 as usize]
+                    .to_ascii_lowercase()
+                    .contains(&needle)
+            })
             .flat_map(|(_, ases)| ases.iter().copied())
             .collect();
         out.sort_unstable();

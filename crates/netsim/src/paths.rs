@@ -113,7 +113,12 @@ pub fn valley_free_path(topology: &Topology, src: AsId, dst: AsId, t: usize) -> 
 
 /// All ASes reachable from `src` under valley-free export within
 /// `max_hops` links — the "serving radius" of a vantage point.
-pub fn reachable_within(topology: &Topology, src: AsId, t: usize, max_hops: usize) -> HashSet<AsId> {
+pub fn reachable_within(
+    topology: &Topology,
+    src: AsId,
+    t: usize,
+    max_hops: usize,
+) -> HashSet<AsId> {
     let mut out = HashSet::new();
     if !topology.alive_at(src, t) {
         return out;

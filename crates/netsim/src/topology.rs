@@ -104,11 +104,11 @@ impl Topology {
         let survive_p = config.n_ases_start as f64 / n as f64;
 
         let push_as = |ases: &mut Vec<AsNode>,
-                           rng: &mut StdRng,
-                           alloc: &mut PrefixAllocator,
-                           level: u8,
-                           birth: u32,
-                           region_hint: Option<Region>| {
+                       rng: &mut StdRng,
+                       alloc: &mut PrefixAllocator,
+                       level: u8,
+                       birth: u32,
+                       region_hint: Option<Region>| {
             let id = AsId(ases.len() as u32 + 1);
             let country = world.sample_country(rng, region_hint);
             let (n_prefixes, len_lo, len_hi) = match level {
@@ -194,29 +194,26 @@ impl Topology {
         };
         let region_of = |ases: &[AsNode], idx: u32| world.region_of(ases[idx as usize].country);
 
-        let pick_provider = |rng: &mut StdRng,
-                             ases: &[AsNode],
-                             pool: &[u32],
-                             customer_idx: u32|
-         -> Option<u32> {
-            let customer_birth = ases[customer_idx as usize].birth;
-            let customer_region = region_of(ases, customer_idx);
-            let want_same_region = rng.gen_bool(0.8);
-            // Rejection-sample a few times, then fall back to any eligible.
-            for _ in 0..12 {
-                let cand = pool[rng.gen_range(0..pool.len())];
-                if ases[cand as usize].birth > customer_birth {
-                    continue;
+        let pick_provider =
+            |rng: &mut StdRng, ases: &[AsNode], pool: &[u32], customer_idx: u32| -> Option<u32> {
+                let customer_birth = ases[customer_idx as usize].birth;
+                let customer_region = region_of(ases, customer_idx);
+                let want_same_region = rng.gen_bool(0.8);
+                // Rejection-sample a few times, then fall back to any eligible.
+                for _ in 0..12 {
+                    let cand = pool[rng.gen_range(0..pool.len())];
+                    if ases[cand as usize].birth > customer_birth {
+                        continue;
+                    }
+                    if want_same_region && region_of(ases, cand) != customer_region {
+                        continue;
+                    }
+                    return Some(cand);
                 }
-                if want_same_region && region_of(ases, cand) != customer_region {
-                    continue;
-                }
-                return Some(cand);
-            }
-            pool.iter()
-                .copied()
-                .find(|&c| ases[c as usize].birth <= customer_birth)
-        };
+                pool.iter()
+                    .copied()
+                    .find(|&c| ases[c as usize].birth <= customer_birth)
+            };
 
         let n_total = ases.len();
         for i in 0..n_total {
@@ -324,12 +321,16 @@ impl Topology {
 
     /// Direct customers.
     pub fn customers(&self, id: AsId) -> impl Iterator<Item = AsId> + '_ {
-        self.customers[self.idx(id)].iter().map(|&i| self.ases[i as usize].id)
+        self.customers[self.idx(id)]
+            .iter()
+            .map(|&i| self.ases[i as usize].id)
     }
 
     /// Transitive customer cone (excluding the AS itself), ignoring births.
     pub fn cone_members(&self, id: AsId) -> impl Iterator<Item = AsId> + '_ {
-        self.cones[self.idx(id)].iter().map(|&i| self.ases[i as usize].id)
+        self.cones[self.idx(id)]
+            .iter()
+            .map(|&i| self.ases[i as usize].id)
     }
 
     /// Customer cone size (excluding self) at a snapshot.
@@ -363,7 +364,13 @@ fn compute_cones(
     let mut cones: Vec<Vec<u32>> = vec![Vec::new(); ases.len()];
     // Levels sorted so customers come first: stubs(4), small(3), ... core(0).
     // Content (5) has no customers.
-    for level in [LEVEL_STUB, LEVEL_SMALL, LEVEL_MEDIUM, LEVEL_LARGE, LEVEL_CORE] {
+    for level in [
+        LEVEL_STUB,
+        LEVEL_SMALL,
+        LEVEL_MEDIUM,
+        LEVEL_LARGE,
+        LEVEL_CORE,
+    ] {
         for &i in &level_members[level as usize] {
             let mut acc: Vec<u32> = Vec::new();
             for &c in &customers[i as usize] {
@@ -430,7 +437,11 @@ mod tests {
         // Small next (~12%).
         assert!(frac(1) > 0.05 && frac(1) < 0.3, "small share {}", frac(1));
         // Large + XLarge rare (<2%).
-        assert!(frac(3) + frac(4) < 0.02, "large+ share {}", frac(3) + frac(4));
+        assert!(
+            frac(3) + frac(4) < 0.02,
+            "large+ share {}",
+            frac(3) + frac(4)
+        );
         // At least one XLarge must exist.
         assert!(counts[4] >= 1, "no xlarge ASes");
     }

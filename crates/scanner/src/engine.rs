@@ -135,8 +135,8 @@ impl ScanEngine {
         if coin_block < self.block_optout {
             return false;
         }
-        let coin2 =
-            mix(self.salt ^ u64::from(ip).rotate_left(17) ^ (t as u64) << 48) as f64 / u64::MAX as f64;
+        let coin2 = mix(self.salt ^ u64::from(ip).rotate_left(17) ^ (t as u64) << 48) as f64
+            / u64::MAX as f64;
         coin2 >= self.transient_loss
     }
 }

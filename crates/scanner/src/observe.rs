@@ -23,7 +23,11 @@ pub struct SnapshotObservations {
 /// performing the scans, and building the month's IP-to-AS map.
 ///
 /// Returns `None` when the engine's corpus does not cover the snapshot.
-pub fn observe_snapshot(world: &HgWorld, engine: &ScanEngine, t: usize) -> Option<SnapshotObservations> {
+pub fn observe_snapshot(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    t: usize,
+) -> Option<SnapshotObservations> {
     if t < engine.active_since {
         return None;
     }

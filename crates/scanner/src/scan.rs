@@ -155,8 +155,7 @@ mod tests {
             .collect();
         assert!(!http_only_ips.is_empty());
         let snap = scan_certificates(&eps, &ScanEngine::certigo(), w.snapshot_date(18), 31);
-        let scanned: std::collections::HashSet<u32> =
-            snap.records.iter().map(|r| r.ip).collect();
+        let scanned: std::collections::HashSet<u32> = snap.records.iter().map(|r| r.ip).collect();
         for ip in http_only_ips {
             assert!(!scanned.contains(&ip));
         }

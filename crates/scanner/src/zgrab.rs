@@ -88,10 +88,22 @@ mod tests {
             .iter()
             .find(|e| e.attribution == Attribution::OffNet(Hg::Google))
             .expect("google off-net exists");
-        let r = zgrab_probe(&eps, w.pki().root_store(), google_off.ip, "www.googlevideo.com", at);
+        let r = zgrab_probe(
+            &eps,
+            w.pki().root_store(),
+            google_off.ip,
+            "www.googlevideo.com",
+            at,
+        );
         assert!(r.responded);
         assert!(r.tls_validated, "google off-net must serve google domains");
-        let r = zgrab_probe(&eps, w.pki().root_store(), google_off.ip, "www.netflix.com", at);
+        let r = zgrab_probe(
+            &eps,
+            w.pki().root_store(),
+            google_off.ip,
+            "www.netflix.com",
+            at,
+        );
         assert!(!r.tls_validated, "google off-net must not validate netflix");
     }
 
@@ -100,7 +112,13 @@ mod tests {
         let w = world();
         let eps = w.endpoints(30);
         let at = w.snapshot_date(30).midnight();
-        let r = zgrab_probe(&eps, w.pki().root_store(), 0x0909_0909, "www.google.com", at);
+        let r = zgrab_probe(
+            &eps,
+            w.pki().root_store(),
+            0x0909_0909,
+            "www.google.com",
+            at,
+        );
         assert!(!r.responded);
     }
 

@@ -64,11 +64,7 @@ impl Date {
         let mp = (5 * doy + 2) / 153; // [0, 11]
         let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
-        Self::new(
-            (y + i64::from(m <= 2)) as i32,
-            m as u8,
-            d as u8,
-        )
+        Self::new((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
     }
 
     /// Midnight (00:00:00 UTC) at this date.

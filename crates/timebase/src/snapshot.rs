@@ -49,8 +49,8 @@ impl Snapshot {
     /// Zero-based index within the study series, negative before the start.
     pub fn study_index(&self) -> i32 {
         let start = Self::study_start().0;
-        let months =
-            (self.0.year() - start.year()) * 12 + i32::from(self.0.month()) - i32::from(start.month());
+        let months = (self.0.year() - start.year()) * 12 + i32::from(self.0.month())
+            - i32::from(start.month());
         months.div_euclid(3)
     }
 
@@ -86,8 +86,7 @@ impl SnapshotSeries {
     /// are not a whole number of quarters apart.
     pub fn new(start: Snapshot, end: Snapshot) -> Self {
         assert!(start <= end, "snapshot series end precedes start");
-        let months = (end.date().year() - start.date().year()) * 12
-            + i32::from(end.date().month())
+        let months = (end.date().year() - start.date().year()) * 12 + i32::from(end.date().month())
             - i32::from(start.date().month());
         assert!(months % 3 == 0, "snapshots must be quarter-aligned");
         Self { start, end }

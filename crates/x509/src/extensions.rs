@@ -112,7 +112,12 @@ impl Extensions {
     }
 }
 
-fn encode_extension(w: &mut Writer, oid: &asn1::Oid, critical: bool, value: impl FnOnce(&mut Writer)) {
+fn encode_extension(
+    w: &mut Writer,
+    oid: &asn1::Oid,
+    critical: bool,
+    value: impl FnOnce(&mut Writer),
+) {
     w.write_constructed(Tag::SEQUENCE, |w| {
         w.write_oid(oid);
         if critical {

@@ -26,4 +26,4 @@ pub use extensions::{BasicConstraints, Extensions, KeyUsage};
 pub use name::{DistinguishedName, NameBuilder};
 pub use sign::{KeyPair, PublicKey, Signature};
 pub use store::RootStore;
-pub use verify::{verify_chain, ChainError, VerifiedChain};
+pub use verify::{verify_chain, ChainError, VerifiedChain, MAX_CHAIN};

@@ -56,7 +56,10 @@ pub struct VerifiedChain<'a> {
     pub path_len: usize,
 }
 
-const MAX_CHAIN: usize = 8;
+/// Longest presented chain this implementation accepts (including the
+/// end entity). Exposed so chain-verdict caches can reproduce the
+/// [`ChainError::TooLong`] policy without re-verifying.
+pub const MAX_CHAIN: usize = 8;
 
 /// Verify a presented certificate chain against `roots` at time `at`.
 ///

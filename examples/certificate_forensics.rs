@@ -51,18 +51,57 @@ fn main() {
     ];
 
     // A proper chain, as a Google off-net would serve it.
-    let good = pki.issue_chain("demo", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12), 0);
+    let good = pki.issue_chain(
+        "demo",
+        Some("Google LLC"),
+        "*.google.com",
+        &sans,
+        ts(2019, 9),
+        ts(2019, 12),
+        0,
+    );
     show("well-formed Hypergiant chain", &good, &pki, at);
 
     // The §4.1 rejects, one by one.
-    let expired = pki.issue_chain("demo-exp", Some("Netflix, Inc."), "v", &sans, ts(2016, 4), ts(2017, 4), 1);
-    show("expired (the Netflix 2017-2019 default)", &expired, &pki, at);
+    let expired = pki.issue_chain(
+        "demo-exp",
+        Some("Netflix, Inc."),
+        "v",
+        &sans,
+        ts(2016, 4),
+        ts(2017, 4),
+        1,
+    );
+    show(
+        "expired (the Netflix 2017-2019 default)",
+        &expired,
+        &pki,
+        at,
+    );
 
-    let selfsigned = pki.issue_self_signed("demo-ss", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12));
-    show("self-signed imposter claiming Google", &selfsigned, &pki, at);
+    let selfsigned = pki.issue_self_signed(
+        "demo-ss",
+        Some("Google LLC"),
+        "*.google.com",
+        &sans,
+        ts(2019, 9),
+        ts(2019, 12),
+    );
+    show(
+        "self-signed imposter claiming Google",
+        &selfsigned,
+        &pki,
+        at,
+    );
 
-    let untrusted =
-        pki.issue_untrusted_chain("demo-rogue", Some("Google LLC"), "*.google.com", &sans, ts(2019, 9), ts(2019, 12));
+    let untrusted = pki.issue_untrusted_chain(
+        "demo-rogue",
+        Some("Google LLC"),
+        "*.google.com",
+        &sans,
+        ts(2019, 9),
+        ts(2019, 12),
+    );
     show("chain from an untrusted CA", &untrusted, &pki, at);
 
     // A corrupted wire image: flip one byte in the TBS.
@@ -82,7 +121,10 @@ fn main() {
     let endpoint = TlsEndpoint::new(cfg);
     let client = TlsClient::new([9u8; 32]);
     let no_sni = client.fetch_chain(&endpoint, None).expect("handshake");
-    println!("  without SNI: {} certificates (null default)", no_sni.len());
+    println!(
+        "  without SNI: {} certificates (null default)",
+        no_sni.len()
+    );
     let with_sni = client
         .fetch_chain(&endpoint, Some("www.google.com"))
         .expect("handshake");

@@ -44,7 +44,11 @@ fn main() {
     for hg in [Hg::Google, Hg::Netflix, Hg::Facebook, Hg::Akamai] {
         let r = &result.per_hg[&hg];
         let truth = world.true_offnet_ases(hg, t);
-        let hits = r.confirmed_ases.iter().filter(|a| truth.contains(a)).count();
+        let hits = r
+            .confirmed_ases
+            .iter()
+            .filter(|a| truth.contains(a))
+            .count();
         println!(
             "{hg:>10}: {:>4} candidate ASes, {:>4} confirmed | ground truth {:>4} | recall {:.1}%",
             r.candidate_ases.len(),

@@ -16,12 +16,18 @@ fn world() -> &'static HgWorld {
 #[test]
 fn certificate_method_beats_vantage_baseline() {
     let w = world();
-    let study = run_study(w, &ScanEngine::rapid7(), &StudyConfig {
-        snapshots: (30, 30),
-        ..Default::default()
-    });
+    let study = run_study(
+        w,
+        &ScanEngine::rapid7(),
+        &StudyConfig {
+            snapshots: (30, 30),
+            ..Default::default()
+        },
+    );
     let cert_recall = {
-        let inferred = study.snapshots[0].per_hg[&Hg::Google].confirmed_ases.clone();
+        let inferred = study.snapshots[0].per_hg[&Hg::Google]
+            .confirmed_ases
+            .clone();
         recall_against_truth(w, Hg::Google, 30, &inferred)
     };
     let vantage_recall = {
@@ -39,15 +45,22 @@ fn certificate_method_beats_vantage_baseline() {
 fn vantage_baseline_saturates_below_full_coverage() {
     let w = world();
     let r100 = recall_against_truth(
-        w, Hg::Netflix, 30,
+        w,
+        Hg::Netflix,
+        30,
         &vantage_point_baseline(w, Hg::Netflix, 30, 100),
     );
     // 400 vantages is already ~17% of the small world's ASes — far denser
     // than any real measurement platform — and coverage still falls short.
     let r400 = recall_against_truth(
-        w, Hg::Netflix, 30,
+        w,
+        Hg::Netflix,
+        30,
         &vantage_point_baseline(w, Hg::Netflix, 30, 400),
     );
     assert!(r400 >= r100);
-    assert!(r400 < 0.9, "even 400 vantages should not reach global coverage: {r400}");
+    assert!(
+        r400 < 0.9,
+        "even 400 vantages should not reach global coverage: {r400}"
+    );
 }

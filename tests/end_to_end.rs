@@ -101,9 +101,7 @@ fn coverage_analyses_consistent() {
             d.fraction
         );
     }
-    assert!(
-        analysis::worldwide_coverage(&cone) > analysis::worldwide_coverage(&direct)
-    );
+    assert!(analysis::worldwide_coverage(&cone) > analysis::worldwide_coverage(&direct));
 }
 
 #[test]
@@ -146,5 +144,8 @@ fn censys_study_covers_supplemental_window_only() {
     let r7_google = study().confirmed_series(Hg::Google)[24];
     let cs_google = cs.snapshots[0].per_hg[&Hg::Google].confirmed_ases.len();
     let ratio = cs_google as f64 / r7_google as f64;
-    assert!((0.85..1.2).contains(&ratio), "r7 {r7_google} cs {cs_google}");
+    assert!(
+        (0.85..1.2).contains(&ratio),
+        "r7 {r7_google} cs {cs_google}"
+    );
 }

@@ -52,7 +52,9 @@ fn sni_routing_through_real_frames() {
         Some("Akamai Technologies"),
         "default certificate is Akamai's"
     );
-    let apple = client.fetch_chain(&endpoint, Some("www.apple.com")).unwrap();
+    let apple = client
+        .fetch_chain(&endpoint, Some("www.apple.com"))
+        .unwrap();
     let leaf = Certificate::parse(&apple[0]).unwrap();
     assert_eq!(leaf.subject().organization(), Some("Apple Inc."));
 }

@@ -64,6 +64,55 @@ pub fn pct(f: f64) -> String {
     format!("{:.1}%", 100.0 * f)
 }
 
+/// Render a study's per-snapshot data-quality accounting: records seen,
+/// quarantined-by-reason counts, and degraded stages, with a study-wide
+/// total row. Quiet snapshots (nothing quarantined, nothing degraded)
+/// still appear so gaps in the corpus are visible.
+pub fn quality_table(series: &offnet_core::StudySeries) -> String {
+    let mut rows = Vec::with_capacity(series.snapshots.len() + 1);
+    let row = |label: String, q: &offnet_core::DataQualityReport| -> Vec<String> {
+        let reasons = if q.quarantined.is_empty() {
+            "-".to_owned()
+        } else {
+            q.quarantined
+                .iter()
+                .map(|(r, n)| format!("{r}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let degraded = if let Some(msg) = &q.degraded_snapshot {
+            format!("snapshot ({msg})")
+        } else if !q.degraded_hgs.is_empty() {
+            q.degraded_hgs.keys().cloned().collect::<Vec<_>>().join(" ")
+        } else {
+            "-".to_owned()
+        };
+        vec![
+            label,
+            q.cert_records_seen.to_string(),
+            q.banners_seen.to_string(),
+            q.quarantined_total().to_string(),
+            reasons,
+            degraded,
+        ]
+    };
+    for snap in &series.snapshots {
+        rows.push(row(snapshot_label(snap.snapshot_idx), &snap.quality));
+    }
+    rows.push(row("total".to_owned(), &series.aggregate_quality()));
+    table(
+        &[
+            "snapshot",
+            "certs",
+            "banners",
+            "quarantined",
+            "reasons",
+            "degraded",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +149,40 @@ mod tests {
     #[test]
     fn series_line_format() {
         assert_eq!(series_line("x", &[1, 2]), "x: [1, 2]");
+    }
+
+    #[test]
+    fn quality_table_lists_quarantines_and_degradation() {
+        use offnet_core::pipeline::SnapshotResult;
+        use offnet_core::RecordError;
+        let mut clean = SnapshotResult {
+            snapshot_idx: 0,
+            ..Default::default()
+        };
+        clean.quality.cert_records_seen = 100;
+        let mut noisy = SnapshotResult {
+            snapshot_idx: 1,
+            ..Default::default()
+        };
+        noisy.quality.cert_records_seen = 90;
+        noisy.quality.add(RecordError::MalformedDer, 7);
+        noisy
+            .quality
+            .degraded_hgs
+            .insert("Google".to_owned(), "boom".to_owned());
+        let dead = SnapshotResult::degraded(2, "worker panic");
+        let series = offnet_core::StudySeries {
+            engine: scanner::EngineId::Rapid7,
+            snapshots: vec![clean, noisy, dead],
+            netflix: Default::default(),
+            header_fps: Default::default(),
+        };
+        let out = quality_table(&series);
+        assert!(out.contains("2013-10"), "{out}");
+        assert!(out.contains("malformed-der:7"), "{out}");
+        assert!(out.contains("Google"), "{out}");
+        assert!(out.contains("snapshot (worker panic)"), "{out}");
+        assert!(out.contains("total"), "{out}");
     }
 }
 

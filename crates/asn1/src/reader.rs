@@ -181,7 +181,7 @@ impl<'a> Reader<'a> {
         if !content.iter().all(|&b| is_printable_char(b)) {
             return Err(Error::InvalidContent("invalid PrintableString"));
         }
-        Ok(std::str::from_utf8(content).expect("printable chars are ASCII"))
+        std::str::from_utf8(content).map_err(|_| Error::InvalidContent("invalid PrintableString"))
     }
 
     pub fn read_ia5_string(&mut self) -> Result<&'a str> {
@@ -189,7 +189,7 @@ impl<'a> Reader<'a> {
         if !content.iter().all(|&b| b < 0x80) {
             return Err(Error::InvalidContent("invalid IA5String"));
         }
-        Ok(std::str::from_utf8(content).expect("IA5 chars are ASCII"))
+        std::str::from_utf8(content).map_err(|_| Error::InvalidContent("invalid IA5String"))
     }
 
     /// Read a directory string: UTF8String or PrintableString.
@@ -355,6 +355,8 @@ mod tests {
             let _ = r.clone().read_oid();
             let _ = r.clone().read_bit_string();
             let _ = r.clone().read_time();
+            let _ = r.clone().read_printable_string();
+            let _ = r.clone().read_ia5_string();
             let _ = r.read_utf8_string();
         }
 

@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //!   reproduce [--scale small|paper] [--seed N] [--csv DIR] [--threads N]
-//!             [--sequential] <experiment|all>
+//!             [--sequential] [--fault-rate R] [--fault-seed N]
+//!             <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
 //! for external plotting. Studies run on a snapshot-parallel pipeline with
@@ -11,9 +12,13 @@
 //! the worker count (default: available parallelism, or `OFFNET_THREADS`)
 //! and `--sequential` restores the single-threaded uncached driver.
 //!
+//! `--fault-rate R` corrupts the study scans with every record-level fault
+//! class at rate R (seeded by `--fault-seed`, default 1); the `quality`
+//! experiment then reports what the pipeline quarantined.
+//!
 //! Experiments: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 certlifetimes validate ablation
-//! baselines
+//! baselines quality
 //! hideandseek
 
 use analysis::render::{pct, snapshot_label, table};
@@ -35,6 +40,8 @@ struct Cli {
     csv_dir: Option<std::path::PathBuf>,
     threads: usize,
     sequential: bool,
+    fault_rate: f64,
+    fault_seed: u64,
     experiments: Vec<String>,
 }
 
@@ -44,6 +51,8 @@ fn parse_args() -> Cli {
     let mut csv_dir = None;
     let mut threads = default_thread_count();
     let mut sequential = false;
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 1u64;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,9 +79,27 @@ fn parse_args() -> Cli {
                 threads = threads.max(1);
             }
             "--sequential" => sequential = true,
+            "--fault-rate" => {
+                fault_rate = args
+                    .next()
+                    .expect("--fault-rate needs a value")
+                    .parse()
+                    .expect("fault rate must be a float");
+                assert!(
+                    (0.0..=1.0).contains(&fault_rate),
+                    "fault rate must be in [0, 1]"
+                );
+            }
+            "--fault-seed" => {
+                fault_seed = args
+                    .next()
+                    .expect("--fault-seed needs a value")
+                    .parse()
+                    .expect("fault seed must be an integer")
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--fault-rate R] [--fault-seed N] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -88,6 +115,8 @@ fn parse_args() -> Cli {
         csv_dir,
         threads,
         sequential,
+        fault_rate,
+        fault_seed,
         experiments,
     }
 }
@@ -105,6 +134,7 @@ struct Fixtures {
     world: HgWorld,
     threads: usize,
     sequential: bool,
+    faults: Option<std::sync::Arc<scanner::FaultPlan>>,
     r7: OnceLock<StudySeries>,
     cs: OnceLock<StudySeries>,
     ctx: OnceLock<PipelineContext>,
@@ -121,13 +151,32 @@ impl Fixtures {
             "[reproduce] generating world (scale={}, seed={})...",
             cli.scale, cli.seed
         );
+        let faults = (cli.fault_rate > 0.0).then(|| {
+            eprintln!(
+                "[reproduce] injecting record faults (rate={}, seed={})",
+                cli.fault_rate, cli.fault_seed
+            );
+            std::sync::Arc::new(scanner::FaultPlan::uniform_record_faults(
+                cli.fault_seed,
+                cli.fault_rate,
+            ))
+        });
         Fixtures {
             world: HgWorld::generate(config),
             threads: cli.threads,
             sequential: cli.sequential,
+            faults,
             r7: OnceLock::new(),
             cs: OnceLock::new(),
             ctx: OnceLock::new(),
+        }
+    }
+
+    /// Attach the CLI-configured fault plan (if any) to a scan engine.
+    fn engine(&self, base: ScanEngine) -> ScanEngine {
+        match &self.faults {
+            Some(plan) => base.with_faults(plan.clone()),
+            None => base,
         }
     }
 
@@ -153,7 +202,11 @@ impl Fixtures {
     fn r7(&self) -> &StudySeries {
         self.r7.get_or_init(|| {
             eprintln!("[reproduce] running Rapid7 longitudinal study (31 snapshots)...");
-            self.study(ScanEngine::rapid7(), &StudyConfig::default(), "rapid7")
+            self.study(
+                self.engine(ScanEngine::rapid7()),
+                &StudyConfig::default(),
+                "rapid7",
+            )
         })
     }
 
@@ -161,7 +214,7 @@ impl Fixtures {
         self.cs.get_or_init(|| {
             eprintln!("[reproduce] running Censys study (2019-10..2021-04)...");
             self.study(
-                ScanEngine::censys(),
+                self.engine(ScanEngine::censys()),
                 &StudyConfig {
                     snapshots: (24, 30),
                     ..Default::default()
@@ -249,8 +302,28 @@ fn main() {
     if want("baselines") {
         baselines(&fx);
     }
+    if want("quality") {
+        quality(&fx);
+    }
     if want("hideandseek") {
         hide_and_seek(&cli);
+    }
+}
+
+/// Per-snapshot data-quality accounting for the Rapid7 study: records seen,
+/// quarantined counts by reason, and any degraded stages. With
+/// `--fault-rate` this shows what the pipeline absorbed; on a clean run
+/// every row is all-zeros, which is itself the robustness claim.
+fn quality(fx: &Fixtures) {
+    heading("Data quality: quarantine and degradation accounting (Rapid7)");
+    print!("{}", analysis::render::quality_table(fx.r7()));
+    if let Some(plan) = &fx.faults {
+        let injected = plan.injected_total();
+        let quarantined = fx.r7().aggregate_quality().quarantined_total();
+        println!(
+            "injected faults: {}, quarantined records: {quarantined}",
+            injected.total()
+        );
     }
 }
 

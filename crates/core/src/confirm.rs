@@ -15,27 +15,87 @@ pub enum ConfirmMode {
     HttpAndHttps,
 }
 
+/// Banner-stream quality counters: how many records the indexer saw and
+/// how many it quarantined, by defect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BannerQuality {
+    /// Banner records across both ports before indexing.
+    pub records_seen: usize,
+    /// Records dropped for a header value past the size cap.
+    pub oversized: usize,
+    /// Records dropped for control bytes / U+FFFD in a header value.
+    pub mojibake: usize,
+    /// Repeat records for an IP already indexed on the same port.
+    pub duplicate_ip: usize,
+}
+
+impl BannerQuality {
+    pub fn quarantined_total(&self) -> usize {
+        self.oversized + self.mojibake + self.duplicate_ip
+    }
+}
+
+/// A header value is corrupt when it carries a control byte (other than
+/// horizontal tab) or the U+FFFD replacement character — no simulated or
+/// real banner legitimately does.
+fn value_is_mojibake(v: &str) -> bool {
+    v.chars()
+        .any(|c| c == '\u{fffd}' || (c.is_control() && c != '\t'))
+}
+
 /// Indexed banners of one snapshot.
+///
+/// Corrupt records (oversized or mojibake header values) and duplicate
+/// rows are quarantined at build time — counted in [`BannerQuality`] and
+/// kept out of the index — so §4.5 only ever matches against well-formed
+/// banners. For duplicates the first record wins, mirroring §4.1's
+/// first-record-wins IP dedup.
 #[derive(Debug, Default)]
 pub struct BannerIndex {
     http80: HashMap<u32, Vec<(String, String)>>,
     https443: HashMap<u32, Vec<(String, String)>>,
+    pub quality: BannerQuality,
 }
 
 impl BannerIndex {
     pub fn build(http80: Option<&HttpScanSnapshot>, https443: Option<&HttpScanSnapshot>) -> Self {
         let mut idx = Self::default();
         if let Some(s) = http80 {
-            for r in &s.records {
-                idx.http80.insert(r.ip, r.headers.clone());
-            }
+            Self::index_stream(&mut idx.http80, s, &mut idx.quality);
         }
         if let Some(s) = https443 {
-            for r in &s.records {
-                idx.https443.insert(r.ip, r.headers.clone());
-            }
+            Self::index_stream(&mut idx.https443, s, &mut idx.quality);
         }
         idx
+    }
+
+    fn index_stream(
+        map: &mut HashMap<u32, Vec<(String, String)>>,
+        snap: &HttpScanSnapshot,
+        quality: &mut BannerQuality,
+    ) {
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for r in &snap.records {
+            quality.records_seen += 1;
+            if !seen.insert(r.ip) {
+                quality.duplicate_ip += 1;
+                continue;
+            }
+            // Per record, the first defect found decides the quarantine
+            // reason (matching the injector's per-record exclusivity).
+            if r.headers
+                .iter()
+                .any(|(_, v)| v.len() > scanner::MAX_HEADER_VALUE_LEN)
+            {
+                quality.oversized += 1;
+                continue;
+            }
+            if r.headers.iter().any(|(_, v)| value_is_mojibake(v)) {
+                quality.mojibake += 1;
+                continue;
+            }
+            map.insert(r.ip, r.headers.clone());
+        }
     }
 
     pub fn http80(&self, ip: u32) -> Option<&Vec<(String, String)>> {
@@ -321,6 +381,53 @@ mod tests {
             ConfirmMode::HttpAndHttps,
         );
         assert!(and_mode.ips.is_empty());
+    }
+
+    #[test]
+    fn corrupt_and_duplicate_banners_are_quarantined() {
+        let snap = HttpScanSnapshot {
+            engine: scanner::EngineId::Rapid7,
+            snapshot_idx: 30,
+            port: 80,
+            records: vec![
+                HttpRecord {
+                    ip: 1,
+                    headers: vec![("Server".into(), "gvs 1.0".into())],
+                },
+                // Duplicate row for IP 1: first record wins.
+                HttpRecord {
+                    ip: 1,
+                    headers: vec![("Server".into(), "nginx".into())],
+                },
+                // Mojibake value.
+                HttpRecord {
+                    ip: 2,
+                    headers: vec![("Server".into(), "gvs\u{fffd}\u{0007}".into())],
+                },
+                // Oversized value.
+                HttpRecord {
+                    ip: 3,
+                    headers: vec![(
+                        "Server".into(),
+                        "A".repeat(scanner::MAX_HEADER_VALUE_LEN + 1),
+                    )],
+                },
+                HttpRecord {
+                    ip: 4,
+                    headers: vec![("Server".into(), "clean\tvalue".into())],
+                },
+            ],
+        };
+        let idx = BannerIndex::build(Some(&snap), None);
+        assert_eq!(idx.quality.records_seen, 5);
+        assert_eq!(idx.quality.duplicate_ip, 1);
+        assert_eq!(idx.quality.mojibake, 1);
+        assert_eq!(idx.quality.oversized, 1);
+        assert_eq!(idx.quality.quarantined_total(), 3);
+        assert_eq!(idx.http80(1).unwrap()[0].1, "gvs 1.0", "first record wins");
+        assert!(idx.http80(2).is_none(), "mojibake banner must not index");
+        assert!(idx.http80(3).is_none(), "oversized banner must not index");
+        assert!(idx.http80(4).is_some(), "tab is a legal header byte");
     }
 
     #[test]

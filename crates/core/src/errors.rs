@@ -1,0 +1,218 @@
+//! Record-level error taxonomy and per-snapshot data-quality accounting.
+//!
+//! Real scan corpora contain records the pipeline must refuse — malformed
+//! DER, duplicate rows, corrupt banners — and the §4 stages quarantine
+//! them (drop with a counted reason) rather than panic. [`RecordError`]
+//! names every quarantine reason across the stages;
+//! [`DataQualityReport`] collects per-snapshot counts so a study's output
+//! always states how much of its input it actually used.
+
+use crate::validate::InvalidReason;
+use std::collections::BTreeMap;
+use x509::ChainError;
+
+/// Why one record was quarantined somewhere in the §4 pipeline.
+///
+/// This is the cross-stage taxonomy: certificate-stage rejections
+/// ([`InvalidReason`], [`ChainError`]) and banner-stage rejections all map
+/// into it, so one report can count quarantines from every stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecordError {
+    /// The record's DER did not parse as X.509.
+    MalformedDer,
+    /// A second record for an IP already seen in the same stream.
+    DuplicateIp,
+    /// A certificate in the chain was expired at scan time.
+    Expired,
+    /// The end-entity certificate was not yet valid at scan time.
+    NotYetValid,
+    /// The end-entity certificate is self-signed.
+    SelfSignedEndEntity,
+    /// The chain does not anchor at a trusted root.
+    UntrustedChain,
+    /// A signature in the chain failed to verify.
+    BadSignature,
+    /// The chain exceeds the implementation's length cap.
+    ChainTooLong,
+    /// Any other chain-structure failure (e.g. a non-CA intermediate).
+    OtherChain,
+    /// A banner header value exceeded the size cap.
+    HeaderOversized,
+    /// A banner header value carried control bytes or U+FFFD.
+    HeaderMojibake,
+}
+
+impl RecordError {
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordError::MalformedDer => "malformed-der",
+            RecordError::DuplicateIp => "duplicate-ip",
+            RecordError::Expired => "expired",
+            RecordError::NotYetValid => "not-yet-valid",
+            RecordError::SelfSignedEndEntity => "self-signed",
+            RecordError::UntrustedChain => "untrusted-chain",
+            RecordError::BadSignature => "bad-signature",
+            RecordError::ChainTooLong => "chain-too-long",
+            RecordError::OtherChain => "other-chain",
+            RecordError::HeaderOversized => "header-oversized",
+            RecordError::HeaderMojibake => "header-mojibake",
+        }
+    }
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<ChainError> for RecordError {
+    fn from(e: ChainError) -> Self {
+        match e {
+            ChainError::Empty => RecordError::MalformedDer,
+            ChainError::Expired | ChainError::IntermediateExpired => RecordError::Expired,
+            ChainError::NotYetValid => RecordError::NotYetValid,
+            ChainError::SelfSignedEndEntity => RecordError::SelfSignedEndEntity,
+            ChainError::UntrustedRoot => RecordError::UntrustedChain,
+            ChainError::BadSignature => RecordError::BadSignature,
+            ChainError::TooLong => RecordError::ChainTooLong,
+            ChainError::IntermediateNotCa => RecordError::OtherChain,
+        }
+    }
+}
+
+impl From<InvalidReason> for RecordError {
+    fn from(r: InvalidReason) -> Self {
+        match r {
+            InvalidReason::Malformed => RecordError::MalformedDer,
+            InvalidReason::DuplicateIp => RecordError::DuplicateIp,
+            InvalidReason::Chain(e) => e.into(),
+        }
+    }
+}
+
+/// Per-snapshot data-quality accounting: how much input the pipeline saw,
+/// how much it quarantined and why, and which stages degraded.
+///
+/// A clean snapshot has an empty `quarantined` map apart from the natural
+/// §4.1 chain rejections, no degraded stages, and `empty_cert_snapshot`
+/// false; fault-injection tests compare these counts against the
+/// [`scanner::FaultPlan`] ledger exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataQualityReport {
+    /// Certificate records in the snapshot before validation.
+    pub cert_records_seen: usize,
+    /// Banner records (both ports) before indexing.
+    pub banners_seen: usize,
+    /// Records excluded from the pipeline, counted by reason.
+    pub quarantined: BTreeMap<RecordError, usize>,
+    /// HGs whose per-snapshot stage panicked (after retry) and was
+    /// degraded to an empty result, keyed by HG name with the panic text.
+    pub degraded_hgs: BTreeMap<String, String>,
+    /// Set when the whole snapshot's processing was degraded to a
+    /// placeholder (stage panic survived retries).
+    pub degraded_snapshot: Option<String>,
+    /// The certificate scan carried zero records.
+    pub empty_cert_snapshot: bool,
+}
+
+impl DataQualityReport {
+    pub fn add(&mut self, reason: RecordError, n: usize) {
+        if n > 0 {
+            *self.quarantined.entry(reason).or_insert(0) += n;
+        }
+    }
+
+    pub fn quarantined_count(&self, reason: RecordError) -> usize {
+        self.quarantined.get(&reason).copied().unwrap_or(0)
+    }
+
+    pub fn quarantined_total(&self) -> usize {
+        self.quarantined.values().sum()
+    }
+
+    /// Whether any stage (per-HG or whole-snapshot) was degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_hgs.is_empty() || self.degraded_snapshot.is_some()
+    }
+
+    /// Fold another report into this one (study-level aggregation):
+    /// counts are summed, degradation notes are collected (first message
+    /// per HG wins), flags are OR-ed.
+    pub fn merge(&mut self, other: &DataQualityReport) {
+        self.cert_records_seen += other.cert_records_seen;
+        self.banners_seen += other.banners_seen;
+        for (&reason, &n) in &other.quarantined {
+            self.add(reason, n);
+        }
+        for (hg, msg) in &other.degraded_hgs {
+            self.degraded_hgs
+                .entry(hg.clone())
+                .or_insert_with(|| msg.clone());
+        }
+        if self.degraded_snapshot.is_none() {
+            self.degraded_snapshot = other.degraded_snapshot.clone();
+        }
+        self.empty_cert_snapshot |= other.empty_cert_snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_errors_map_totally() {
+        // Every ChainError must land on a RecordError without panicking.
+        for e in [
+            ChainError::Empty,
+            ChainError::Expired,
+            ChainError::NotYetValid,
+            ChainError::SelfSignedEndEntity,
+            ChainError::IntermediateExpired,
+            ChainError::IntermediateNotCa,
+            ChainError::BadSignature,
+            ChainError::UntrustedRoot,
+            ChainError::TooLong,
+        ] {
+            let _: RecordError = e.into();
+        }
+        assert_eq!(RecordError::from(ChainError::Expired), RecordError::Expired);
+        assert_eq!(
+            RecordError::from(InvalidReason::DuplicateIp),
+            RecordError::DuplicateIp
+        );
+    }
+
+    #[test]
+    fn merge_sums_counts_and_collects_degradation() {
+        let mut a = DataQualityReport {
+            cert_records_seen: 10,
+            ..Default::default()
+        };
+        a.add(RecordError::MalformedDer, 2);
+        let mut b = DataQualityReport {
+            cert_records_seen: 5,
+            empty_cert_snapshot: true,
+            ..Default::default()
+        };
+        b.add(RecordError::MalformedDer, 3);
+        b.add(RecordError::DuplicateIp, 1);
+        b.degraded_hgs
+            .insert("Google".to_owned(), "boom".to_owned());
+        a.merge(&b);
+        assert_eq!(a.cert_records_seen, 15);
+        assert_eq!(a.quarantined_count(RecordError::MalformedDer), 5);
+        assert_eq!(a.quarantined_total(), 6);
+        assert!(a.is_degraded());
+        assert!(a.empty_cert_snapshot);
+    }
+
+    #[test]
+    fn clean_reports_compare_equal() {
+        assert_eq!(DataQualityReport::default(), DataQualityReport::default());
+        assert!(!DataQualityReport::default().is_degraded());
+    }
+}

@@ -38,6 +38,7 @@
 pub mod baselines;
 pub mod candidates;
 pub mod confirm;
+pub mod errors;
 pub mod headers;
 pub mod parallel;
 pub mod pipeline;
@@ -47,9 +48,13 @@ pub mod validate;
 pub mod validation_cache;
 
 pub use candidates::{find_candidates, CandidateSet};
-pub use confirm::{confirm_candidates, ConfirmedSet};
+pub use confirm::{confirm_candidates, BannerQuality, ConfirmedSet};
+pub use errors::{DataQualityReport, RecordError};
 pub use headers::{learn_header_fingerprints, HeaderFingerprint, HeaderFingerprints};
-pub use parallel::{default_thread_count, parallel_map};
+pub use parallel::{
+    default_thread_count, parallel_map, parallel_map_isolated, parse_thread_count,
+    thread_count_from_env, TaskError, ThreadConfigError,
+};
 pub use pipeline::{
     process_snapshot, process_snapshots_parallel, HgSnapshotResult, PipelineContext, SnapshotResult,
 };

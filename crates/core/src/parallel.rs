@@ -10,19 +10,64 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Environment variable overriding the worker count (`0` or unset means
-/// one worker per available core).
+/// Environment variable overriding the worker count (unset means one
+/// worker per available core).
 pub const THREADS_ENV: &str = "OFFNET_THREADS";
+
+/// An invalid `OFFNET_THREADS` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadConfigError {
+    /// The value did not parse as an unsigned integer.
+    NotANumber(String),
+    /// Zero workers is not a runnable configuration.
+    Zero,
+}
+
+impl std::fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadConfigError::NotANumber(v) => {
+                write!(f, "{THREADS_ENV}={v:?} is not an unsigned integer")
+            }
+            ThreadConfigError::Zero => write!(f, "{THREADS_ENV}=0 requests zero workers"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Parse one candidate `OFFNET_THREADS` value.
+pub fn parse_thread_count(v: &str) -> Result<usize, ThreadConfigError> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(ThreadConfigError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ThreadConfigError::NotANumber(v.to_owned())),
+    }
+}
+
+/// Read `OFFNET_THREADS` from the environment: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer, `Err` for anything else.
+pub fn thread_count_from_env() -> Result<Option<usize>, ThreadConfigError> {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_thread_count(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
 
 /// Resolve the effective worker count: `OFFNET_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism.
+///
+/// An invalid value (non-numeric or zero) is *surfaced* — a warning on
+/// stderr naming the bad value — before falling back, instead of being
+/// silently swallowed as it once was.
 pub fn default_thread_count() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => available_parallelism(),
-        },
-        Err(_) => available_parallelism(),
+    match thread_count_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => available_parallelism(),
+        Err(e) => {
+            eprintln!("warning: {e}; falling back to available parallelism");
+            available_parallelism()
+        }
     }
 }
 
@@ -72,6 +117,81 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// A task that panicked on every attempt inside
+/// [`parallel_map_isolated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Input index of the failed item.
+    pub index: usize,
+    /// How many attempts were made (retries + 1).
+    pub attempts: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} panicked on all {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// [`parallel_map`] with per-task panic isolation: a panicking `f` is
+/// retried up to `retries` more times, and a task that panics on every
+/// attempt yields `Err(TaskError)` at its slot instead of poisoning the
+/// scope and aborting the whole map.
+///
+/// Ordering and determinism match `parallel_map` exactly — for a
+/// non-panicking pure `f`, the output is `items.iter().map(f)` with every
+/// result wrapped in `Ok`.
+pub fn parallel_map_isolated<T, R, F>(
+    items: &[T],
+    threads: usize,
+    retries: usize,
+    f: F,
+) -> Vec<Result<R, TaskError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // Panics inside scoped workers would otherwise propagate out of
+    // `scope` and kill the whole fan-out; catching per task keeps one
+    // poisoned item from taking down its siblings.
+    let run_one = |index: usize, item: &T| -> Result<R, TaskError> {
+        let attempts = retries + 1;
+        let mut last = String::new();
+        for _ in 0..attempts {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                Ok(r) => return Ok(r),
+                Err(payload) => last = panic_message(payload.as_ref()),
+            }
+        }
+        Err(TaskError {
+            index,
+            attempts,
+            message: last,
+        })
+    };
+    let indexed: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    parallel_map(&indexed, threads, |&(i, item)| run_one(i, item))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +231,79 @@ mod tests {
     #[test]
     fn default_thread_count_is_positive() {
         assert!(default_thread_count() >= 1);
+    }
+
+    #[test]
+    fn thread_count_parse_paths() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 16 "), Ok(16));
+        assert_eq!(parse_thread_count("0"), Err(ThreadConfigError::Zero));
+        assert_eq!(
+            parse_thread_count("many"),
+            Err(ThreadConfigError::NotANumber("many".to_owned()))
+        );
+        assert_eq!(
+            parse_thread_count("-2"),
+            Err(ThreadConfigError::NotANumber("-2".to_owned()))
+        );
+        assert_eq!(
+            parse_thread_count("3.5"),
+            Err(ThreadConfigError::NotANumber("3.5".to_owned()))
+        );
+        // Errors render the offending value for the warning line.
+        let msg = ThreadConfigError::NotANumber("many".to_owned()).to_string();
+        assert!(
+            msg.contains("OFFNET_THREADS") && msg.contains("many"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn isolated_map_matches_plain_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_isolated(&items, threads, 1, |&x| x * 3);
+            let ok: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(ok, expect);
+        }
+    }
+
+    #[test]
+    fn panicking_task_degrades_to_error_without_killing_siblings() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_isolated(&items, threads, 1, |&x| {
+                if x == 13 {
+                    panic!("poisoned item {x}");
+                }
+                x + 1
+            });
+            assert_eq!(out.len(), 64);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 13);
+                    assert_eq!(e.attempts, 2);
+                    assert!(e.message.contains("poisoned item 13"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried() {
+        use std::sync::atomic::AtomicU32;
+        let first_try = AtomicU32::new(0);
+        let out = parallel_map_isolated(&[7u32], 1, 2, |&x| {
+            if first_try.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky once");
+            }
+            x
+        });
+        assert_eq!(out[0].as_ref().copied(), Ok(7));
+        assert_eq!(first_try.load(Ordering::SeqCst), 2);
     }
 }

@@ -1,9 +1,10 @@
 //! Orchestration of the §4 stages over one snapshot.
 
 use crate::candidates::{find_candidates, CandidateOptions};
-use crate::confirm::{confirm_candidates, BannerIndex, ConfirmMode};
+use crate::confirm::{confirm_candidates, BannerIndex, BannerQuality, ConfirmMode};
+use crate::errors::{DataQualityReport, RecordError};
 use crate::headers::HeaderFingerprints;
-use crate::parallel::{default_thread_count, parallel_map};
+use crate::parallel::{default_thread_count, parallel_map_isolated};
 use crate::tls_fingerprint::learn_tls_fingerprints;
 use crate::validate::{validate_records, ValidateOptions, ValidationStats};
 use crate::validation_cache::{validate_records_cached, ValidationCache};
@@ -31,6 +32,9 @@ pub struct PipelineContext {
     /// Optional cross-snapshot chain-verdict cache. `None` re-verifies
     /// every chain per snapshot, exactly as §4.1 describes.
     pub validation_cache: Option<Arc<ValidationCache>>,
+    /// Test-only fault hook: HGs for which it returns `true` panic at the
+    /// top of their per-snapshot stage, exercising the degradation path.
+    pub hg_panic_hook: Option<fn(Hg) -> bool>,
 }
 
 impl PipelineContext {
@@ -54,6 +58,7 @@ impl PipelineContext {
             confirm_mode: ConfirmMode::HttpOrHttps,
             threads: default_thread_count(),
             validation_cache: None,
+            hg_panic_hook: None,
         }
     }
 
@@ -66,6 +71,12 @@ impl PipelineContext {
     /// Attach a shared cross-snapshot validation cache.
     pub fn with_validation_cache(mut self, cache: Arc<ValidationCache>) -> Self {
         self.validation_cache = Some(cache);
+        self
+    }
+
+    /// Install a test-only per-HG panic hook (see `hg_panic_hook`).
+    pub fn with_hg_panic_hook(mut self, hook: fn(Hg) -> bool) -> Self {
+        self.hg_panic_hook = Some(hook);
         self
     }
 }
@@ -109,9 +120,27 @@ pub struct SnapshotResult {
     /// IPs answering on port 80 but absent from the certificate corpus
     /// (drives the Netflix non-TLS restoration).
     pub http_only_ips: Vec<u32>,
+    /// Per-snapshot data-quality accounting: records seen, quarantined by
+    /// reason, and any degraded stages.
+    pub quality: DataQualityReport,
 }
 
 impl SnapshotResult {
+    /// An all-defaults placeholder for a snapshot whose processing stage
+    /// panicked past its retries: every HG is present (empty) so callers
+    /// can index `per_hg` safely, and the quality report records why.
+    pub fn degraded(snapshot_idx: usize, reason: impl Into<String>) -> Self {
+        let mut out = Self {
+            snapshot_idx,
+            ..Default::default()
+        };
+        for hg in ALL_HGS {
+            out.per_hg.insert(hg, HgSnapshotResult::default());
+        }
+        out.quality.degraded_snapshot = Some(reason.into());
+        out
+    }
+
     /// Count of IPs with a valid certificate of *any* studied HG, split
     /// into (inside HG ASes, outside) — Figure 2's right axis.
     pub fn any_hg_ip_split(&self) -> (usize, usize) {
@@ -160,6 +189,11 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
 
     let process_hg = |hg: &Hg| -> (Hg, HgSnapshotResult) {
         let hg = *hg;
+        if let Some(hook) = ctx.hg_panic_hook {
+            if hook(hg) {
+                panic!("hg_panic_hook fired for {hg}");
+            }
+        }
         let keyword = hg.spec().keyword;
         let hg_ases = &ctx.hg_ases[&hg];
         let idx_std = by_hg_std.get(&hg).unwrap_or(&empty);
@@ -276,10 +310,23 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         )
     };
 
-    // The 23 HG stages are independent: fan out across the worker pool.
-    let per_hg: HashMap<Hg, HgSnapshotResult> = parallel_map(&ALL_HGS, ctx.threads, process_hg)
-        .into_iter()
-        .collect();
+    // The 23 HG stages are independent: fan out across the worker pool,
+    // with per-task panic isolation — one poisoned HG degrades to an empty
+    // result (noted in the quality report) instead of killing the scope.
+    let mut per_hg: HashMap<Hg, HgSnapshotResult> = HashMap::with_capacity(ALL_HGS.len());
+    let mut degraded_hgs: Vec<(Hg, String)> = Vec::new();
+    for outcome in parallel_map_isolated(&ALL_HGS, ctx.threads, 1, process_hg) {
+        match outcome {
+            Ok((hg, res)) => {
+                per_hg.insert(hg, res);
+            }
+            Err(e) => {
+                let hg = ALL_HGS[e.index];
+                per_hg.insert(hg, HgSnapshotResult::default());
+                degraded_hgs.push((hg, e.message));
+            }
+        }
+    }
 
     // Corpus-level statistics.
     let mut cert_ips: HashSet<u32> = HashSet::with_capacity(obs.cert.records.len());
@@ -302,6 +349,8 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         })
         .unwrap_or_default();
 
+    let quality = build_quality_report(&validation, &banners.quality, obs, &degraded_hgs);
+
     SnapshotResult {
         snapshot_idx: obs.snapshot_idx,
         total_ips_with_certs: obs.cert.records.len(),
@@ -309,7 +358,35 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         validation,
         per_hg,
         http_only_ips,
+        quality,
     }
+}
+
+/// Assemble the per-snapshot [`DataQualityReport`] from the stage
+/// counters: §4.1 rejections by mapped reason, banner-index quarantines,
+/// and any per-HG degradations.
+fn build_quality_report(
+    validation: &ValidationStats,
+    banners: &BannerQuality,
+    obs: &SnapshotObservations,
+    degraded_hgs: &[(Hg, String)],
+) -> DataQualityReport {
+    let mut q = DataQualityReport {
+        cert_records_seen: validation.total_records,
+        banners_seen: banners.records_seen,
+        empty_cert_snapshot: obs.cert.records.is_empty(),
+        ..Default::default()
+    };
+    for (&reason, &n) in &validation.invalid {
+        q.add(reason.into(), n);
+    }
+    q.add(RecordError::HeaderOversized, banners.oversized);
+    q.add(RecordError::HeaderMojibake, banners.mojibake);
+    q.add(RecordError::DuplicateIp, banners.duplicate_ip);
+    for (hg, msg) in degraded_hgs {
+        q.degraded_hgs.insert(hg.to_string(), msg.clone());
+    }
+    q
 }
 
 /// Process independent snapshots across the worker pool, returning
@@ -324,9 +401,16 @@ pub fn process_snapshots_parallel(
     ctx: &PipelineContext,
 ) -> Vec<SnapshotResult> {
     let inner = ctx.clone().with_threads(1);
-    parallel_map(observations, ctx.threads, |obs| {
+    parallel_map_isolated(observations, ctx.threads, 1, |obs| {
         process_snapshot(obs, &inner)
     })
+    .into_iter()
+    .zip(observations)
+    .map(|(outcome, obs)| match outcome {
+        Ok(result) => result,
+        Err(e) => SnapshotResult::degraded(obs.snapshot_idx, e.message),
+    })
+    .collect()
 }
 
 /// Extract each confirmed set (collapsing the result for external use).

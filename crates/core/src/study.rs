@@ -2,8 +2,9 @@
 //! scan engine, including the §6.2 Netflix restorations.
 
 use crate::confirm::ConfirmMode;
+use crate::errors::DataQualityReport;
 use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_isolated;
 use crate::pipeline::{process_snapshot, PipelineContext, SnapshotResult};
 use crate::validation_cache::ValidationCache;
 use hgsim::{Hg, HgWorld, ALL_HGS};
@@ -79,18 +80,54 @@ impl StudySeries {
     pub fn confirmed_at(&self, hg: Hg, idx: usize) -> &BTreeSet<AsId> {
         &self.snapshots[idx].per_hg[&hg].confirmed_ases
     }
+
+    /// The study-wide data-quality report: every snapshot's report merged
+    /// (counts summed, degradation notes collected).
+    pub fn aggregate_quality(&self) -> DataQualityReport {
+        let mut merged = DataQualityReport::default();
+        for snap in &self.snapshots {
+            merged.merge(&snap.quality);
+        }
+        merged
+    }
 }
 
 /// Learn the per-HG header fingerprints from a reference snapshot's on-net
 /// banners (§4.4), using HTTPS banners where available and HTTP otherwise.
+///
+/// When the requested snapshot is missing from the corpus (engine coverage
+/// window, or a dropped-snapshot fault), the nearest available snapshot is
+/// used instead; with no observable snapshot at all, the fingerprints come
+/// back empty and §4.5 simply confirms nothing.
 pub fn learn_reference_fingerprints(
     world: &HgWorld,
     engine: &ScanEngine,
     reference_snapshot: usize,
 ) -> HeaderFingerprints {
-    let t = reference_snapshot.min(world.n_snapshots() - 1);
-    let obs = observe_snapshot(world, engine, t)
-        .expect("reference snapshot must be inside the engine's corpus");
+    let n = world.n_snapshots();
+    let t0 = reference_snapshot.min(n - 1);
+    // Spiral outward from the requested index: t0, t0-1, t0+1, t0-2, …
+    // (earlier-first keeps the learned set closest to the paper's
+    // September-2020 reference when the exact month is missing).
+    let mut candidates = vec![t0];
+    for d in 1..n {
+        if let Some(t) = t0.checked_sub(d) {
+            candidates.push(t);
+        }
+        if t0 + d < n {
+            candidates.push(t0 + d);
+        }
+    }
+    let mut obs = None;
+    for t in candidates {
+        if let Some(o) = observe_snapshot(world, engine, t) {
+            obs = Some(o);
+            break;
+        }
+    }
+    let Some(obs) = obs else {
+        return HeaderFingerprints::default();
+    };
     let banner_snap = obs.https443.as_ref().or(obs.http80.as_ref());
     let mut fps = HeaderFingerprints::default();
     let Some(banner_snap) = banner_snap else {
@@ -204,7 +241,10 @@ pub fn run_study_parallel(
         (config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1)).collect();
     let inner = ctx.clone().with_threads(1);
     type SnapOut = (SnapshotResult, Vec<(u32, Vec<AsId>)>);
-    let outputs: Vec<Option<SnapOut>> = parallel_map(&ts, ctx.threads, |&t| {
+    // Per-snapshot panic isolation: a worker that dies past its retry
+    // degrades that snapshot to an empty placeholder (flagged in its
+    // quality report) instead of aborting the study.
+    let outputs: Vec<Option<SnapOut>> = parallel_map_isolated(&ts, ctx.threads, 1, |&t| {
         let obs = observe_snapshot(world, engine, t)?;
         let result = process_snapshot(&obs, &inner);
         let http_only_origins = result
@@ -213,7 +253,14 @@ pub fn run_study_parallel(
             .map(|&ip| (ip, obs.ip_to_as.lookup(ip).to_vec()))
             .collect();
         Some((result, http_only_origins))
-    });
+    })
+    .into_iter()
+    .zip(&ts)
+    .map(|(outcome, &t)| match outcome {
+        Ok(out) => out,
+        Err(e) => Some((SnapshotResult::degraded(t, e.message), Vec::new())),
+    })
+    .collect();
 
     // The §6.2 non-TLS restoration consults the cumulative IP history, so
     // it must run in snapshot order — but it is cheap set arithmetic.

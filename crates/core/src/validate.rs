@@ -27,6 +27,10 @@ pub struct ValidatedCert {
 pub enum InvalidReason {
     /// The DER did not parse as X.509.
     Malformed,
+    /// A second record for an IP already present in the snapshot. A clean
+    /// scan lists each IP once; duplicates are corpus corruption, and only
+    /// the first record is kept.
+    DuplicateIp,
     /// Chain verification failed.
     Chain(ChainError),
 }
@@ -79,7 +83,12 @@ pub fn validate_records(
     let mut out = Vec::with_capacity(records.len());
     // Dedup cache keyed by leaf DER bytes.
     let mut cache: HashMap<&[u8], Verdict> = HashMap::new();
+    let mut seen_ips: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for rec in records {
+        if !seen_ips.insert(rec.ip) {
+            *stats.invalid.entry(InvalidReason::DuplicateIp).or_insert(0) += 1;
+            continue;
+        }
         let Some(leaf_der) = rec.chain_der.first() else {
             *stats.invalid.entry(InvalidReason::Malformed).or_insert(0) += 1;
             continue;
@@ -242,6 +251,33 @@ mod tests {
         assert_eq!(stats.valid, 100);
         // All share one parsed Arc.
         assert!(Arc::ptr_eq(&valids[0].leaf, &valids[99].leaf));
+    }
+
+    #[test]
+    fn duplicate_ips_are_quarantined_first_record_wins() {
+        let pki = HgPki::new(7);
+        let valid = pki.issue_chain(
+            "v",
+            None,
+            "a",
+            &["a.example".to_owned()],
+            t(2019, 1),
+            t(2019, 12),
+            0,
+        );
+        let records = vec![
+            record(valid.clone(), 1),
+            record(valid.clone(), 1),
+            record(valid.clone(), 2),
+            record(valid, 1),
+        ];
+        let (valids, stats) =
+            validate_records(&records, pki.root_store(), t(2019, 6), &Default::default());
+        assert_eq!(valids.len(), 2);
+        assert_eq!(valids[0].ip, 1);
+        assert_eq!(valids[1].ip, 2);
+        assert_eq!(stats.invalid[&InvalidReason::DuplicateIp], 2);
+        assert_eq!(stats.total_records, 4);
     }
 
     #[test]

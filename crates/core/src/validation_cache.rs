@@ -268,7 +268,12 @@ pub fn validate_records_cached(
     // Mirror validate_records' per-snapshot dedup keyed by leaf DER: the
     // first record with a given leaf decides the verdict for all of them.
     let mut local: HashMap<&[u8], LeafVerdict> = HashMap::new();
+    let mut seen_ips: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for rec in records {
+        if !seen_ips.insert(rec.ip) {
+            *stats.invalid.entry(InvalidReason::DuplicateIp).or_insert(0) += 1;
+            continue;
+        }
         let Some(leaf_der) = rec.chain_der.first() else {
             *stats.invalid.entry(InvalidReason::Malformed).or_insert(0) += 1;
             continue;
@@ -357,6 +362,8 @@ mod tests {
             record(untrusted, 5),
             record(vec![Bytes::from_static(b"garbage")], 6),
             record(vec![], 7),
+            // Duplicate IP: quarantined identically by both paths.
+            record(vec![Bytes::from_static(b"garbage")], 6),
         ];
         let cache = ValidationCache::new();
         let opts = ValidateOptions::default();

@@ -65,6 +65,9 @@ pub struct ScanEngine {
     pub https_headers_since: Option<usize>,
     /// First snapshot index the corpus exists at all.
     pub active_since: usize,
+    /// Optional deterministic fault-injection plan applied to everything
+    /// this engine scans (see [`crate::faults`]). `None` means clean scans.
+    pub faults: Option<std::sync::Arc<crate::faults::FaultPlan>>,
 }
 
 fn hsalt(label: &str) -> u64 {
@@ -83,6 +86,7 @@ impl ScanEngine {
             salt: hsalt("engine:rapid7"),
             https_headers_since: Some(11), // 2016-07
             active_since: 0,
+            faults: None,
         }
     }
 
@@ -96,6 +100,7 @@ impl ScanEngine {
             salt: hsalt("engine:censys"),
             https_headers_since: Some(24), // corpus used from 2019-10
             active_since: 24,
+            faults: None,
         }
     }
 
@@ -109,6 +114,7 @@ impl ScanEngine {
             salt: hsalt("engine:certigo"),
             https_headers_since: Some(0),
             active_since: 0,
+            faults: None,
         }
     }
 
@@ -118,6 +124,14 @@ impl ScanEngine {
             EngineId::Censys => Self::censys(),
             EngineId::Certigo => Self::certigo(),
         }
+    }
+
+    /// Attach a deterministic fault-injection plan: every snapshot this
+    /// engine scans is corrupted per the plan's per-class rates, and the
+    /// plan's ledger records exactly what was injected.
+    pub fn with_faults(mut self, plan: std::sync::Arc<crate::faults::FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Whether this engine's scan reaches `ip` at snapshot `t`.

@@ -8,11 +8,13 @@
 //! certificate of each IP (no SNI), §7's key limitation.
 
 mod engine;
+pub mod faults;
 mod observe;
 mod scan;
 mod zgrab;
 
 pub use engine::{EngineId, ScanEngine};
+pub use faults::{FaultClass, FaultPlan, FaultStats, MAX_HEADER_VALUE_LEN};
 pub use observe::{observe_snapshot, SnapshotObservations};
 pub use scan::{
     scan_certificates, scan_http_headers, CertScanRecord, CertScanSnapshot, HttpRecord,

@@ -31,6 +31,13 @@ pub fn observe_snapshot(
     if t < engine.active_since {
         return None;
     }
+    // Fault injection can remove whole snapshots from the corpus, exactly
+    // like a missing month in a real scan archive.
+    if let Some(plan) = &engine.faults {
+        if plan.drops_snapshot(t) {
+            return None;
+        }
+    }
     let n = world.n_snapshots();
     let eps = world.endpoints(t);
     let date = world.snapshot_date(t);

@@ -24,7 +24,7 @@ pub struct CertScanSnapshot {
 }
 
 /// One IP's HTTP banner headers on one port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRecord {
     pub ip: u32,
     pub headers: Vec<(String, String)>,
@@ -65,23 +65,32 @@ pub fn scan_certificates(
             _ => {}
         }
     }
-    CertScanSnapshot {
+    let mut snap = CertScanSnapshot {
         engine: engine.id,
         snapshot_idx: t,
         date,
         records,
+    };
+    if let Some(plan) = &engine.faults {
+        plan.apply_cert(&mut snap);
     }
+    snap
 }
 
 /// Run an HTTP (port 80) or HTTPS (port 443) banner scan. Returns `None`
 /// when the engine's corpus lacks that data at this snapshot (Rapid7 has
-/// HTTPS headers only from summer 2016; Censys from late 2019).
+/// HTTPS headers only from summer 2016; Censys from late 2019), and for
+/// any port other than 80/443 — no corpus carries other ports, and an
+/// empty `Some` snapshot here used to masquerade as a real scan.
 pub fn scan_http_headers(
     eps: &EndpointSet,
     engine: &ScanEngine,
     port: u16,
     n_snapshots: usize,
 ) -> Option<HttpScanSnapshot> {
+    if port != 80 && port != 443 {
+        return None;
+    }
     let t = eps.snapshot_idx;
     if t < engine.active_since {
         return None;
@@ -97,10 +106,10 @@ pub fn scan_http_headers(
         if !engine.reaches(ep.ip, t, n_snapshots) {
             continue;
         }
-        let headers = match port {
-            80 => Some(&ep.http_headers),
-            443 => ep.https_headers.as_ref(),
-            _ => None,
+        let headers = if port == 80 {
+            Some(&ep.http_headers)
+        } else {
+            ep.https_headers.as_ref()
         };
         if let Some(headers) = headers {
             if !headers.is_empty() {
@@ -111,12 +120,16 @@ pub fn scan_http_headers(
             }
         }
     }
-    Some(HttpScanSnapshot {
+    let mut snap = HttpScanSnapshot {
         engine: engine.id,
         snapshot_idx: t,
         port,
         records,
-    })
+    };
+    if let Some(plan) = &engine.faults {
+        plan.apply_http(&mut snap);
+    }
+    Some(snap)
 }
 
 #[cfg(test)]
@@ -173,6 +186,24 @@ mod tests {
         // Censys corpus does not exist before snapshot 24.
         let cs = ScanEngine::censys();
         assert!(scan_http_headers(&eps, &cs, 80, 31).is_none());
+    }
+
+    #[test]
+    fn unknown_port_returns_none() {
+        // Regression: ports outside {80, 443} used to yield a `Some`
+        // snapshot with zero records, indistinguishable from a real scan
+        // that found nothing.
+        let w = world();
+        let eps = w.endpoints(30);
+        let r7 = ScanEngine::rapid7();
+        for port in [0u16, 22, 81, 8080, 8443, 65535] {
+            assert!(
+                scan_http_headers(&eps, &r7, port, 31).is_none(),
+                "port {port} produced a snapshot"
+            );
+        }
+        assert!(scan_http_headers(&eps, &r7, 80, 31).is_some());
+        assert!(scan_http_headers(&eps, &r7, 443, 31).is_some());
     }
 
     #[test]

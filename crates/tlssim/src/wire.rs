@@ -199,7 +199,7 @@ pub fn parse_client_hello(wire: &[u8]) -> Result<ClientHello, WireError> {
     let body = unwrap_handshake(wire, HS_CLIENT_HELLO)?;
     let mut c = Cursor::new(body);
     let _version = c.take(2)?;
-    let random: [u8; 32] = c.take(32)?.try_into().expect("fixed size");
+    let random: [u8; 32] = c.take(32)?.try_into().map_err(|_| WireError::Truncated)?;
     let sid_len = c.u8()? as usize;
     c.take(sid_len)?;
     let cs_len = c.u16()? as usize;
@@ -242,7 +242,7 @@ pub fn parse_server_hello(wire: &[u8]) -> Result<ServerHello, WireError> {
     let body = unwrap_handshake(wire, HS_SERVER_HELLO)?;
     let mut c = Cursor::new(body);
     let _version = c.take(2)?;
-    let random: [u8; 32] = c.take(32)?.try_into().expect("fixed size");
+    let random: [u8; 32] = c.take(32)?.try_into().map_err(|_| WireError::Truncated)?;
     Ok(ServerHello { random })
 }
 

@@ -177,7 +177,7 @@ fn decode_san(value: &[u8]) -> Result<Vec<String>> {
             }
             names.push(
                 std::str::from_utf8(content)
-                    .expect("ASCII checked above")
+                    .map_err(|_| Error::InvalidContent("non-ASCII dNSName"))?
                     .to_owned(),
             );
         }

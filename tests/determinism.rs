@@ -64,3 +64,48 @@ fn scan_records_byte_identical() {
         assert_eq!(x.chain_der, y.chain_der, "wire bytes differ for {}", x.ip);
     }
 }
+
+#[test]
+fn zero_rate_fault_plan_is_a_byte_identical_noop() {
+    let world = HgWorld::generate(ScenarioConfig::small());
+    let plain = ScanEngine::rapid7();
+    let plan = std::sync::Arc::new(scanner::FaultPlan::new(42));
+    let faulted = ScanEngine::rapid7().with_faults(plan.clone());
+    let a = observe_snapshot(&world, &plain, 20).unwrap();
+    let b = observe_snapshot(&world, &faulted, 20).unwrap();
+    assert!(plan.injected_total().is_empty());
+    assert_eq!(a.cert.records.len(), b.cert.records.len());
+    for (x, y) in a.cert.records.iter().zip(&b.cert.records) {
+        assert_eq!(x.ip, y.ip);
+        assert_eq!(x.chain_der, y.chain_der, "wire bytes differ for {}", x.ip);
+    }
+    for (p, f) in [(&a.http80, &b.http80), (&a.https443, &b.https443)] {
+        match (p, f) {
+            (Some(p), Some(f)) => assert_eq!(p.records, f.records),
+            (None, None) => {}
+            _ => panic!("banner stream presence differs under a no-op plan"),
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    // Two plans with the same seed and rates corrupt exactly the same
+    // records, so a faulted corpus is as reproducible as a clean one.
+    let world = HgWorld::generate(ScenarioConfig::small());
+    let run = || {
+        let plan = std::sync::Arc::new(scanner::FaultPlan::uniform_record_faults(9, 0.1));
+        let engine = ScanEngine::rapid7().with_faults(plan.clone());
+        let obs = observe_snapshot(&world, &engine, 20).unwrap();
+        (obs, plan.injected_for(20))
+    };
+    let (a, inj_a) = run();
+    let (b, inj_b) = run();
+    assert_eq!(inj_a, inj_b, "injected ledgers differ between runs");
+    assert!(inj_a.total() > 0, "rate 0.1 injected nothing");
+    assert_eq!(a.cert.records.len(), b.cert.records.len());
+    for (x, y) in a.cert.records.iter().zip(&b.cert.records) {
+        assert_eq!(x.ip, y.ip);
+        assert_eq!(x.chain_der, y.chain_der, "corruption differs for {}", x.ip);
+    }
+}

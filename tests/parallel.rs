@@ -133,6 +133,41 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn faulted_study_parallel_matches_sequential() {
+    // Under injected corruption the parallel driver must still reproduce
+    // the sequential results exactly — including the quarantine accounting.
+    let w = world();
+    let config = StudyConfig {
+        snapshots: (26, 30),
+        ..Default::default()
+    };
+    let mk_engine = || {
+        let plan = Arc::new(scanner::FaultPlan::uniform_record_faults(13, 0.08));
+        ScanEngine::rapid7().with_faults(plan)
+    };
+    let seq = run_study(w, &mk_engine(), &config);
+    let par = run_study_parallel(w, &mk_engine(), &config, 4);
+    assert_eq!(seq.snapshots.len(), par.snapshots.len());
+    for (s, p) in seq.snapshots.iter().zip(&par.snapshots) {
+        assert_eq!(s.snapshot_idx, p.snapshot_idx);
+        assert_eq!(s.validation, p.validation, "t={}", s.snapshot_idx);
+        assert_eq!(s.quality, p.quality, "t={}", s.snapshot_idx);
+        for hg in ALL_HGS {
+            assert_eq!(
+                s.per_hg[&hg].confirmed_ases, p.per_hg[&hg].confirmed_ases,
+                "{hg} t={}",
+                s.snapshot_idx
+            );
+        }
+    }
+    assert_eq!(
+        seq.aggregate_quality(),
+        par.aggregate_quality(),
+        "study-level quality reports diverged"
+    );
+}
+
+#[test]
 fn shared_cache_is_hit_across_snapshots() {
     let w = world();
     let engine = ScanEngine::rapid7();

@@ -83,6 +83,70 @@ pub fn table2(world: &HgWorld, ctx: &PipelineContext, t: usize) -> Vec<Table2Row
     rows
 }
 
+/// One row of the interned-corpus memory report (the `corpus-stats`
+/// experiment): per-snapshot byte accounting for the symbol-table data
+/// model against the replaced per-record string model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryRow {
+    pub snapshot_idx: usize,
+    pub stats: offnet_core::CorpusMemoryStats,
+}
+
+/// Human-readable byte count (`1.2 MiB`-style, exact below 1 KiB).
+pub fn humanize_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut v = bytes as f64 / 1024.0;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}
+
+/// Render the interned-vs-string corpus memory comparison as a table,
+/// with a total row summing every snapshot.
+pub fn memory_table(rows: &[MemoryRow]) -> String {
+    let mut out_rows = Vec::with_capacity(rows.len() + 1);
+    let fmt = |label: String, s: &offnet_core::CorpusMemoryStats| -> Vec<String> {
+        let saved = 1.0 - s.interned_bytes as f64 / (s.string_model_bytes.max(1)) as f64;
+        vec![
+            label,
+            s.hosts.to_string(),
+            s.header_names.to_string(),
+            s.header_values.to_string(),
+            humanize_bytes(s.interned_bytes),
+            humanize_bytes(s.string_model_bytes),
+            crate::render::pct(saved),
+        ]
+    };
+    let mut total = offnet_core::CorpusMemoryStats::default();
+    for r in rows {
+        total.interned_bytes += r.stats.interned_bytes;
+        total.string_model_bytes += r.stats.string_model_bytes;
+        total.hosts += r.stats.hosts;
+        total.header_names += r.stats.header_names;
+        total.header_values += r.stats.header_values;
+        out_rows.push(fmt(crate::render::snapshot_label(r.snapshot_idx), &r.stats));
+    }
+    out_rows.push(fmt("total".to_owned(), &total));
+    crate::render::table(
+        &[
+            "snapshot",
+            "hosts",
+            "hdr-names",
+            "hdr-values",
+            "interned",
+            "string-model",
+            "saved",
+        ],
+        &out_rows,
+    )
+}
+
 /// One point of Figure 2.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig2Point {
@@ -163,6 +227,40 @@ mod tests {
             assert!(r.hg_any >= r.google);
             assert!(r.ases_with_certs > r.hg_any);
         }
+    }
+
+    #[test]
+    fn humanize_bytes_units() {
+        assert_eq!(humanize_bytes(512), "512 B");
+        assert_eq!(humanize_bytes(1536), "1.5 KiB");
+        assert_eq!(humanize_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn memory_table_totals_and_savings() {
+        let stats = offnet_core::CorpusMemoryStats {
+            interned_bytes: 600,
+            string_model_bytes: 1000,
+            hosts: 10,
+            header_names: 4,
+            header_values: 7,
+        };
+        let rows = vec![
+            MemoryRow {
+                snapshot_idx: 0,
+                stats,
+            },
+            MemoryRow {
+                snapshot_idx: 1,
+                stats,
+            },
+        ];
+        let out = memory_table(&rows);
+        assert!(out.contains("2013-10"), "{out}");
+        assert!(out.contains("total"), "{out}");
+        // 600/1000 interned → 40% saved, per row and in total.
+        assert_eq!(out.matches("40.0%").count(), 3, "{out}");
+        assert!(out.contains("1.2 KiB"), "{out}");
     }
 
     #[test]

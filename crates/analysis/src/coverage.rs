@@ -11,7 +11,7 @@ use std::collections::{BTreeSet, HashSet};
 pub struct CountryCoverage {
     pub country: CountryId,
     pub code: String,
-    /// Fraction [0,1] of the country's measured users inside hosting ASes.
+    /// Fraction `[0,1]` of the country's measured users inside hosting ASes.
     pub fraction: f64,
     /// The country's Internet users (for population-weighted aggregation).
     pub users: f64,

@@ -20,6 +20,9 @@
 //! fig9 fig10 fig11 fig12 fig13 fig14 certlifetimes validate ablation
 //! baselines quality
 //! hideandseek
+//!
+//! `corpus-stats` prints the interned-corpus memory accounting; it is a
+//! data-model diagnostic, deliberately not included in `all`.
 
 use analysis::render::{pct, snapshot_label, table};
 use analysis::{coverage, demographics, overlap, regions as regions_mod, series as series_mod};
@@ -308,6 +311,34 @@ fn main() {
     if want("hideandseek") {
         hide_and_seek(&cli);
     }
+    // Deliberately outside `all`: a diagnostic of the data model itself,
+    // not a paper artifact, so the canonical `all` report stays stable.
+    if cli.experiments.iter().any(|e| e == "corpus-stats") {
+        corpus_stats(&fx);
+    }
+}
+
+/// Memory accounting for the interned columnar corpus model against the
+/// per-record string model it replaced. Run explicitly with
+/// `reproduce corpus-stats`; see `BENCH_intern.json` for the methodology.
+fn corpus_stats(fx: &Fixtures) {
+    heading("Corpus data model: interned vs string-model memory");
+    let engine = fx.engine(ScanEngine::rapid7());
+    let mut rows = Vec::new();
+    for t in [0usize, 10, 20, 30] {
+        let obs = scanner::observe_snapshot(&fx.world, &engine, t).expect("corpus covers t");
+        let corpus = offnet_core::SnapshotCorpus::build(
+            &obs,
+            &fx.ctx().roots,
+            &offnet_core::standard_validate_options(),
+            None,
+        );
+        rows.push(analysis::MemoryRow {
+            snapshot_idx: t,
+            stats: corpus.memory,
+        });
+    }
+    print!("{}", analysis::memory_table(&rows));
 }
 
 /// Per-snapshot data-quality accounting for the Rapid7 study: records seen,

@@ -12,10 +12,10 @@
 //!   what a first attempt at certificate mining would do.
 
 use crate::candidates::{find_candidates, CandidateOptions};
+use crate::corpus::SnapshotCorpus;
 use crate::tls_fingerprint::learn_tls_fingerprints;
-use crate::validate::ValidatedCert;
 use hgsim::{Hg, HgWorld};
-use netsim::{AsId, IpToAsMap};
+use netsim::AsId;
 use std::collections::{BTreeSet, HashSet};
 
 /// Simulate DNS-based mapping from `n_vantages` vantage points.
@@ -60,19 +60,20 @@ pub fn vantage_point_baseline(
 }
 
 /// The naive certificate baseline: organization match only, no dNSName
-/// subset rule, no Cloudflare filter, no header confirmation.
+/// subset rule, no Cloudflare filter, no header confirmation — run over
+/// every validated certificate in the corpus.
 pub fn naive_org_baseline(
     keyword: &str,
     hg_ases: &HashSet<AsId>,
-    valid_certs: &[ValidatedCert],
-    ip_to_as: &IpToAsMap,
+    corpus: &SnapshotCorpus,
 ) -> BTreeSet<AsId> {
-    let fp = learn_tls_fingerprints(keyword, hg_ases, valid_certs, ip_to_as);
+    let idx = corpus.all_cert_indices();
+    let fp = learn_tls_fingerprints(keyword, hg_ases, corpus, &idx);
     let options = CandidateOptions {
         require_san_subset: false,
         cloudflare_filter: false,
     };
-    find_candidates(&fp, hg_ases, valid_certs, ip_to_as, &options).ases
+    find_candidates(&fp, hg_ases, corpus, &idx, &options).ases
 }
 
 /// Recall of a discovered set against the oracle.

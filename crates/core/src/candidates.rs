@@ -8,10 +8,14 @@
 //!
 //! Additionally, the documented Cloudflare filter (§7) drops certificates
 //! carrying the `(ssl|sni)N.cloudflaressl.com` universal-SSL SAN marker.
+//!
+//! Both filters run on the corpus's interned columns: (b) is a
+//! sorted-merge over the certificate's SAN span, and the Cloudflare
+//! marker is a per-host flag classified once at corpus build.
 
+use crate::corpus::SnapshotCorpus;
 use crate::tls_fingerprint::TlsFingerprint;
-use crate::validate::ValidatedCert;
-use netsim::{AsId, IpToAsMap};
+use netsim::AsId;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use x509::Fingerprint;
 
@@ -62,38 +66,30 @@ impl Default for CandidateOptions {
     }
 }
 
-/// Identify candidate off-net IPs/ASes for one HG. Accepts any borrowed
-/// iterable of certificates so callers can pass a slice or an
-/// index-mapped view without cloning.
-pub fn find_candidates<'a, I>(
+/// Identify candidate off-net IPs/ASes for one HG from the corpus
+/// certificates listed in `cert_idx` (indices into `corpus.valids` —
+/// pass a per-HG pre-index or [`SnapshotCorpus::all_cert_indices`]).
+pub fn find_candidates(
     fp: &TlsFingerprint,
     hg_ases: &HashSet<AsId>,
-    valid_certs: I,
-    ip_to_as: &IpToAsMap,
+    corpus: &SnapshotCorpus,
+    cert_idx: &[u32],
     options: &CandidateOptions,
-) -> CandidateSet
-where
-    I: IntoIterator<Item = &'a ValidatedCert>,
-{
+) -> CandidateSet {
     let mut out = CandidateSet::default();
-    for vc in valid_certs {
+    for &i in cert_idx {
+        let vc = &corpus.valids[i as usize];
         if !fp.org_matches(vc.leaf.subject().organization()) {
             continue;
         }
-        if options.require_san_subset && !fp.covers_all(vc.leaf.dns_names()) {
+        if options.require_san_subset && !fp.covers_all(corpus.sans(i)) {
             continue;
         }
-        if options.cloudflare_filter
-            && vc
-                .leaf
-                .dns_names()
-                .iter()
-                .any(|n| is_cloudflare_free_san(n))
-        {
+        if options.cloudflare_filter && corpus.cert_has_cloudflare_free_san(i) {
             continue;
         }
         // Off-net: the IP maps outside the HG's own ASes.
-        let origins = ip_to_as.lookup(vc.ip);
+        let origins = corpus.ip_to_as.lookup(vc.ip);
         if origins.iter().any(|a| hg_ases.contains(a)) {
             continue;
         }
@@ -113,7 +109,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::validate::validate_records;
     use hgsim::{Hg, HgWorld, ScenarioConfig};
     use scanner::{observe_snapshot, ScanEngine};
     use std::sync::OnceLock;
@@ -126,25 +121,20 @@ mod tests {
     fn candidates_for(hg: Hg, t: usize, options: &CandidateOptions) -> CandidateSet {
         let w = world();
         let obs = observe_snapshot(w, &ScanEngine::certigo(), t).unwrap();
-        let at = w.snapshot_date(t).midnight().plus_seconds(12 * 3600);
-        let (valids, _) = validate_records(
-            &obs.cert.records,
-            w.pki().root_store(),
-            at,
-            &Default::default(),
-        );
+        let corpus = SnapshotCorpus::build(&obs, w.pki().root_store(), &Default::default(), None);
         let hg_ases: HashSet<AsId> = w
             .org_db()
             .ases_matching(hg.spec().keyword)
             .into_iter()
             .collect();
+        let idx = corpus.all_cert_indices();
         let fp = crate::tls_fingerprint::learn_tls_fingerprints(
             hg.spec().keyword,
             &hg_ases,
-            &valids,
-            &obs.ip_to_as,
+            &corpus,
+            &idx,
         );
-        find_candidates(&fp, &hg_ases, &valids, &obs.ip_to_as, options)
+        find_candidates(&fp, &hg_ases, &corpus, &idx, options)
     }
 
     #[test]

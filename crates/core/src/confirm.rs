@@ -1,10 +1,17 @@
 //! §4.5 — confirming candidates with HTTP(S) header fingerprints.
+//!
+//! This stage runs entirely on interned symbols: banners are indexed
+//! into columnar per-port tables of `(HeaderNameSym, HeaderValueSym)`
+//! pairs, and the learned string fingerprints are compiled once per
+//! snapshot (against the frozen interner, before the parallel per-HG
+//! fan-out) into symbol sets so matching is integer comparisons.
 
 use crate::candidates::CandidateSet;
 use crate::headers::HeaderFingerprints;
+use intern::{FrozenInterner, HeaderNameSym, HeaderValueSym, Interner};
 use netsim::{AsId, IpToAsMap};
 use scanner::HttpScanSnapshot;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Which banner corpuses must match for confirmation (Figure 4's series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +20,24 @@ pub enum ConfirmMode {
     HttpOrHttps,
     /// Certificates and (HTTP and HTTPS) headers.
     HttpAndHttps,
+}
+
+/// A banner port: the scan streams §4.5 confirms against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    Http80,
+    Https443,
+}
+
+impl Port {
+    pub const ALL: [Port; 2] = [Port::Http80, Port::Https443];
+
+    fn idx(self) -> usize {
+        match self {
+            Port::Http80 => 0,
+            Port::Https443 => 1,
+        }
+    }
 }
 
 /// Banner-stream quality counters: how many records the indexer saw and
@@ -43,38 +68,106 @@ fn value_is_mojibake(v: &str) -> bool {
         .any(|c| c == '\u{fffd}' || (c.is_control() && c != '\t'))
 }
 
+/// One port's banners, laid out columnarly: a flat pair column plus a
+/// row-offset column, with an IP→row map on top. Rows are immutable once
+/// built, so the whole table is shared read-only across workers.
+#[derive(Debug)]
+struct PortTable {
+    ip_to_row: HashMap<u32, u32>,
+    /// `pairs[offsets[row] .. offsets[row + 1]]` is row `row`'s headers.
+    offsets: Vec<u32>,
+    pairs: Vec<(HeaderNameSym, HeaderValueSym)>,
+}
+
+impl Default for PortTable {
+    fn default() -> Self {
+        Self {
+            ip_to_row: HashMap::new(),
+            offsets: vec![0],
+            pairs: Vec::new(),
+        }
+    }
+}
+
+impl PortTable {
+    fn push_row(&mut self, ip: u32, headers: &[(HeaderNameSym, HeaderValueSym)]) {
+        let row = (self.offsets.len() - 1) as u32;
+        self.ip_to_row.insert(ip, row);
+        self.pairs.extend_from_slice(headers);
+        self.offsets.push(self.pairs.len() as u32);
+    }
+
+    fn get(&self, ip: u32) -> Option<&[(HeaderNameSym, HeaderValueSym)]> {
+        let row = *self.ip_to_row.get(&ip)? as usize;
+        Some(&self.pairs[self.offsets[row] as usize..self.offsets[row + 1] as usize])
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ip_to_row.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ip_to_row.len() * (std::mem::size_of::<u32>() * 2 + 4)
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.pairs.len() * std::mem::size_of::<(HeaderNameSym, HeaderValueSym)>()
+    }
+}
+
 /// Indexed banners of one snapshot.
 ///
 /// Corrupt records (oversized or mojibake header values) and duplicate
 /// rows are quarantined at build time — counted in [`BannerQuality`] and
 /// kept out of the index — so §4.5 only ever matches against well-formed
 /// banners. For duplicates the first record wins, mirroring §4.1's
-/// first-record-wins IP dedup.
+/// first-record-wins IP dedup. Because values are interned, corruption
+/// is classified once per *distinct* value over the pool, then looked up
+/// per record.
 #[derive(Debug, Default)]
 pub struct BannerIndex {
-    http80: HashMap<u32, Vec<(String, String)>>,
-    https443: HashMap<u32, Vec<(String, String)>>,
+    tables: [PortTable; 2],
     pub quality: BannerQuality,
 }
 
 impl BannerIndex {
-    pub fn build(http80: Option<&HttpScanSnapshot>, https443: Option<&HttpScanSnapshot>) -> Self {
-        let mut idx = Self::default();
-        if let Some(s) = http80 {
-            Self::index_stream(&mut idx.http80, s, &mut idx.quality);
+    pub fn build(
+        http80: Option<&HttpScanSnapshot>,
+        https443: Option<&HttpScanSnapshot>,
+        interner: &Interner,
+    ) -> Self {
+        // Classify each distinct header value once; records then check a
+        // flag per symbol instead of re-scanning the bytes.
+        let n_vals = interner.header_values.len();
+        let mut oversized = vec![false; n_vals];
+        let mut mojibake = vec![false; n_vals];
+        for (sym, s) in interner.header_values.iter() {
+            let i = sym.index() as usize;
+            oversized[i] = s.len() > scanner::MAX_HEADER_VALUE_LEN;
+            mojibake[i] = value_is_mojibake(s);
         }
-        if let Some(s) = https443 {
-            Self::index_stream(&mut idx.https443, s, &mut idx.quality);
+
+        let mut idx = Self::default();
+        for (port, snap) in [(Port::Http80, http80), (Port::Https443, https443)] {
+            if let Some(s) = snap {
+                Self::index_stream(
+                    &mut idx.tables[port.idx()],
+                    s,
+                    &mut idx.quality,
+                    &oversized,
+                    &mojibake,
+                );
+            }
         }
         idx
     }
 
     fn index_stream(
-        map: &mut HashMap<u32, Vec<(String, String)>>,
+        table: &mut PortTable,
         snap: &HttpScanSnapshot,
         quality: &mut BannerQuality,
+        oversized: &[bool],
+        mojibake: &[bool],
     ) {
-        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut seen: HashSet<u32> = HashSet::new();
         for r in &snap.records {
             quality.records_seen += 1;
             if !seen.insert(r.ip) {
@@ -83,33 +176,34 @@ impl BannerIndex {
             }
             // Per record, the first defect found decides the quarantine
             // reason (matching the injector's per-record exclusivity).
-            if r.headers
-                .iter()
-                .any(|(_, v)| v.len() > scanner::MAX_HEADER_VALUE_LEN)
-            {
+            if r.headers.iter().any(|(_, v)| oversized[v.index() as usize]) {
                 quality.oversized += 1;
                 continue;
             }
-            if r.headers.iter().any(|(_, v)| value_is_mojibake(v)) {
+            if r.headers.iter().any(|(_, v)| mojibake[v.index() as usize]) {
                 quality.mojibake += 1;
                 continue;
             }
-            map.insert(r.ip, r.headers.clone());
+            table.push_row(r.ip, &r.headers);
         }
     }
 
-    pub fn http80(&self, ip: u32) -> Option<&Vec<(String, String)>> {
-        self.http80.get(&ip)
-    }
-
-    pub fn https443(&self, ip: u32) -> Option<&Vec<(String, String)>> {
-        self.https443.get(&ip)
+    /// The indexed banner row for `ip` on `port`, if one survived
+    /// quarantine.
+    pub fn get(&self, port: Port, ip: u32) -> Option<&[(HeaderNameSym, HeaderValueSym)]> {
+        self.tables[port.idx()].get(ip)
     }
 
     /// Whether any HTTPS banners exist at all (they don't before the
     /// corpuses added HTTPS data).
     pub fn has_https(&self) -> bool {
-        !self.https443.is_empty()
+        !self.tables[Port::Https443.idx()].is_empty()
+    }
+
+    /// Bytes held by the columnar tables (excluding the interner pools,
+    /// which are accounted separately).
+    pub fn heap_bytes(&self) -> usize {
+        self.tables.iter().map(PortTable::heap_bytes).sum()
     }
 }
 
@@ -125,7 +219,113 @@ pub struct ConfirmedSet {
 /// front of other origins).
 const EDGE_PRIORITY: &[&str] = &["akamai", "cloudflare"];
 
-/// Confirm a candidate set using header fingerprints.
+/// One HG's header fingerprint compiled against a snapshot's frozen
+/// interner: names as a sorted symbol set, and each `(name, prefix)`
+/// pair expanded to the sorted set of value symbols the prefix matches.
+#[derive(Debug, Clone)]
+pub struct CompiledFingerprint {
+    pub keyword: String,
+    /// Sorted name symbols from the source fingerprint's name-only list.
+    names: Vec<HeaderNameSym>,
+    /// Per source pair: the name symbol plus every value symbol in the
+    /// pool whose string starts with the source prefix (sorted).
+    pairs: Vec<(HeaderNameSym, Vec<HeaderValueSym>)>,
+    /// Whether the *source* fingerprint was empty (§7 "Missing
+    /// Headers") — distinct from compiling to no resolvable symbols.
+    empty: bool,
+}
+
+impl CompiledFingerprint {
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Does this banner row match? Equivalent to the string model's
+    /// "name in names, or pair name equal and value has prefix".
+    pub fn matches(&self, row: &[(HeaderNameSym, HeaderValueSym)]) -> bool {
+        row.iter().any(|(n, v)| {
+            self.names.binary_search(n).is_ok()
+                || self
+                    .pairs
+                    .iter()
+                    .any(|(pn, vals)| pn == n && vals.binary_search(v).is_ok())
+        })
+    }
+}
+
+/// All HGs' fingerprints compiled for one snapshot. Built once before
+/// the per-HG fan-out; workers share it read-only.
+#[derive(Debug, Default)]
+pub struct CompiledFingerprints {
+    fps: Vec<CompiledFingerprint>,
+    by_keyword: HashMap<String, u32>,
+    /// Indices of the [`EDGE_PRIORITY`] fingerprints.
+    edge: Vec<u32>,
+}
+
+impl CompiledFingerprints {
+    /// Compile every learned fingerprint against `interner`. Names (and
+    /// pair names) absent from the snapshot's pool can never match a
+    /// banner and are dropped; prefix pairs are expanded by a single
+    /// pass over the value pool.
+    pub fn compile(src: &HeaderFingerprints, interner: &FrozenInterner) -> Self {
+        let mut keywords: Vec<&str> = src.iter().map(|fp| fp.keyword.as_str()).collect();
+        keywords.sort_unstable();
+
+        let mut out = Self::default();
+        // (fp index, pair index, prefix) for the pool expansion pass.
+        let mut pending: Vec<(usize, usize, String)> = Vec::new();
+        for kw in keywords {
+            let fp = src.get(kw).expect("keyword from iterator");
+            let mut compiled = CompiledFingerprint {
+                keyword: fp.keyword.clone(),
+                names: Vec::new(),
+                pairs: Vec::new(),
+                empty: fp.names.is_empty() && fp.pairs.is_empty(),
+            };
+            for name in &fp.names {
+                if let Some(sym) = interner.header_names().get(name) {
+                    compiled.names.push(sym);
+                }
+            }
+            compiled.names.sort_unstable();
+            let fp_idx = out.fps.len();
+            for (name, prefix) in &fp.pairs {
+                if let Some(sym) = interner.header_names().get(name) {
+                    pending.push((fp_idx, compiled.pairs.len(), prefix.clone()));
+                    compiled.pairs.push((sym, Vec::new()));
+                }
+            }
+            if EDGE_PRIORITY.contains(&fp.keyword.as_str()) {
+                out.edge.push(fp_idx as u32);
+            }
+            out.by_keyword.insert(fp.keyword.clone(), fp_idx as u32);
+            out.fps.push(compiled);
+        }
+
+        // One pass over the value pool expands every prefix at once.
+        // Pool iteration is in symbol order, so the sets come out sorted.
+        for (sym, s) in interner.header_values().iter() {
+            for (fp_idx, pair_idx, prefix) in &pending {
+                if s.starts_with(prefix.as_str()) {
+                    out.fps[*fp_idx].pairs[*pair_idx].1.push(sym);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn get(&self, keyword: &str) -> Option<&CompiledFingerprint> {
+        self.by_keyword.get(keyword).map(|&i| &self.fps[i as usize])
+    }
+
+    /// Does any edge CDN's fingerprint match this banner row?
+    pub fn edge_matches(&self, row: &[(HeaderNameSym, HeaderValueSym)]) -> bool {
+        self.edge.iter().any(|&i| self.fps[i as usize].matches(row))
+    }
+}
+
+/// Confirm a candidate set using compiled header fingerprints.
 ///
 /// A candidate IP is confirmed when its banner(s) match the HG's header
 /// fingerprint under `mode`. When the banner *also* matches an edge CDN's
@@ -134,7 +334,7 @@ const EDGE_PRIORITY: &[&str] = &["akamai", "cloudflare"];
 pub fn confirm_candidates(
     keyword: &str,
     candidates: &CandidateSet,
-    fps: &HeaderFingerprints,
+    fps: &CompiledFingerprints,
     banners: &BannerIndex,
     ip_to_as: &IpToAsMap,
     mode: ConfirmMode,
@@ -149,32 +349,21 @@ pub fn confirm_candidates(
         // can be confirmed for this HG.
         return out;
     }
+    let hg_is_edge = EDGE_PRIORITY.contains(&keyword.as_str());
     for (ip, _cert) in &candidates.ips {
-        let http = banners.http80(*ip);
-        let https = banners.https443(*ip);
-        let match_one = |h: Option<&Vec<(String, String)>>| -> Option<bool> {
-            h.map(|headers| {
-                if !fp.matches(headers) {
-                    return false;
-                }
-                // Reverse-proxy conflict: edge headers win.
-                if !EDGE_PRIORITY.contains(&keyword.as_str()) {
-                    let others = fps.matching_keywords(headers);
-                    if others.iter().any(|k| EDGE_PRIORITY.contains(k)) {
-                        return false;
-                    }
-                }
-                true
-            })
-        };
-        let m_http = match_one(http);
-        let m_https = match_one(https);
+        // One matcher over both ports: Some(matched) if a banner exists.
+        // Reverse-proxy conflict: edge headers win over origin headers.
+        let m = Port::ALL.map(|port| {
+            banners
+                .get(port, *ip)
+                .map(|row| fp.matches(row) && (hg_is_edge || !fps.edge_matches(row)))
+        });
         let confirmed = match mode {
-            ConfirmMode::HttpOrHttps => m_http == Some(true) || m_https == Some(true),
+            ConfirmMode::HttpOrHttps => m.contains(&Some(true)),
             ConfirmMode::HttpAndHttps => {
                 // Require agreement on every banner that exists; HTTPS-only
                 // epochs degrade to HTTP-only data.
-                match (m_http, m_https) {
+                match (m[0], m[1]) {
                     (Some(a), Some(b)) => a && b,
                     (Some(a), None) | (None, Some(a)) => a,
                     (None, None) => false,
@@ -238,23 +427,37 @@ mod tests {
         fps
     }
 
-    fn banner_index(entries: &[(u32, &[(&str, &str)])]) -> BannerIndex {
-        let snap = HttpScanSnapshot {
-            engine: scanner::EngineId::Rapid7,
-            snapshot_idx: 30,
-            port: 80,
-            records: entries
+    /// Intern a test banner, lowercasing names as the scanner does.
+    fn rec(interner: &mut Interner, ip: u32, hs: &[(&str, &str)]) -> HttpRecord {
+        HttpRecord {
+            ip,
+            headers: hs
                 .iter()
-                .map(|(ip, hs)| HttpRecord {
-                    ip: *ip,
-                    headers: hs
-                        .iter()
-                        .map(|(n, v)| (n.to_string(), v.to_string()))
-                        .collect(),
+                .map(|(n, v)| {
+                    (
+                        interner.header_names.intern(&n.to_ascii_lowercase()),
+                        interner.header_values.intern(v),
+                    )
                 })
                 .collect(),
-        };
-        BannerIndex::build(Some(&snap), None)
+        }
+    }
+
+    fn snap(port: u16, records: Vec<HttpRecord>) -> HttpScanSnapshot {
+        HttpScanSnapshot {
+            engine: scanner::EngineId::Rapid7,
+            snapshot_idx: 30,
+            port,
+            records,
+        }
+    }
+
+    fn banner_index(interner: &mut Interner, entries: &[(u32, &[(&str, &str)])]) -> BannerIndex {
+        let records = entries
+            .iter()
+            .map(|(ip, hs)| rec(interner, *ip, hs))
+            .collect();
+        BannerIndex::build(Some(&snap(80, records)), None, interner)
     }
 
     fn candidate(ips: &[u32]) -> CandidateSet {
@@ -268,11 +471,13 @@ mod tests {
     fn matching_banner_confirms() {
         let (topo, map) = tiny_map();
         let ip = topo.ases()[100].prefixes[0].addr(1);
-        let banners = banner_index(&[(ip, &[("Server", "gvs 1.0")])]);
+        let mut interner = Interner::default();
+        let banners = banner_index(&mut interner, &[(ip, &[("Server", "gvs 1.0")])]);
+        let compiled = CompiledFingerprints::compile(&fps(), &interner.freeze());
         let set = confirm_candidates(
             "google",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -285,11 +490,13 @@ mod tests {
     fn non_matching_banner_rejected() {
         let (topo, map) = tiny_map();
         let ip = topo.ases()[100].prefixes[0].addr(1);
-        let banners = banner_index(&[(ip, &[("Server", "nginx")])]);
+        let mut interner = Interner::default();
+        let banners = banner_index(&mut interner, &[(ip, &[("Server", "nginx")])]);
+        let compiled = CompiledFingerprints::compile(&fps(), &interner.freeze());
         let set = confirm_candidates(
             "google",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -303,11 +510,16 @@ mod tests {
         let ip = topo.ases()[100].prefixes[0].addr(1);
         // Banner carries BOTH apple-ish and akamai headers (cache miss
         // through an Akamai edge) — apple must not be confirmed, akamai is.
-        let banners = banner_index(&[(ip, &[("Server", "AkamaiGHost"), ("CDNUUID", "abc-123")])]);
+        let mut interner = Interner::default();
+        let banners = banner_index(
+            &mut interner,
+            &[(ip, &[("Server", "AkamaiGHost"), ("CDNUUID", "abc-123")])],
+        );
+        let compiled = CompiledFingerprints::compile(&fps(), &interner.freeze());
         let apple = confirm_candidates(
             "apple",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -316,7 +528,7 @@ mod tests {
         let akamai = confirm_candidates(
             "akamai",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -328,11 +540,13 @@ mod tests {
     fn missing_banner_means_unconfirmed() {
         let (topo, map) = tiny_map();
         let ip = topo.ases()[100].prefixes[0].addr(1);
-        let banners = banner_index(&[]);
+        let mut interner = Interner::default();
+        let banners = banner_index(&mut interner, &[]);
+        let compiled = CompiledFingerprints::compile(&fps(), &interner.freeze());
         let set = confirm_candidates(
             "google",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -344,29 +558,15 @@ mod tests {
     fn and_mode_requires_agreement() {
         let (topo, map) = tiny_map();
         let ip = topo.ases()[100].prefixes[0].addr(1);
-        let http = HttpScanSnapshot {
-            engine: scanner::EngineId::Rapid7,
-            snapshot_idx: 30,
-            port: 80,
-            records: vec![HttpRecord {
-                ip,
-                headers: vec![("Server".into(), "gvs 1.0".into())],
-            }],
-        };
-        let https = HttpScanSnapshot {
-            engine: scanner::EngineId::Rapid7,
-            snapshot_idx: 30,
-            port: 443,
-            records: vec![HttpRecord {
-                ip,
-                headers: vec![("Server".into(), "nginx".into())],
-            }],
-        };
-        let banners = BannerIndex::build(Some(&http), Some(&https));
+        let mut interner = Interner::default();
+        let http = snap(80, vec![rec(&mut interner, ip, &[("Server", "gvs 1.0")])]);
+        let https = snap(443, vec![rec(&mut interner, ip, &[("Server", "nginx")])]);
+        let banners = BannerIndex::build(Some(&http), Some(&https), &interner);
+        let compiled = CompiledFingerprints::compile(&fps(), &interner.freeze());
         let or_mode = confirm_candidates(
             "google",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,
@@ -375,7 +575,7 @@ mod tests {
         let and_mode = confirm_candidates(
             "google",
             &candidate(&[ip]),
-            &fps(),
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpAndHttps,
@@ -385,56 +585,53 @@ mod tests {
 
     #[test]
     fn corrupt_and_duplicate_banners_are_quarantined() {
-        let snap = HttpScanSnapshot {
-            engine: scanner::EngineId::Rapid7,
-            snapshot_idx: 30,
-            port: 80,
-            records: vec![
-                HttpRecord {
-                    ip: 1,
-                    headers: vec![("Server".into(), "gvs 1.0".into())],
-                },
-                // Duplicate row for IP 1: first record wins.
-                HttpRecord {
-                    ip: 1,
-                    headers: vec![("Server".into(), "nginx".into())],
-                },
-                // Mojibake value.
-                HttpRecord {
-                    ip: 2,
-                    headers: vec![("Server".into(), "gvs\u{fffd}\u{0007}".into())],
-                },
-                // Oversized value.
-                HttpRecord {
-                    ip: 3,
-                    headers: vec![(
-                        "Server".into(),
-                        "A".repeat(scanner::MAX_HEADER_VALUE_LEN + 1),
-                    )],
-                },
-                HttpRecord {
-                    ip: 4,
-                    headers: vec![("Server".into(), "clean\tvalue".into())],
-                },
-            ],
-        };
-        let idx = BannerIndex::build(Some(&snap), None);
+        let mut interner = Interner::default();
+        let records = vec![
+            rec(&mut interner, 1, &[("Server", "gvs 1.0")]),
+            // Duplicate row for IP 1: first record wins.
+            rec(&mut interner, 1, &[("Server", "nginx")]),
+            // Mojibake value.
+            rec(&mut interner, 2, &[("Server", "gvs\u{fffd}\u{0007}")]),
+            // Oversized value.
+            rec(
+                &mut interner,
+                3,
+                &[("Server", &"A".repeat(scanner::MAX_HEADER_VALUE_LEN + 1))],
+            ),
+            rec(&mut interner, 4, &[("Server", "clean\tvalue")]),
+        ];
+        let idx = BannerIndex::build(Some(&snap(80, records)), None, &interner);
         assert_eq!(idx.quality.records_seen, 5);
         assert_eq!(idx.quality.duplicate_ip, 1);
         assert_eq!(idx.quality.mojibake, 1);
         assert_eq!(idx.quality.oversized, 1);
         assert_eq!(idx.quality.quarantined_total(), 3);
-        assert_eq!(idx.http80(1).unwrap()[0].1, "gvs 1.0", "first record wins");
-        assert!(idx.http80(2).is_none(), "mojibake banner must not index");
-        assert!(idx.http80(3).is_none(), "oversized banner must not index");
-        assert!(idx.http80(4).is_some(), "tab is a legal header byte");
+        let row = idx.get(Port::Http80, 1).unwrap();
+        assert_eq!(
+            interner.header_values.resolve(row[0].1),
+            "gvs 1.0",
+            "first record wins"
+        );
+        assert!(
+            idx.get(Port::Http80, 2).is_none(),
+            "mojibake banner must not index"
+        );
+        assert!(
+            idx.get(Port::Http80, 3).is_none(),
+            "oversized banner must not index"
+        );
+        assert!(
+            idx.get(Port::Http80, 4).is_some(),
+            "tab is a legal header byte"
+        );
     }
 
     #[test]
     fn empty_fingerprint_confirms_nothing() {
         let (topo, map) = tiny_map();
         let ip = topo.ases()[100].prefixes[0].addr(1);
-        let banners = banner_index(&[(ip, &[("X-Hulu-Request-Id", "1")])]);
+        let mut interner = Interner::default();
+        let banners = banner_index(&mut interner, &[(ip, &[("X-Hulu-Request-Id", "1")])]);
         let mut fps = HeaderFingerprints::default();
         fps.insert(HeaderFingerprint {
             keyword: "hulu".into(),
@@ -442,10 +639,11 @@ mod tests {
             names: vec![],
             support: 0,
         });
+        let compiled = CompiledFingerprints::compile(&fps, &interner.freeze());
         let set = confirm_candidates(
             "hulu",
             &candidate(&[ip]),
-            &fps,
+            &compiled,
             &banners,
             &map,
             ConfirmMode::HttpOrHttps,

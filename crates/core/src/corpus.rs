@@ -1,0 +1,361 @@
+//! The interned, columnar per-snapshot corpus: everything the §4.2–§4.5
+//! stages read, built once per snapshot and shared read-only across the
+//! parallel per-HG fan-out.
+//!
+//! [`SnapshotCorpus::build`] runs §4.1 validation, interns every
+//! validated certificate's SANs into the snapshot's host pool, lays the
+//! SAN sets out as sorted per-certificate spans (so the §4.3
+//! all-SANs-on-net rule is a sorted-merge over integers), indexes the
+//! banner streams columnarly, and pre-computes the per-HG certificate
+//! index lists. The interner is *frozen* at the end of `build` — the
+//! append-only observation phase is over, and a [`FrozenInterner`] has no
+//! `&mut` API, so `parallel_map` workers share the whole corpus by
+//! reference without locks.
+//!
+//! Quarantined records never reach the corpus tables: malformed DER is
+//! rejected by validation before SAN interning, and corrupt banner rows
+//! are dropped (and counted) by the banner indexer. Their *strings* may
+//! still sit in the interner — the scanner interns at observation time,
+//! before quarantine runs — which costs pool bytes but can never
+//! resurface in matching, because no surviving row references them.
+
+use crate::candidates::is_cloudflare_free_san;
+use crate::confirm::BannerIndex;
+use crate::validate::{validate_records, ValidateOptions, ValidatedCert, ValidationStats};
+use crate::validation_cache::{validate_records_cached, ValidationCache};
+use hgsim::{Hg, ALL_HGS};
+use intern::{FrozenInterner, HostSym};
+use netsim::{AsId, IpToAsMap};
+use scanner::SnapshotObservations;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use timebase::Timestamp;
+use x509::RootStore;
+
+/// Memory accounting for one snapshot's corpus, interned model vs the
+/// string model it replaced (see `BENCH_intern.json`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorpusMemoryStats {
+    /// Bytes held by the interned model: the three symbol pools, the
+    /// symbolized banner records, the columnar banner tables, and the
+    /// per-certificate SAN spans.
+    pub interned_bytes: usize,
+    /// Estimated bytes of the replaced string model: per-record owned
+    /// `Vec<(String, String)>` headers plus per-certificate
+    /// `Vec<String>` SANs (24 bytes per `String`/`Vec` header plus
+    /// contents; map overheads excluded, which favors the string model).
+    pub string_model_bytes: usize,
+    /// Distinct strings per pool.
+    pub hosts: usize,
+    pub header_names: usize,
+    pub header_values: usize,
+}
+
+/// One snapshot's validated, interned, columnar corpus.
+#[derive(Debug)]
+pub struct SnapshotCorpus {
+    pub snapshot_idx: usize,
+    /// The frozen symbol tables every span/row below resolves through.
+    pub interner: FrozenInterner,
+    /// §4.1 output, in scan-record order (dedup: first record per IP).
+    pub valids: Vec<ValidatedCert>,
+    pub validation: ValidationStats,
+    /// Columnar banner tables plus their quarantine counters.
+    pub banners: BannerIndex,
+    /// Per-HG indices into `valids` whose Subject Organization contains
+    /// the HG keyword, excluding expiry-exempted certificates (§4.1).
+    pub by_hg_std: HashMap<Hg, Vec<u32>>,
+    /// As `by_hg_std` but *including* expiry-exempted certificates — the
+    /// §6.2 Netflix restoration pool.
+    pub by_hg_all: HashMap<Hg, Vec<u32>>,
+    pub ip_to_as: Arc<IpToAsMap>,
+    /// Raw corpus size: IPs with any certificate (before validation).
+    pub total_ips_with_certs: usize,
+    /// ASes hosting at least one certificate-bearing IP.
+    pub n_ases_with_certs: usize,
+    /// IPs answering on port 80 but absent from the certificate corpus
+    /// (drives the §6.2 Netflix non-TLS restoration).
+    pub http_only_ips: Vec<u32>,
+    /// Whether the certificate snapshot carried zero records.
+    pub empty_cert_snapshot: bool,
+    pub memory: CorpusMemoryStats,
+    /// `san_syms[san_offsets[i]..san_offsets[i+1]]` is certificate `i`'s
+    /// SAN set: sorted, deduplicated host symbols.
+    san_offsets: Vec<u32>,
+    san_syms: Vec<HostSym>,
+    /// Per-host-symbol flag: is this name a Cloudflare universal-SSL
+    /// marker (§7)? Computed once over the pool, not per certificate.
+    cf_free_host: Vec<bool>,
+}
+
+impl SnapshotCorpus {
+    /// Build the corpus for one observation bundle: validate (§4.1,
+    /// optionally through the cross-snapshot `cache`), intern and sort
+    /// SAN spans, index banners, and freeze the interner.
+    pub fn build(
+        obs: &SnapshotObservations,
+        roots: &RootStore,
+        opts: &ValidateOptions,
+        cache: Option<&ValidationCache>,
+    ) -> Self {
+        // Validation instant: noon of the snapshot date (§4.1 runs on the
+        // scan day; noon sidesteps midnight expiry boundary artifacts).
+        let at: Timestamp = obs.cert.date.midnight().plus_seconds(12 * 3600);
+        let (valids, validation) = match cache {
+            Some(cache) => validate_records_cached(&obs.cert.records, roots, at, opts, cache),
+            None => validate_records(&obs.cert.records, roots, at, opts),
+        };
+
+        let mut interner = obs.interner.clone();
+
+        // Columnar SAN spans, sorted + deduplicated per certificate so
+        // the §4.3 subset test is a sorted merge.
+        let mut san_offsets: Vec<u32> = Vec::with_capacity(valids.len() + 1);
+        let mut san_syms: Vec<HostSym> = Vec::new();
+        san_offsets.push(0);
+        let mut scratch: Vec<HostSym> = Vec::new();
+        for vc in &valids {
+            scratch.clear();
+            scratch.extend(vc.leaf.dns_name_strs().map(|n| interner.hosts.intern(n)));
+            scratch.sort_unstable();
+            scratch.dedup();
+            san_syms.extend_from_slice(&scratch);
+            san_offsets.push(san_syms.len() as u32);
+        }
+
+        // The Cloudflare free-SAN marker is a property of the *name*, so
+        // classify each distinct host once instead of per certificate.
+        let cf_free_host: Vec<bool> = interner
+            .hosts
+            .iter()
+            .map(|(_, name)| is_cloudflare_free_san(name))
+            .collect();
+
+        // Per-HG organization pre-index (one lowercase pass over the
+        // validated set; 23 substring probes per certificate).
+        let mut by_hg_std: HashMap<Hg, Vec<u32>> = HashMap::new();
+        let mut by_hg_all: HashMap<Hg, Vec<u32>> = HashMap::new();
+        for (i, vc) in valids.iter().enumerate() {
+            let Some(org) = vc.leaf.subject().organization() else {
+                continue;
+            };
+            let org_lc = org.to_ascii_lowercase();
+            for hg in ALL_HGS {
+                if org_lc.contains(hg.spec().keyword) {
+                    by_hg_all.entry(hg).or_default().push(i as u32);
+                    if !vc.expiry_exempted {
+                        by_hg_std.entry(hg).or_default().push(i as u32);
+                    }
+                }
+            }
+        }
+
+        let banners = BannerIndex::build(obs.http80.as_ref(), obs.https443.as_ref(), &interner);
+
+        // Corpus-level statistics (previously recomputed by the pipeline).
+        let mut cert_ips: HashSet<u32> = HashSet::with_capacity(obs.cert.records.len());
+        let mut ases_with_certs: HashSet<AsId> = HashSet::new();
+        for r in &obs.cert.records {
+            cert_ips.insert(r.ip);
+            for a in obs.ip_to_as.lookup(r.ip) {
+                ases_with_certs.insert(*a);
+            }
+        }
+        let http_only_ips: Vec<u32> = obs
+            .http80
+            .as_ref()
+            .map(|s| {
+                s.records
+                    .iter()
+                    .map(|r| r.ip)
+                    .filter(|ip| !cert_ips.contains(ip))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let memory = measure_memory(obs, &valids, &interner, &banners, &san_syms, &san_offsets);
+
+        Self {
+            snapshot_idx: obs.snapshot_idx,
+            interner: interner.freeze(),
+            validation,
+            banners,
+            by_hg_std,
+            by_hg_all,
+            ip_to_as: obs.ip_to_as.clone(),
+            total_ips_with_certs: obs.cert.records.len(),
+            n_ases_with_certs: ases_with_certs.len(),
+            http_only_ips,
+            empty_cert_snapshot: obs.cert.records.is_empty(),
+            memory,
+            san_offsets,
+            san_syms,
+            cf_free_host,
+            valids,
+        }
+    }
+
+    /// Certificate `i`'s SAN set: sorted, deduplicated host symbols.
+    pub fn sans(&self, cert_idx: u32) -> &[HostSym] {
+        let i = cert_idx as usize;
+        &self.san_syms[self.san_offsets[i] as usize..self.san_offsets[i + 1] as usize]
+    }
+
+    /// Whether certificate `i` carries a Cloudflare universal-SSL SAN
+    /// marker (§7's customer-certificate filter).
+    pub fn cert_has_cloudflare_free_san(&self, cert_idx: u32) -> bool {
+        self.sans(cert_idx)
+            .iter()
+            .any(|s| self.cf_free_host[s.index() as usize])
+    }
+
+    /// Every validated certificate's index, in corpus order.
+    pub fn all_cert_indices(&self) -> Vec<u32> {
+        (0..self.valids.len() as u32).collect()
+    }
+
+    /// The `by_hg_std` index list for one HG (empty slice if none).
+    pub fn hg_std_indices(&self, hg: Hg) -> &[u32] {
+        self.by_hg_std.get(&hg).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The `by_hg_all` index list for one HG (empty slice if none).
+    pub fn hg_all_indices(&self, hg: Hg) -> &[u32] {
+        self.by_hg_all.get(&hg).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Account the interned corpus model against the string model it
+/// replaced. String-model sizes are reconstructed by resolving every
+/// symbol back to its string, counting each occurrence as an owned
+/// `String` (24-byte header + contents) the old record model would have
+/// held.
+fn measure_memory(
+    obs: &SnapshotObservations,
+    valids: &[ValidatedCert],
+    interner: &intern::Interner,
+    banners: &BannerIndex,
+    san_syms: &[HostSym],
+    san_offsets: &[u32],
+) -> CorpusMemoryStats {
+    const STRING_HEADER: usize = std::mem::size_of::<String>(); // 24
+    const PAIR_SYMS: usize = 8; // (u32, u32)
+
+    let mut string_model = 0usize;
+    let mut interned_records = 0usize;
+    for snap in [obs.http80.as_ref(), obs.https443.as_ref()]
+        .into_iter()
+        .flatten()
+    {
+        for r in &snap.records {
+            string_model += STRING_HEADER; // the Vec header
+            interned_records += STRING_HEADER + r.headers.len() * PAIR_SYMS;
+            for (n, v) in &r.headers {
+                string_model += 2 * STRING_HEADER
+                    + interner.header_names.resolve(*n).len()
+                    + interner.header_values.resolve(*v).len();
+            }
+        }
+    }
+    for vc in valids {
+        string_model += STRING_HEADER;
+        for name in vc.leaf.dns_name_strs() {
+            string_model += STRING_HEADER + name.len();
+        }
+    }
+
+    let interned = interner.heap_bytes()
+        + interned_records
+        + banners.heap_bytes()
+        + std::mem::size_of_val(san_syms)
+        + std::mem::size_of_val(san_offsets);
+
+    CorpusMemoryStats {
+        interned_bytes: interned,
+        string_model_bytes: string_model,
+        hosts: interner.hosts.len(),
+        header_names: interner.header_names.len(),
+        header_values: interner.header_values.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgsim::{HgWorld, ScenarioConfig};
+    use scanner::{observe_snapshot, ScanEngine};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static HgWorld {
+        static W: OnceLock<HgWorld> = OnceLock::new();
+        W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+    }
+
+    fn corpus(t: usize) -> SnapshotCorpus {
+        let w = world();
+        let obs = observe_snapshot(w, &ScanEngine::rapid7(), t).unwrap();
+        SnapshotCorpus::build(&obs, w.pki().root_store(), &Default::default(), None)
+    }
+
+    #[test]
+    fn san_spans_sorted_deduped_and_resolvable() {
+        let c = corpus(30);
+        assert!(!c.valids.is_empty());
+        let mut nonempty = 0;
+        for i in 0..c.valids.len() as u32 {
+            let span = c.sans(i);
+            assert!(
+                span.windows(2).all(|w| w[0] < w[1]),
+                "span not strictly sorted"
+            );
+            let names: HashSet<&str> = c.valids[i as usize].leaf.dns_name_strs().collect();
+            assert_eq!(span.len(), names.len());
+            for s in span {
+                assert!(names.contains(c.interner.hosts().resolve(*s)));
+            }
+            nonempty += usize::from(!span.is_empty());
+        }
+        assert!(nonempty > 100, "{nonempty} certs with SANs");
+    }
+
+    #[test]
+    fn cloudflare_flags_match_string_classifier() {
+        let c = corpus(30);
+        for i in 0..c.valids.len() as u32 {
+            let by_string = c.valids[i as usize]
+                .leaf
+                .dns_name_strs()
+                .any(is_cloudflare_free_san);
+            assert_eq!(c.cert_has_cloudflare_free_san(i), by_string, "cert {i}");
+        }
+        assert!(
+            (0..c.valids.len() as u32).any(|i| c.cert_has_cloudflare_free_san(i)),
+            "no universal-SSL certs in corpus; the flag test is vacuous"
+        );
+    }
+
+    #[test]
+    fn hg_indices_partition_consistently() {
+        let c = corpus(30);
+        for hg in ALL_HGS {
+            let std_set = c.hg_std_indices(hg);
+            let all_set = c.hg_all_indices(hg);
+            assert!(std_set.len() <= all_set.len(), "{hg}");
+            // std is a subsequence of all.
+            let all: HashSet<u32> = all_set.iter().copied().collect();
+            assert!(std_set.iter().all(|i| all.contains(i)), "{hg}");
+        }
+    }
+
+    #[test]
+    fn interned_model_beats_string_model() {
+        let m = corpus(30).memory;
+        assert!(m.hosts > 0 && m.header_names > 0 && m.header_values > 0);
+        assert!(
+            (m.interned_bytes as f64) < 0.7 * m.string_model_bytes as f64,
+            "interned {} vs string {}",
+            m.interned_bytes,
+            m.string_model_bytes
+        );
+    }
+}

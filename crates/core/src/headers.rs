@@ -8,7 +8,17 @@
 //! (Server: AkamaiGHost) become name+value-prefix fingerprints. This
 //! automates the paper's manual classification step; the one documented
 //! manual override retained is Netflix's default-nginx rule (§4.4).
+//!
+//! Counting runs on interned symbols (banner records carry
+//! `(HeaderNameSym, HeaderValueSym)` pairs); the learned
+//! [`HeaderFingerprint`] stays string-typed because it crosses snapshots
+//! — it is learned once at the reference snapshot and re-compiled
+//! against every other snapshot's interner (see
+//! [`crate::confirm::CompiledFingerprints`]). Selection ties are broken
+//! on the *resolved strings*, never on symbol ids, so the learned
+//! fingerprint is independent of interning order.
 
+use intern::{HeaderNameSym, HeaderValueSym, Interner};
 use scanner::HttpRecord;
 use std::collections::{HashMap, HashSet};
 
@@ -50,7 +60,7 @@ const MAX_GLOBAL_FREQ: f64 = 0.2;
 const MIN_SUPPORT_FRACTION: f64 = 0.05;
 
 /// One HG's learned header fingerprint.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeaderFingerprint {
     pub keyword: String,
     /// `(lowercased name, value prefix)` — observed value must start with
@@ -63,7 +73,8 @@ pub struct HeaderFingerprint {
 }
 
 impl HeaderFingerprint {
-    /// Whether a banner matches this fingerprint.
+    /// Whether a banner matches this fingerprint (string model; the hot
+    /// path uses [`crate::confirm::CompiledFingerprint::matches`]).
     pub fn matches(&self, headers: &[(String, String)]) -> bool {
         for (name, value) in headers {
             let name_lc = name.to_ascii_lowercase();
@@ -119,12 +130,14 @@ impl HeaderFingerprints {
     }
 }
 
-/// Global header-frequency baseline over a banner corpus.
+/// Global header-frequency baseline over a banner corpus, keyed by the
+/// snapshot's symbols (banner names are interned lowercased at scan
+/// time, so no per-record normalization happens here).
 #[derive(Debug, Clone, Default)]
 pub struct GlobalHeaderStats {
     total_banners: usize,
-    name_counts: HashMap<String, usize>,
-    pair_counts: HashMap<(String, String), usize>,
+    name_counts: HashMap<HeaderNameSym, usize>,
+    pair_counts: HashMap<(HeaderNameSym, HeaderValueSym), usize>,
 }
 
 impl GlobalHeaderStats {
@@ -135,22 +148,21 @@ impl GlobalHeaderStats {
         };
         for r in records {
             let mut seen_names = HashSet::new();
-            for (name, value) in &r.headers {
-                let name_lc = name.to_ascii_lowercase();
-                if seen_names.insert(name_lc.clone()) {
-                    *s.name_counts.entry(name_lc.clone()).or_insert(0) += 1;
+            for &(name, value) in &r.headers {
+                if seen_names.insert(name) {
+                    *s.name_counts.entry(name).or_insert(0) += 1;
                 }
-                *s.pair_counts.entry((name_lc, value.clone())).or_insert(0) += 1;
+                *s.pair_counts.entry((name, value)).or_insert(0) += 1;
             }
         }
         s
     }
 
-    fn name_freq(&self, name: &str) -> f64 {
+    fn name_freq(&self, name: HeaderNameSym) -> f64 {
         if self.total_banners == 0 {
             return 0.0;
         }
-        *self.name_counts.get(name).unwrap_or(&0) as f64 / self.total_banners as f64
+        *self.name_counts.get(&name).unwrap_or(&0) as f64 / self.total_banners as f64
     }
 
     /// The smallest resolvable frequency (one banner).
@@ -162,24 +174,23 @@ impl GlobalHeaderStats {
         }
     }
 
-    fn pair_freq(&self, name: &str, value: &str) -> f64 {
+    fn pair_freq(&self, pair: (HeaderNameSym, HeaderValueSym)) -> f64 {
         if self.total_banners == 0 {
             return 0.0;
         }
-        *self
-            .pair_counts
-            .get(&(name.to_owned(), value.to_owned()))
-            .unwrap_or(&0) as f64
-            / self.total_banners as f64
+        *self.pair_counts.get(&pair).unwrap_or(&0) as f64 / self.total_banners as f64
     }
 }
 
 /// Learn one HG's header fingerprint from its on-net banners, judged
-/// against the global baseline.
+/// against the global baseline. `interner` resolves symbols for the
+/// standard-header filter, the string tie-break, and the (string-typed)
+/// output fingerprint.
 pub fn learn_header_fingerprints(
     keyword: &str,
     onnet_banners: &[&HttpRecord],
     global: &GlobalHeaderStats,
+    interner: &Interner,
 ) -> HeaderFingerprint {
     let keyword = keyword.to_ascii_lowercase();
     let mut fp = HeaderFingerprint {
@@ -192,60 +203,82 @@ pub fn learn_header_fingerprints(
         return fp;
     }
 
+    // Standard headers as symbols: one pool probe per list entry instead
+    // of a string comparison per record header.
+    let standard: HashSet<HeaderNameSym> = STANDARD_HEADERS
+        .iter()
+        .filter_map(|h| interner.header_names.get(h))
+        .collect();
+
     // Frequency analysis over on-net banners.
-    let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
-    let mut name_counts: HashMap<String, usize> = HashMap::new();
+    let mut pair_counts: HashMap<(HeaderNameSym, HeaderValueSym), usize> = HashMap::new();
+    let mut name_counts: HashMap<HeaderNameSym, usize> = HashMap::new();
     for r in onnet_banners {
         let mut seen_names = HashSet::new();
-        for (name, value) in &r.headers {
-            let name_lc = name.to_ascii_lowercase();
-            if STANDARD_HEADERS.contains(&name_lc.as_str()) {
+        for &(name, value) in &r.headers {
+            if standard.contains(&name) {
                 continue;
             }
-            if seen_names.insert(name_lc.clone()) {
-                *name_counts.entry(name_lc.clone()).or_insert(0) += 1;
+            if seen_names.insert(name) {
+                *name_counts.entry(name).or_insert(0) += 1;
             }
-            *pair_counts.entry((name_lc, value.clone())).or_insert(0) += 1;
+            *pair_counts.entry((name, value)).or_insert(0) += 1;
         }
     }
     let min_support = ((onnet_banners.len() as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
 
     // Top pairs by on-net frequency (the paper's "50 most frequent header
-    // name-value pairs").
-    let mut top_pairs: Vec<(&(String, String), &usize)> = pair_counts.iter().collect();
-    top_pairs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    // name-value pairs"). Ties break on the resolved strings so the
+    // take(50) cutoff is independent of symbol-id assignment order.
+    // (resolved strings, symbol pair, on-net count) per distinct pair.
+    type RankedPair<'a> = ((&'a str, &'a str), (HeaderNameSym, HeaderValueSym), usize);
+    let mut top_pairs: Vec<RankedPair> = pair_counts
+        .iter()
+        .map(|(&(n, v), &c)| {
+            (
+                (
+                    interner.header_names.resolve(n),
+                    interner.header_values.resolve(v),
+                ),
+                (n, v),
+                c,
+            )
+        })
+        .collect();
+    top_pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
     let n_onnet = onnet_banners.len() as f64;
-    for ((name, value), count) in top_pairs.into_iter().take(TOP_PAIRS) {
-        if *count < min_support {
+    for ((name, value), pair, count) in top_pairs.into_iter().take(TOP_PAIRS) {
+        if count < min_support {
             continue;
         }
-        let onnet_freq = *count as f64 / n_onnet;
-        let gf = global.pair_freq(name, value).max(global.floor());
+        let onnet_freq = count as f64 / n_onnet;
+        let gf = global.pair_freq(pair).max(global.floor());
         if gf <= MAX_GLOBAL_FREQ && onnet_freq / gf >= DISTINCTIVE_MIN_LIFT {
-            fp.pairs.push((name.clone(), value.clone()));
+            fp.pairs.push((name.to_owned(), value.to_owned()));
         }
     }
 
     // Names with dynamic values: frequent on-net, rare globally, and not
     // already captured via a stable pair.
-    for (name, count) in &name_counts {
-        if *count < min_support {
+    for (&name, &count) in &name_counts {
+        if count < min_support {
             continue;
         }
-        if fp.pairs.iter().any(|(n, _)| n == name) {
+        let name_str = interner.header_names.resolve(name);
+        if fp.pairs.iter().any(|(n, _)| n == name_str) {
             // If the name also has many distinct values, keep it name-only
             // instead of enumerating per-request values.
-            let distinct_values = pair_counts.keys().filter(|(n, _)| n == name).count();
+            let distinct_values = pair_counts.keys().filter(|(n, _)| *n == name).count();
             if distinct_values > onnet_banners.len() / 2 && distinct_values > 4 {
-                fp.pairs.retain(|(n, _)| n != name);
+                fp.pairs.retain(|(n, _)| n != name_str);
             } else {
                 continue;
             }
         }
-        let onnet_freq = *count as f64 / n_onnet;
+        let onnet_freq = count as f64 / n_onnet;
         let gf = global.name_freq(name).max(global.floor());
         if gf <= MAX_GLOBAL_FREQ && onnet_freq / gf >= DISTINCTIVE_MIN_LIFT {
-            fp.names.push(name.clone());
+            fp.names.push(name_str.to_owned());
         }
     }
     fp.names.sort_unstable();
@@ -268,38 +301,53 @@ fn apply_manual_overrides(fp: &mut HeaderFingerprint) {
 mod tests {
     use super::*;
 
-    fn rec(headers: &[(&str, &str)]) -> HttpRecord {
+    /// Intern a test banner, lowercasing names as the scanner does.
+    pub(super) fn rec(interner: &mut Interner, headers: &[(&str, &str)]) -> HttpRecord {
         HttpRecord {
             ip: 0,
             headers: headers
                 .iter()
-                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .map(|(n, v)| {
+                    (
+                        interner.header_names.intern(&n.to_ascii_lowercase()),
+                        interner.header_values.intern(v),
+                    )
+                })
                 .collect(),
         }
     }
 
-    fn global() -> GlobalHeaderStats {
+    fn global(interner: &mut Interner) -> GlobalHeaderStats {
         // 1000 generic banners: nginx/apache everywhere.
         let mut records = Vec::new();
         for i in 0..1000u32 {
             let server = if i % 2 == 0 { "nginx" } else { "Apache" };
-            records.push(rec(&[
-                ("Server", server),
-                ("Content-Type", "text/html"),
-                ("Cache-Control", "max-age=600"),
-            ]));
+            records.push(rec(
+                interner,
+                &[
+                    ("Server", server),
+                    ("Content-Type", "text/html"),
+                    ("Cache-Control", "max-age=600"),
+                ],
+            ));
         }
         GlobalHeaderStats::build(&records)
     }
 
     #[test]
     fn stable_distinctive_value_becomes_pair() {
-        let g = global();
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
         let banners: Vec<HttpRecord> = (0..100)
-            .map(|_| rec(&[("Server", "AkamaiGHost"), ("Content-Type", "text/html")]))
+            .map(|_| {
+                rec(
+                    &mut interner,
+                    &[("Server", "AkamaiGHost"), ("Content-Type", "text/html")],
+                )
+            })
             .collect();
         let refs: Vec<&HttpRecord> = banners.iter().collect();
-        let fp = learn_header_fingerprints("akamai", &refs, &g);
+        let fp = learn_header_fingerprints("akamai", &refs, &g, &interner);
         assert!(fp
             .pairs
             .contains(&("server".to_owned(), "AkamaiGHost".to_owned())));
@@ -309,17 +357,21 @@ mod tests {
 
     #[test]
     fn dynamic_values_become_name_only() {
-        let g = global();
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
         let banners: Vec<HttpRecord> = (0..100)
             .map(|i| {
-                rec(&[
-                    ("X-FB-Debug", &format!("h{i}")[..]),
-                    ("Server", "proxygen-bolt"),
-                ])
+                rec(
+                    &mut interner,
+                    &[
+                        ("X-FB-Debug", &format!("h{i}")[..]),
+                        ("Server", "proxygen-bolt"),
+                    ],
+                )
             })
             .collect();
         let refs: Vec<&HttpRecord> = banners.iter().collect();
-        let fp = learn_header_fingerprints("facebook", &refs, &g);
+        let fp = learn_header_fingerprints("facebook", &refs, &g, &interner);
         assert!(fp.names.contains(&"x-fb-debug".to_owned()), "{fp:?}");
         assert!(fp
             .pairs
@@ -329,29 +381,39 @@ mod tests {
 
     #[test]
     fn generic_values_rejected() {
-        let g = global();
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
         // On-nets that answer with plain nginx: nothing distinctive.
-        let banners: Vec<HttpRecord> = (0..100).map(|_| rec(&[("Server", "nginx")])).collect();
+        let banners: Vec<HttpRecord> = (0..100)
+            .map(|_| rec(&mut interner, &[("Server", "nginx")]))
+            .collect();
         let refs: Vec<&HttpRecord> = banners.iter().collect();
-        let fp = learn_header_fingerprints("hulu", &refs, &g);
+        let fp = learn_header_fingerprints("hulu", &refs, &g, &interner);
         assert!(fp.is_empty(), "{fp:?}");
     }
 
     #[test]
     fn standard_headers_never_fingerprints() {
-        let g = global();
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
         let banners: Vec<HttpRecord> = (0..100)
-            .map(|_| rec(&[("Content-Type", "application/x-hg-special")]))
+            .map(|_| {
+                rec(
+                    &mut interner,
+                    &[("Content-Type", "application/x-hg-special")],
+                )
+            })
             .collect();
         let refs: Vec<&HttpRecord> = banners.iter().collect();
-        let fp = learn_header_fingerprints("disney", &refs, &g);
+        let fp = learn_header_fingerprints("disney", &refs, &g, &interner);
         assert!(fp.is_empty());
     }
 
     #[test]
     fn netflix_manual_nginx_rule() {
-        let g = global();
-        let fp = learn_header_fingerprints("netflix", &[], &g);
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
+        let fp = learn_header_fingerprints("netflix", &[], &g, &interner);
         assert!(fp.matches(&[("Server".to_owned(), "nginx".to_owned())]));
     }
 
@@ -391,13 +453,103 @@ mod tests {
 
     #[test]
     fn min_support_enforced() {
-        let g = global();
+        let mut interner = Interner::default();
+        let g = global(&mut interner);
         // A header seen on a single on-net banner is noise, not a
         // fingerprint.
-        let mut banners: Vec<HttpRecord> = (0..99).map(|_| rec(&[("Server", "nginx")])).collect();
-        banners.push(rec(&[("X-Oddball", "1")]));
+        let mut banners: Vec<HttpRecord> = (0..99)
+            .map(|_| rec(&mut interner, &[("Server", "nginx")]))
+            .collect();
+        banners.push(rec(&mut interner, &[("X-Oddball", "1")]));
         let refs: Vec<&HttpRecord> = banners.iter().collect();
-        let fp = learn_header_fingerprints("yahoo", &refs, &g);
+        let fp = learn_header_fingerprints("yahoo", &refs, &g, &interner);
         assert!(fp.is_empty(), "{fp:?}");
+    }
+}
+
+#[cfg(test)]
+mod permutation_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic Fisher–Yates driven by an LCG, so shuffles are a
+    /// pure function of the proptest-supplied seed.
+    fn shuffle<T>(v: &mut [T], mut s: u64) {
+        for i in (1..v.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((s >> 33) as usize) % (i + 1);
+            v.swap(i, j);
+        }
+    }
+
+    /// An on-net corpus dense enough to exercise the top-50 cutoff: 60
+    /// distinctive pair types with overlapping, tie-heavy counts, plus a
+    /// dynamic-value header that must demote to name-only.
+    fn onnet_corpus(interner: &mut Interner) -> Vec<HttpRecord> {
+        let n = 100u64;
+        (0..n)
+            .map(|b| {
+                let mut headers: Vec<(String, String)> = (0..60u64)
+                    .filter(|k| b % (2 + k % 7) == k % 3)
+                    .map(|k| (format!("x-hg-{k}"), format!("val-{k}")))
+                    .collect();
+                headers.push(("x-req-id".to_owned(), format!("req-{b}")));
+                headers.push(("Server".to_owned(), "hg-edge".to_owned()));
+                let pairs: Vec<(&str, &str)> = headers
+                    .iter()
+                    .map(|(a, c)| (a.as_str(), c.as_str()))
+                    .collect();
+                super::tests::rec(interner, &pairs)
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Learning (including top-50 selection and the name-only
+        /// demotion) must be invariant under permuting both the banner
+        /// insertion order and each banner's header-pair order.
+        #[test]
+        fn learning_invariant_under_permutation(seed in any::<u64>()) {
+            let mut interner = Interner::default();
+            let global_records = {
+                let mut v = Vec::new();
+                for i in 0..1000u32 {
+                    let server = if i % 2 == 0 { "nginx" } else { "Apache" };
+                    v.push(super::tests::rec(&mut interner, &[("Server", server)]));
+                }
+                v
+            };
+            let onnet = onnet_corpus(&mut interner);
+
+            let refs: Vec<&HttpRecord> = onnet.iter().collect();
+            let baseline = learn_header_fingerprints(
+                "permhg",
+                &refs,
+                &GlobalHeaderStats::build(&global_records),
+                &interner,
+            );
+            // The corpus must actually exercise both selection paths.
+            prop_assert!(!baseline.pairs.is_empty());
+            prop_assert!(baseline.names.contains(&"x-req-id".to_owned()));
+
+            let mut onnet_p = onnet.clone();
+            shuffle(&mut onnet_p, seed);
+            for (i, r) in onnet_p.iter_mut().enumerate() {
+                shuffle(&mut r.headers, seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+            }
+            let mut global_p = global_records.clone();
+            shuffle(&mut global_p, seed ^ 0x5eed);
+
+            let refs_p: Vec<&HttpRecord> = onnet_p.iter().collect();
+            let permuted = learn_header_fingerprints(
+                "permhg",
+                &refs_p,
+                &GlobalHeaderStats::build(&global_p),
+                &interner,
+            );
+            prop_assert_eq!(baseline, permuted);
+        }
     }
 }

@@ -38,6 +38,7 @@
 pub mod baselines;
 pub mod candidates;
 pub mod confirm;
+pub mod corpus;
 pub mod errors;
 pub mod headers;
 pub mod parallel;
@@ -48,7 +49,11 @@ pub mod validate;
 pub mod validation_cache;
 
 pub use candidates::{find_candidates, CandidateSet};
-pub use confirm::{confirm_candidates, BannerQuality, ConfirmedSet};
+pub use confirm::{
+    confirm_candidates, BannerIndex, BannerQuality, CompiledFingerprint, CompiledFingerprints,
+    ConfirmMode, ConfirmedSet, Port,
+};
+pub use corpus::{CorpusMemoryStats, SnapshotCorpus};
 pub use errors::{DataQualityReport, RecordError};
 pub use headers::{learn_header_fingerprints, HeaderFingerprint, HeaderFingerprints};
 pub use parallel::{
@@ -56,7 +61,8 @@ pub use parallel::{
     thread_count_from_env, TaskError, ThreadConfigError,
 };
 pub use pipeline::{
-    process_snapshot, process_snapshots_parallel, HgSnapshotResult, PipelineContext, SnapshotResult,
+    process_corpus, process_snapshot, process_snapshots_parallel, standard_validate_options,
+    HgSnapshotResult, PipelineContext, SnapshotResult,
 };
 pub use study::{run_study, run_study_parallel, NetflixVariants, StudyConfig, StudySeries};
 pub use tls_fingerprint::{learn_tls_fingerprints, TlsFingerprint};

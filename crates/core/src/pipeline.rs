@@ -1,19 +1,26 @@
 //! Orchestration of the §4 stages over one snapshot.
+//!
+//! The observation bundle is first distilled into a
+//! [`SnapshotCorpus`] — validated certificates, interned SAN spans,
+//! columnar banner tables, per-HG pre-indices — with its interner frozen.
+//! Header fingerprints are compiled against that frozen interner *before*
+//! the per-HG fan-out, so the 23 parallel HG stages share every table
+//! read-only, without locks.
 
 use crate::candidates::{find_candidates, CandidateOptions};
-use crate::confirm::{confirm_candidates, BannerIndex, BannerQuality, ConfirmMode};
+use crate::confirm::{confirm_candidates, BannerQuality, CompiledFingerprints, ConfirmMode};
+use crate::corpus::SnapshotCorpus;
 use crate::errors::{DataQualityReport, RecordError};
 use crate::headers::HeaderFingerprints;
 use crate::parallel::{default_thread_count, parallel_map_isolated};
 use crate::tls_fingerprint::learn_tls_fingerprints;
-use crate::validate::{validate_records, ValidateOptions, ValidationStats};
-use crate::validation_cache::{validate_records_cached, ValidationCache};
+use crate::validate::{ValidateOptions, ValidationStats};
+use crate::validation_cache::ValidationCache;
 use hgsim::{Hg, ALL_HGS};
 use netsim::{AsId, OrgDb};
 use scanner::SnapshotObservations;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
-use timebase::Timestamp;
 use x509::RootStore;
 
 /// Static context shared across snapshots.
@@ -78,6 +85,15 @@ impl PipelineContext {
     pub fn with_hg_panic_hook(mut self, hook: fn(Hg) -> bool) -> Self {
         self.hg_panic_hook = Some(hook);
         self
+    }
+}
+
+/// The study's §4.1 validation options: the Netflix expiry exemption
+/// (§6.2) folded into one pass; the standard path simply skips exempted
+/// certificates.
+pub fn standard_validate_options() -> ValidateOptions {
+    ValidateOptions {
+        ignore_expiry_for_org_containing: Some("netflix".to_owned()),
     }
 }
 
@@ -150,42 +166,26 @@ impl SnapshotResult {
     }
 }
 
-/// Run the full §4 pipeline over one snapshot's observations.
+/// Run the full §4 pipeline over one snapshot's observations: build the
+/// corpus (validating through `ctx.validation_cache` if attached), then
+/// process it.
 pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> SnapshotResult {
-    let at: Timestamp = obs.cert.date.midnight().plus_seconds(12 * 3600);
+    let corpus = SnapshotCorpus::build(
+        obs,
+        &ctx.roots,
+        &standard_validate_options(),
+        ctx.validation_cache.as_deref(),
+    );
+    process_corpus(&corpus, ctx)
+}
 
-    // §4.1 with the Netflix expiry exemption folded into one pass; the
-    // standard path simply skips exempted certificates.
-    let opts = ValidateOptions {
-        ignore_expiry_for_org_containing: Some("netflix".to_owned()),
-    };
-    let (valids_all, validation) = match &ctx.validation_cache {
-        Some(cache) => validate_records_cached(&obs.cert.records, &ctx.roots, at, &opts, cache),
-        None => validate_records(&obs.cert.records, &ctx.roots, at, &opts),
-    };
-
-    // Pre-index org-matching certificates per HG (one lowercase pass).
-    // Indices into `valids_all` rather than clones: 23 HGs over a corpus
-    // of cloned `ValidatedCert`s was the pipeline's top allocator.
-    let mut by_hg_std: HashMap<Hg, Vec<u32>> = HashMap::new();
-    let mut by_hg_all: HashMap<Hg, Vec<u32>> = HashMap::new();
-    for (i, vc) in valids_all.iter().enumerate() {
-        let Some(org) = vc.leaf.subject().organization() else {
-            continue;
-        };
-        let org_lc = org.to_ascii_lowercase();
-        for hg in ALL_HGS {
-            if org_lc.contains(hg.spec().keyword) {
-                by_hg_all.entry(hg).or_default().push(i as u32);
-                if !vc.expiry_exempted {
-                    by_hg_std.entry(hg).or_default().push(i as u32);
-                }
-            }
-        }
-    }
-
-    let banners = BannerIndex::build(obs.http80.as_ref(), obs.https443.as_ref());
-    let empty: Vec<u32> = Vec::new();
+/// Run the §4.2–§4.5 stages over a pre-built corpus. The corpus is
+/// shared read-only across the per-HG fan-out; the only per-snapshot
+/// mutable state is each worker's own result.
+pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> SnapshotResult {
+    // Compile the cross-snapshot string fingerprints against this
+    // snapshot's frozen interner, once, before the fan-out (§4.5).
+    let compiled = CompiledFingerprints::compile(&ctx.header_fps, &corpus.interner);
 
     let process_hg = |hg: &Hg| -> (Hg, HgSnapshotResult) {
         let hg = *hg;
@@ -196,39 +196,34 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         }
         let keyword = hg.spec().keyword;
         let hg_ases = &ctx.hg_ases[&hg];
-        let idx_std = by_hg_std.get(&hg).unwrap_or(&empty);
-        let certs_std = || idx_std.iter().map(|&i| &valids_all[i as usize]);
+        let idx_std = corpus.hg_std_indices(hg);
         // §4.2 — on-net dNSName fingerprint.
-        let fp = learn_tls_fingerprints(keyword, hg_ases, certs_std(), &obs.ip_to_as);
+        let fp = learn_tls_fingerprints(keyword, hg_ases, corpus, idx_std);
         // §4.3 — candidates.
-        let cands = find_candidates(
-            &fp,
-            hg_ases,
-            certs_std(),
-            &obs.ip_to_as,
-            &ctx.candidate_options,
-        );
+        let cands = find_candidates(&fp, hg_ases, corpus, idx_std, &ctx.candidate_options);
         // §4.5 — header confirmation.
         let confirmed = confirm_candidates(
             keyword,
             &cands,
-            &ctx.header_fps,
-            &banners,
-            &obs.ip_to_as,
+            &compiled,
+            &corpus.banners,
+            &corpus.ip_to_as,
             ctx.confirm_mode,
         );
         let confirmed_and = confirm_candidates(
             keyword,
             &cands,
-            &ctx.header_fps,
-            &banners,
-            &obs.ip_to_as,
+            &compiled,
+            &corpus.banners,
+            &corpus.ip_to_as,
             ConfirmMode::HttpAndHttps,
         );
-        let onnet_ip_count = certs_std()
-            .filter(|vc| {
-                obs.ip_to_as
-                    .lookup(vc.ip)
+        let onnet_ip_count = idx_std
+            .iter()
+            .filter(|&&i| {
+                corpus
+                    .ip_to_as
+                    .lookup(corpus.valids[i as usize].ip)
                     .iter()
                     .any(|a| hg_ases.contains(a))
             })
@@ -240,10 +235,12 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         let median_cert_lifetime_days = {
             let mut lifetimes: Vec<i64> = {
                 let mut seen = HashSet::new();
-                certs_std()
-                    .filter(|vc| fp.covers_all(vc.leaf.dns_names()))
-                    .filter(|vc| seen.insert(vc.leaf.fingerprint()))
-                    .map(|vc| {
+                idx_std
+                    .iter()
+                    .map(|&i| (i, &corpus.valids[i as usize]))
+                    .filter(|(i, _)| fp.covers_all(corpus.sans(*i)))
+                    .filter(|(_, vc)| seen.insert(vc.leaf.fingerprint()))
+                    .map(|(_, vc)| {
                         (vc.leaf.validity().not_after - vc.leaf.validity().not_before) / 86_400
                     })
                     .collect()
@@ -260,21 +257,14 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         // The fingerprint is always learned from the standard (unexpired)
         // on-net set; only the candidate pool widens to restored certs.
         let (with_expired_ases, with_expired_ips) = if hg == Hg::Netflix {
-            let idx_all = by_hg_all.get(&hg).unwrap_or(&empty);
-            let certs_all = idx_all.iter().map(|&i| &valids_all[i as usize]);
-            let cands_all = find_candidates(
-                &fp,
-                hg_ases,
-                certs_all,
-                &obs.ip_to_as,
-                &ctx.candidate_options,
-            );
+            let idx_all = corpus.hg_all_indices(hg);
+            let cands_all = find_candidates(&fp, hg_ases, corpus, idx_all, &ctx.candidate_options);
             let confirmed_all = confirm_candidates(
                 keyword,
                 &cands_all,
-                &ctx.header_fps,
-                &banners,
-                &obs.ip_to_as,
+                &compiled,
+                &corpus.banners,
+                &corpus.ip_to_as,
                 ctx.confirm_mode,
             );
             (confirmed_all.ases, confirmed_all.ips)
@@ -285,9 +275,11 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         // Figure 11 groups span every IP serving one of the HG's own
         // certificates (SAN-subset-passing), on-net and off-net alike.
         let mut group_map: HashMap<x509::Fingerprint, u32> = HashMap::new();
-        for vc in certs_std() {
-            if fp.covers_all(vc.leaf.dns_names()) {
-                *group_map.entry(vc.leaf.fingerprint()).or_insert(0) += 1;
+        for &i in idx_std {
+            if fp.covers_all(corpus.sans(i)) {
+                *group_map
+                    .entry(corpus.valids[i as usize].leaf.fingerprint())
+                    .or_insert(0) += 1;
             }
         }
         let mut groups: Vec<u32> = group_map.into_values().collect();
@@ -328,36 +320,15 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
         }
     }
 
-    // Corpus-level statistics.
-    let mut cert_ips: HashSet<u32> = HashSet::with_capacity(obs.cert.records.len());
-    let mut ases_with_certs: HashSet<AsId> = HashSet::new();
-    for r in &obs.cert.records {
-        cert_ips.insert(r.ip);
-        for a in obs.ip_to_as.lookup(r.ip) {
-            ases_with_certs.insert(*a);
-        }
-    }
-    let http_only_ips: Vec<u32> = obs
-        .http80
-        .as_ref()
-        .map(|s| {
-            s.records
-                .iter()
-                .map(|r| r.ip)
-                .filter(|ip| !cert_ips.contains(ip))
-                .collect()
-        })
-        .unwrap_or_default();
-
-    let quality = build_quality_report(&validation, &banners.quality, obs, &degraded_hgs);
+    let quality = build_quality_report(corpus, &corpus.banners.quality, &degraded_hgs);
 
     SnapshotResult {
-        snapshot_idx: obs.snapshot_idx,
-        total_ips_with_certs: obs.cert.records.len(),
-        n_ases_with_certs: ases_with_certs.len(),
-        validation,
+        snapshot_idx: corpus.snapshot_idx,
+        total_ips_with_certs: corpus.total_ips_with_certs,
+        n_ases_with_certs: corpus.n_ases_with_certs,
+        validation: corpus.validation.clone(),
         per_hg,
-        http_only_ips,
+        http_only_ips: corpus.http_only_ips.clone(),
         quality,
     }
 }
@@ -366,15 +337,15 @@ pub fn process_snapshot(obs: &SnapshotObservations, ctx: &PipelineContext) -> Sn
 /// counters: §4.1 rejections by mapped reason, banner-index quarantines,
 /// and any per-HG degradations.
 fn build_quality_report(
-    validation: &ValidationStats,
+    corpus: &SnapshotCorpus,
     banners: &BannerQuality,
-    obs: &SnapshotObservations,
     degraded_hgs: &[(Hg, String)],
 ) -> DataQualityReport {
+    let validation = &corpus.validation;
     let mut q = DataQualityReport {
         cert_records_seen: validation.total_records,
         banners_seen: banners.records_seen,
-        empty_cert_snapshot: obs.cert.records.is_empty(),
+        empty_cert_snapshot: corpus.empty_cert_snapshot,
         ..Default::default()
     };
     for (&reason, &n) in &validation.invalid {
@@ -511,53 +482,51 @@ mod tests {
     /// on-net dNSName set the pool is filtered against.
     #[test]
     fn netflix_with_expired_uses_standard_fingerprint() {
-        use crate::validate::{validate_records, ValidateOptions};
         let w = world();
         let ctx = ctx();
         let obs = observe_snapshot(w, &ScanEngine::rapid7(), 18).unwrap();
         let result = process_snapshot(&obs, ctx);
 
-        // Recompute the branch by hand from first principles.
-        let at = obs.cert.date.midnight().plus_seconds(12 * 3600);
-        let opts = ValidateOptions {
-            ignore_expiry_for_org_containing: Some("netflix".to_owned()),
-        };
-        let (valids, _) = validate_records(&obs.cert.records, &ctx.roots, at, &opts);
+        // Recompute the branch by hand from first principles, on an
+        // independently built corpus (symbol assignment is a pure
+        // function of the observations, so the corpora agree).
+        let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
         let keyword = Hg::Netflix.spec().keyword;
         let hg_ases = &ctx.hg_ases[&Hg::Netflix];
-        let is_netflix = |vc: &&crate::validate::ValidatedCert| {
-            vc.leaf
+        let is_netflix = |i: &u32| {
+            corpus.valids[*i as usize]
+                .leaf
                 .subject()
                 .organization()
                 .map(|o| o.to_ascii_lowercase().contains(keyword))
                 .unwrap_or(false)
         };
-        let std_set: Vec<_> = valids
-            .iter()
+        let all_idx: Vec<u32> = corpus
+            .all_cert_indices()
+            .into_iter()
             .filter(is_netflix)
-            .filter(|vc| !vc.expiry_exempted)
             .collect();
-        let all_set: Vec<_> = valids.iter().filter(is_netflix).collect();
-        let fp = crate::tls_fingerprint::learn_tls_fingerprints(
-            keyword,
-            hg_ases,
-            std_set.iter().copied(),
-            &obs.ip_to_as,
-        );
+        let std_idx: Vec<u32> = all_idx
+            .iter()
+            .copied()
+            .filter(|&i| !corpus.valids[i as usize].expiry_exempted)
+            .collect();
+        let fp =
+            crate::tls_fingerprint::learn_tls_fingerprints(keyword, hg_ases, &corpus, &std_idx);
         let cands_all = crate::candidates::find_candidates(
             &fp,
             hg_ases,
-            all_set.iter().copied(),
-            &obs.ip_to_as,
+            &corpus,
+            &all_idx,
             &ctx.candidate_options,
         );
-        let banners = BannerIndex::build(obs.http80.as_ref(), obs.https443.as_ref());
+        let compiled = CompiledFingerprints::compile(&ctx.header_fps, &corpus.interner);
         let confirmed_all = confirm_candidates(
             keyword,
             &cands_all,
-            &ctx.header_fps,
-            &banners,
-            &obs.ip_to_as,
+            &compiled,
+            &corpus.banners,
+            &corpus.ip_to_as,
             ctx.confirm_mode,
         );
         assert_eq!(

@@ -2,10 +2,11 @@
 //! scan engine, including the §6.2 Netflix restorations.
 
 use crate::confirm::ConfirmMode;
+use crate::corpus::SnapshotCorpus;
 use crate::errors::DataQualityReport;
 use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
 use crate::parallel::parallel_map_isolated;
-use crate::pipeline::{process_snapshot, PipelineContext, SnapshotResult};
+use crate::pipeline::{process_corpus, standard_validate_options, PipelineContext, SnapshotResult};
 use crate::validation_cache::ValidationCache;
 use hgsim::{Hg, HgWorld, ALL_HGS};
 use netsim::AsId;
@@ -154,6 +155,7 @@ pub fn learn_reference_fingerprints(
             hg.spec().keyword,
             &onnet,
             &global,
+            &obs.interner,
         ));
     }
     fps
@@ -180,7 +182,10 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
         let Some(obs) = observe_snapshot(world, engine, t) else {
             continue;
         };
-        let result = process_snapshot(&obs, &ctx);
+        // Observation → corpus → stages, threaded explicitly: the corpus
+        // owns the frozen interner the downstream stages resolve through.
+        let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
+        let result = process_corpus(&corpus, &ctx);
 
         let nf = &result.per_hg[&Hg::Netflix];
         netflix.initial.push(nf.confirmed_ases.len());
@@ -191,7 +196,7 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
         let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
         for ip in &result.http_only_ips {
             if netflix_ip_history.contains(ip) {
-                for a in obs.ip_to_as.lookup(*ip) {
+                for a in corpus.ip_to_as.lookup(*ip) {
                     with_non_tls.insert(*a);
                 }
             }
@@ -246,11 +251,20 @@ pub fn run_study_parallel(
     // quality report) instead of aborting the study.
     let outputs: Vec<Option<SnapOut>> = parallel_map_isolated(&ts, ctx.threads, 1, |&t| {
         let obs = observe_snapshot(world, engine, t)?;
-        let result = process_snapshot(&obs, &inner);
+        // Build the corpus explicitly so validation shares the study-wide
+        // cache; its frozen interner is what makes the share-nothing
+        // worker safe to run without locks.
+        let corpus = SnapshotCorpus::build(
+            &obs,
+            &inner.roots,
+            &standard_validate_options(),
+            inner.validation_cache.as_deref(),
+        );
+        let result = process_corpus(&corpus, &inner);
         let http_only_origins = result
             .http_only_ips
             .iter()
-            .map(|&ip| (ip, obs.ip_to_as.lookup(ip).to_vec()))
+            .map(|&ip| (ip, corpus.ip_to_as.lookup(ip).to_vec()))
             .collect();
         Some((result, http_only_origins))
     })

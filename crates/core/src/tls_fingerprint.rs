@@ -4,18 +4,27 @@
 //! HG's own address space. On-net end-entity certificates whose Subject
 //! Organization contains the HG name (case-insensitively) yield the
 //! authoritative set of dNSNames the HG serves.
+//!
+//! The on-net name set is a sorted `Vec<HostSym>` over the snapshot
+//! corpus's host pool, so §4.3's all-SANs-on-net rule
+//! ([`TlsFingerprint::covers_all`]) is a sorted-merge subset test over
+//! integers — no per-candidate string hashing.
 
-use crate::validate::ValidatedCert;
-use netsim::{AsId, IpToAsMap};
-use std::collections::HashSet;
+use crate::corpus::SnapshotCorpus;
+use intern::{sorted_subset, FrozenInterner, HostSym};
+use netsim::AsId;
+use std::collections::{BTreeSet, HashSet};
 
-/// A Hypergiant's learned TLS fingerprint.
+/// A Hypergiant's learned TLS fingerprint. Symbols are relative to the
+/// corpus the fingerprint was learned from — it must not be matched
+/// against another snapshot's corpus.
 #[derive(Debug, Clone, Default)]
 pub struct TlsFingerprint {
     /// The HG name searched in the Organization field (lowercase).
     pub keyword: String,
-    /// dNSNames observed in on-net, organization-matching EE certificates.
-    pub dns_names: HashSet<String>,
+    /// dNSNames observed in on-net, organization-matching EE
+    /// certificates: sorted, deduplicated host symbols.
+    dns_syms: Vec<HostSym>,
     /// Number of on-net certificates contributing to the fingerprint.
     pub onnet_certs: usize,
 }
@@ -28,35 +37,72 @@ impl TlsFingerprint {
             .unwrap_or(false)
     }
 
-    /// Whether *all* of a certificate's dNSNames are covered by the on-net
-    /// set (§4.3's filter).
-    pub fn covers_all(&self, names: &[String]) -> bool {
-        !names.is_empty() && names.iter().all(|n| self.dns_names.contains(n))
+    /// Whether *all* of a certificate's dNSNames are covered by the
+    /// on-net set (§4.3's filter). `sans` must be a sorted, deduplicated
+    /// span, as produced by [`SnapshotCorpus::sans`].
+    pub fn covers_all(&self, sans: &[HostSym]) -> bool {
+        !sans.is_empty() && sorted_subset(sans, &self.dns_syms)
+    }
+
+    /// The on-net name set (sorted, deduplicated).
+    pub fn dns_syms(&self) -> &[HostSym] {
+        &self.dns_syms
+    }
+
+    pub fn dns_name_count(&self) -> usize {
+        self.dns_syms.len()
+    }
+
+    /// String-side probe: is `name` in the on-net set? (Test/report
+    /// convenience — the hot path never resolves.)
+    pub fn contains_name(&self, interner: &FrozenInterner, name: &str) -> bool {
+        interner
+            .hosts()
+            .get(name)
+            .is_some_and(|sym| self.dns_syms.binary_search(&sym).is_ok())
+    }
+
+    /// String-side coverage probe: are all `names` in the on-net set?
+    pub fn covers_all_names(&self, interner: &FrozenInterner, names: &[&str]) -> bool {
+        !names.is_empty() && names.iter().all(|n| self.contains_name(interner, n))
+    }
+
+    /// Every on-net name, resolved (sorted by symbol, i.e. first-seen
+    /// interning order — callers needing lexicographic order must sort).
+    pub fn resolved_names<'a>(
+        &'a self,
+        interner: &'a FrozenInterner,
+    ) -> impl Iterator<Item = &'a str> + 'a {
+        self.dns_syms.iter().map(|&s| interner.hosts().resolve(s))
     }
 }
 
 /// Learn a TLS fingerprint for the HG named `keyword`, whose own ASes are
-/// `hg_ases`, from one snapshot's validated certificates. Accepts any
-/// borrowed iterable of certificates so callers can pass a slice or an
-/// index-mapped view without cloning.
-pub fn learn_tls_fingerprints<'a, I>(
+/// `hg_ases`, from the corpus certificates listed in `cert_idx` (indices
+/// into `corpus.valids` — pass a per-HG pre-index or
+/// [`SnapshotCorpus::all_cert_indices`]).
+pub fn learn_tls_fingerprints(
     keyword: &str,
     hg_ases: &HashSet<AsId>,
-    valid_certs: I,
-    ip_to_as: &IpToAsMap,
-) -> TlsFingerprint
-where
-    I: IntoIterator<Item = &'a ValidatedCert>,
-{
+    corpus: &SnapshotCorpus,
+    cert_idx: &[u32],
+) -> TlsFingerprint {
     let keyword_lc = keyword.to_ascii_lowercase();
     let mut fp = TlsFingerprint {
         keyword: keyword_lc.clone(),
-        dns_names: HashSet::new(),
+        dns_syms: Vec::new(),
         onnet_certs: 0,
     };
-    for vc in valid_certs {
+    let mut names: BTreeSet<HostSym> = BTreeSet::new();
+    for &i in cert_idx {
+        let vc = &corpus.valids[i as usize];
         // On-net: the serving IP maps into the HG's own address space.
-        if !ip_to_as.lookup(vc.ip).iter().any(|a| hg_ases.contains(a)) {
+        if !corpus
+            .ip_to_as
+            .lookup(vc.ip)
+            .iter()
+            .any(|a| hg_ases.contains(a))
+        {
             continue;
         }
         let org_ok = vc
@@ -69,10 +115,9 @@ where
             continue;
         }
         fp.onnet_certs += 1;
-        for name in vc.leaf.dns_names() {
-            fp.dns_names.insert(name.clone());
-        }
+        names.extend(corpus.sans(i).iter().copied());
     }
+    fp.dns_syms = names.into_iter().collect();
     fp
 }
 
@@ -88,51 +133,53 @@ mod tests {
         W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
     }
 
-    fn learn(hg: Hg, t: usize) -> TlsFingerprint {
+    fn corpus(t: usize) -> SnapshotCorpus {
         let w = world();
         let obs = observe_snapshot(w, &ScanEngine::certigo(), t).unwrap();
-        let at = w.snapshot_date(t).midnight().plus_seconds(12 * 3600);
-        let (valids, _) = crate::validate::validate_records(
-            &obs.cert.records,
-            w.pki().root_store(),
-            at,
-            &Default::default(),
-        );
-        let hg_ases: HashSet<AsId> = w
+        SnapshotCorpus::build(&obs, w.pki().root_store(), &Default::default(), None)
+    }
+
+    fn learn(hg: Hg, corpus: &SnapshotCorpus) -> TlsFingerprint {
+        let hg_ases: HashSet<AsId> = world()
             .org_db()
             .ases_matching(hg.spec().keyword)
             .into_iter()
             .collect();
-        learn_tls_fingerprints(hg.spec().keyword, &hg_ases, &valids, &obs.ip_to_as)
+        learn_tls_fingerprints(
+            hg.spec().keyword,
+            &hg_ases,
+            corpus,
+            &corpus.all_cert_indices(),
+        )
     }
 
     #[test]
     fn google_fingerprint_covers_offnet_profile() {
-        let fp = learn(Hg::Google, 30);
+        let c = corpus(30);
+        let fp = learn(Hg::Google, &c);
         assert!(fp.onnet_certs > 10, "{} on-net certs", fp.onnet_certs);
         // The off-net default certificate's SANs are all on-net.
-        assert!(fp.dns_names.contains("*.googlevideo.com"));
-        assert!(fp.dns_names.contains("google.com"));
-        assert!(fp.covers_all(&[
-            "google.com".to_owned(),
-            "*.google.com".to_owned(),
-            "*.googlevideo.com".to_owned()
-        ]));
+        assert!(fp.contains_name(&c.interner, "*.googlevideo.com"));
+        assert!(fp.contains_name(&c.interner, "google.com"));
+        assert!(fp.covers_all_names(
+            &c.interner,
+            &["google.com", "*.google.com", "*.googlevideo.com"]
+        ));
     }
 
     #[test]
     fn foreign_names_not_covered() {
-        let fp = learn(Hg::Google, 30);
-        assert!(!fp.covers_all(&[
-            "google.com".to_owned(),
-            "jointventure-google.example".to_owned()
-        ]));
+        let c = corpus(30);
+        let fp = learn(Hg::Google, &c);
+        assert!(!fp.covers_all_names(&c.interner, &["google.com", "jointventure-google.example"]));
+        assert!(!fp.covers_all_names(&c.interner, &[]));
         assert!(!fp.covers_all(&[]));
     }
 
     #[test]
     fn org_match_is_case_insensitive_substring() {
-        let fp = learn(Hg::Google, 30);
+        let c = corpus(30);
+        let fp = learn(Hg::Google, &c);
         assert!(fp.org_matches(Some("Google LLC")));
         assert!(fp.org_matches(Some("GOOGLE TRUST SERVICES")));
         assert!(!fp.org_matches(Some("Alphabet Inc")));
@@ -141,30 +188,24 @@ mod tests {
 
     #[test]
     fn cloudflare_fingerprint_includes_customer_domains() {
-        let fp = learn(Hg::Cloudflare, 30);
+        let c = corpus(30);
+        let fp = learn(Hg::Cloudflare, &c);
         // Customer certificates are served from Cloudflare's own AS, so
         // their SANs enter the on-net set — the precise failure mode that
         // §7 calls out.
         assert!(
-            fp.dns_names.iter().any(|d| d.contains("cloudflaressl.com")),
+            fp.resolved_names(&c.interner)
+                .any(|d| d.contains("cloudflaressl.com")),
             "customer SANs missing from on-net set"
         );
     }
 
     #[test]
     fn hg_without_matching_certs_learns_nothing() {
-        let w = world();
-        let obs = observe_snapshot(w, &ScanEngine::certigo(), 10).unwrap();
-        let at = w.snapshot_date(10).midnight();
-        let (valids, _) = crate::validate::validate_records(
-            &obs.cert.records,
-            w.pki().root_store(),
-            at,
-            &Default::default(),
-        );
+        let c = corpus(10);
         let empty_ases: HashSet<AsId> = HashSet::new();
-        let fp = learn_tls_fingerprints("google", &empty_ases, &valids, &obs.ip_to_as);
+        let fp = learn_tls_fingerprints("google", &empty_ases, &c, &c.all_cert_indices());
         assert_eq!(fp.onnet_certs, 0);
-        assert!(fp.dns_names.is_empty());
+        assert!(fp.dns_syms().is_empty());
     }
 }

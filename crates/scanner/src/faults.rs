@@ -17,6 +17,7 @@
 use crate::engine::mix;
 use crate::scan::{CertScanSnapshot, HttpRecord, HttpScanSnapshot};
 use bytes::Bytes;
+use intern::Interner;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -269,7 +270,12 @@ impl FaultPlan {
     }
 
     /// Corrupt a banner snapshot in place, recording exact counts.
-    pub(crate) fn apply_http(&self, snap: &mut HttpScanSnapshot) {
+    ///
+    /// Corrupted header values are new strings, so they are interned into
+    /// the snapshot's (still append-only) interner. A zero-rate plan
+    /// interns nothing, keeping symbol assignment byte-identical to a
+    /// plan-free scan.
+    pub(crate) fn apply_http(&self, snap: &mut HttpScanSnapshot, interner: &mut Interner) {
         let t = snap.snapshot_idx;
         let stream = if snap.port == 443 {
             STREAM_HTTPS443
@@ -284,10 +290,18 @@ impl FaultPlan {
         for mut rec in snap.records.drain(..) {
             let key = u64::from(rec.ip) ^ salt;
             if self.coin(FaultClass::MojibakeHeader, t, key) {
-                mojibake_header(&mut rec, self.draw(FaultClass::MojibakeHeader, t, key));
+                mojibake_header(
+                    &mut rec,
+                    self.draw(FaultClass::MojibakeHeader, t, key),
+                    interner,
+                );
                 stats.add(FaultClass::MojibakeHeader, 1);
             } else if self.coin(FaultClass::OversizedHeader, t, key) {
-                oversize_header(&mut rec, self.draw(FaultClass::OversizedHeader, t, key));
+                oversize_header(
+                    &mut rec,
+                    self.draw(FaultClass::OversizedHeader, t, key),
+                    interner,
+                );
                 stats.add(FaultClass::OversizedHeader, 1);
             }
             if self.coin(FaultClass::DuplicateIp, t, key) {
@@ -380,23 +394,31 @@ fn bit_flip_leaf(chain: &mut [Bytes], draw: u64) {
 }
 
 /// Splice a replacement character and a control byte into one header value.
-fn mojibake_header(rec: &mut HttpRecord, draw: u64) {
-    if rec.headers.is_empty() {
-        rec.headers.push(("X-Corrupt".to_owned(), String::new()));
-    }
+fn mojibake_header(rec: &mut HttpRecord, draw: u64, interner: &mut Interner) {
+    ensure_corruptible_header(rec, interner);
     let i = (draw as usize) % rec.headers.len();
-    rec.headers[i].1.push('\u{fffd}');
-    rec.headers[i].1.push('\u{0007}');
+    let mut v = interner.header_values.resolve(rec.headers[i].1).to_owned();
+    v.push('\u{fffd}');
+    v.push('\u{0007}');
+    rec.headers[i].1 = interner.header_values.intern(&v);
 }
 
 /// Blow one header value past [`MAX_HEADER_VALUE_LEN`].
-fn oversize_header(rec: &mut HttpRecord, draw: u64) {
-    if rec.headers.is_empty() {
-        rec.headers.push(("X-Corrupt".to_owned(), String::new()));
-    }
+fn oversize_header(rec: &mut HttpRecord, draw: u64, interner: &mut Interner) {
+    ensure_corruptible_header(rec, interner);
     let i = (draw as usize) % rec.headers.len();
     let pad = MAX_HEADER_VALUE_LEN + 1 + (draw >> 16) as usize % 64;
-    rec.headers[i].1 = "A".repeat(pad);
+    rec.headers[i].1 = interner.header_values.intern(&"A".repeat(pad));
+}
+
+/// Give a headerless record one synthetic header to corrupt.
+fn ensure_corruptible_header(rec: &mut HttpRecord, interner: &mut Interner) {
+    if rec.headers.is_empty() {
+        rec.headers.push((
+            interner.header_names.intern("x-corrupt"),
+            interner.header_values.intern(""),
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -421,7 +443,9 @@ mod tests {
         }
     }
 
-    fn http_snap(n: usize) -> HttpScanSnapshot {
+    fn http_snap(n: usize, interner: &mut Interner) -> HttpScanSnapshot {
+        let name = interner.header_names.intern("server");
+        let value = interner.header_values.intern("sim");
         HttpScanSnapshot {
             engine: crate::EngineId::Rapid7,
             snapshot_idx: 5,
@@ -429,7 +453,7 @@ mod tests {
             records: (0..n as u32)
                 .map(|ip| HttpRecord {
                     ip,
-                    headers: vec![("Server".to_owned(), "sim".to_owned())],
+                    headers: vec![(name, value)],
                 })
                 .collect(),
         }
@@ -512,19 +536,24 @@ mod tests {
 
     #[test]
     fn http_faults_inject_detectable_defects() {
+        let mut interner = Interner::default();
         let plan = FaultPlan::new(3)
             .with_rate(FaultClass::MojibakeHeader, 0.15)
             .with_rate(FaultClass::OversizedHeader, 0.15);
-        let mut snap = http_snap(500);
-        plan.apply_http(&mut snap);
+        let mut snap = http_snap(500, &mut interner);
+        plan.apply_http(&mut snap, &mut interner);
         let ledger = plan.injected_for(5);
         let mojibake = snap
             .records
             .iter()
             .filter(|r| {
-                r.headers
-                    .iter()
-                    .any(|(_, v)| v.chars().any(|c| c == '\u{fffd}'))
+                r.headers.iter().any(|(_, v)| {
+                    interner
+                        .header_values
+                        .resolve(*v)
+                        .chars()
+                        .any(|c| c == '\u{fffd}')
+                })
             })
             .count();
         let oversized = snap
@@ -533,12 +562,30 @@ mod tests {
             .filter(|r| {
                 r.headers
                     .iter()
-                    .any(|(_, v)| v.len() > MAX_HEADER_VALUE_LEN)
+                    .any(|(_, v)| interner.header_values.resolve(*v).len() > MAX_HEADER_VALUE_LEN)
             })
             .count();
         assert_eq!(mojibake, ledger.count(FaultClass::MojibakeHeader));
         assert_eq!(oversized, ledger.count(FaultClass::OversizedHeader));
         assert!(mojibake > 0 && oversized > 0);
+    }
+
+    #[test]
+    fn zero_rate_http_plan_interns_nothing() {
+        // The interner is part of the observation's byte-identity: a no-op
+        // plan must not mint symbols a plan-free scan would lack.
+        let mut interner = Interner::default();
+        let plan = FaultPlan::new(9);
+        let mut snap = http_snap(200, &mut interner);
+        let before = (
+            interner.header_names.len(),
+            interner.header_values.len(),
+            snap.records.clone(),
+        );
+        plan.apply_http(&mut snap, &mut interner);
+        assert_eq!(interner.header_names.len(), before.0);
+        assert_eq!(interner.header_values.len(), before.1);
+        assert_eq!(snap.records, before.2);
     }
 
     #[test]

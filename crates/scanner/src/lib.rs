@@ -21,3 +21,7 @@ pub use scan::{
     HttpScanSnapshot,
 };
 pub use zgrab::{zgrab_probe, ZgrabResult};
+
+// Symbol types for the interned banner records (`HttpRecord.headers`),
+// re-exported so downstream crates need no direct `intern` dependency.
+pub use intern::{FrozenInterner, HeaderNameSym, HeaderValueSym, HostSym, Interner};

@@ -4,6 +4,7 @@
 use crate::engine::ScanEngine;
 use crate::scan::{scan_certificates, scan_http_headers, CertScanSnapshot, HttpScanSnapshot};
 use hgsim::HgWorld;
+use intern::Interner;
 use netsim::IpToAsMap;
 use std::sync::Arc;
 
@@ -15,6 +16,11 @@ pub struct SnapshotObservations {
     pub http80: Option<HttpScanSnapshot>,
     /// Port-443 application headers (engine/epoch dependent).
     pub https443: Option<HttpScanSnapshot>,
+    /// The snapshot's symbol tables: every header name/value symbol in
+    /// the banner records above resolves here. Append-only during
+    /// observation; the corpus builder clones and freezes it before the
+    /// parallel per-HG stages.
+    pub interner: Interner,
     pub ip_to_as: Arc<IpToAsMap>,
     pub snapshot_idx: usize,
 }
@@ -42,12 +48,14 @@ pub fn observe_snapshot(
     let eps = world.endpoints(t);
     let date = world.snapshot_date(t);
     let cert = scan_certificates(&eps, engine, date, n);
-    let http80 = scan_http_headers(&eps, engine, 80, n);
-    let https443 = scan_http_headers(&eps, engine, 443, n);
+    let mut interner = Interner::default();
+    let http80 = scan_http_headers(&eps, engine, 80, n, &mut interner);
+    let https443 = scan_http_headers(&eps, engine, 443, n, &mut interner);
     Some(SnapshotObservations {
         cert,
         http80,
         https443,
+        interner,
         ip_to_as: world.ip_to_as(t),
         snapshot_idx: t,
     })

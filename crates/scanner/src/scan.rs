@@ -3,6 +3,7 @@
 use crate::engine::ScanEngine;
 use bytes::Bytes;
 use hgsim::EndpointSet;
+use intern::{HeaderNameSym, HeaderValueSym, Interner};
 use timebase::Date;
 use tlssim::{TlsClient, TlsEndpoint};
 
@@ -23,11 +24,14 @@ pub struct CertScanSnapshot {
     pub records: Vec<CertScanRecord>,
 }
 
-/// One IP's HTTP banner headers on one port.
+/// One IP's HTTP banner headers on one port, as symbol pairs into the
+/// snapshot's [`Interner`]. Header names are interned lowercased (every
+/// downstream consumer — fingerprint learning and matching — works on
+/// lowercase names); values keep their original bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRecord {
     pub ip: u32,
-    pub headers: Vec<(String, String)>,
+    pub headers: Vec<(HeaderNameSym, HeaderValueSym)>,
 }
 
 /// An HTTP or HTTPS banner-scan snapshot.
@@ -87,6 +91,7 @@ pub fn scan_http_headers(
     engine: &ScanEngine,
     port: u16,
     n_snapshots: usize,
+    interner: &mut Interner,
 ) -> Option<HttpScanSnapshot> {
     if port != 80 && port != 443 {
         return None;
@@ -115,7 +120,15 @@ pub fn scan_http_headers(
             if !headers.is_empty() {
                 records.push(HttpRecord {
                     ip: ep.ip,
-                    headers: headers.clone(),
+                    headers: headers
+                        .iter()
+                        .map(|(n, v)| {
+                            (
+                                intern_header_name(interner, n),
+                                interner.header_values.intern(v),
+                            )
+                        })
+                        .collect(),
                 });
             }
         }
@@ -127,9 +140,19 @@ pub fn scan_http_headers(
         records,
     };
     if let Some(plan) = &engine.faults {
-        plan.apply_http(&mut snap);
+        plan.apply_http(&mut snap, interner);
     }
     Some(snap)
+}
+
+/// Intern a header name lowercased, allocating only when the wire form
+/// actually carries uppercase bytes.
+pub(crate) fn intern_header_name(interner: &mut Interner, name: &str) -> HeaderNameSym {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        interner.header_names.intern(&name.to_ascii_lowercase())
+    } else {
+        interner.header_names.intern(name)
+    }
 }
 
 #[cfg(test)]
@@ -177,15 +200,16 @@ mod tests {
     #[test]
     fn https_header_availability_windows() {
         let w = world();
+        let mut i = Interner::default();
         let eps = w.endpoints(5); // 2015-01: before Rapid7 HTTPS headers
         let r7 = ScanEngine::rapid7();
-        assert!(scan_http_headers(&eps, &r7, 443, 31).is_none());
-        assert!(scan_http_headers(&eps, &r7, 80, 31).is_some());
+        assert!(scan_http_headers(&eps, &r7, 443, 31, &mut i).is_none());
+        assert!(scan_http_headers(&eps, &r7, 80, 31, &mut i).is_some());
         let eps = w.endpoints(12);
-        assert!(scan_http_headers(&eps, &r7, 443, 31).is_some());
+        assert!(scan_http_headers(&eps, &r7, 443, 31, &mut i).is_some());
         // Censys corpus does not exist before snapshot 24.
         let cs = ScanEngine::censys();
-        assert!(scan_http_headers(&eps, &cs, 80, 31).is_none());
+        assert!(scan_http_headers(&eps, &cs, 80, 31, &mut i).is_none());
     }
 
     #[test]
@@ -194,16 +218,37 @@ mod tests {
         // snapshot with zero records, indistinguishable from a real scan
         // that found nothing.
         let w = world();
+        let mut i = Interner::default();
         let eps = w.endpoints(30);
         let r7 = ScanEngine::rapid7();
         for port in [0u16, 22, 81, 8080, 8443, 65535] {
             assert!(
-                scan_http_headers(&eps, &r7, port, 31).is_none(),
+                scan_http_headers(&eps, &r7, port, 31, &mut i).is_none(),
                 "port {port} produced a snapshot"
             );
         }
-        assert!(scan_http_headers(&eps, &r7, 80, 31).is_some());
-        assert!(scan_http_headers(&eps, &r7, 443, 31).is_some());
+        assert!(scan_http_headers(&eps, &r7, 80, 31, &mut i).is_some());
+        assert!(scan_http_headers(&eps, &r7, 443, 31, &mut i).is_some());
+    }
+
+    #[test]
+    fn header_names_interned_lowercase_values_verbatim() {
+        let w = world();
+        let mut i = Interner::default();
+        let eps = w.endpoints(30);
+        let snap = scan_http_headers(&eps, &ScanEngine::rapid7(), 80, 31, &mut i).unwrap();
+        assert!(!snap.records.is_empty());
+        for r in snap.records.iter().take(500) {
+            for (n, _) in &r.headers {
+                let name = i.header_names.resolve(*n);
+                assert_eq!(name, name.to_ascii_lowercase(), "name not lowercased");
+            }
+        }
+        // Symbolization is deterministic: a fresh interner over the same
+        // endpoints assigns identical symbols.
+        let mut j = Interner::default();
+        let again = scan_http_headers(&eps, &ScanEngine::rapid7(), 80, 31, &mut j).unwrap();
+        assert_eq!(snap.records, again.records);
     }
 
     #[test]

@@ -203,6 +203,17 @@ impl Certificate {
         &self.tbs.extensions.subject_alt_names
     }
 
+    /// The subjectAltName dNSNames as borrowed `&str`s, in certificate
+    /// order — the allocation-free edge consumers that symbolize or hash
+    /// SANs (the interned corpus model) read from.
+    pub fn dns_name_strs(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.tbs
+            .extensions
+            .subject_alt_names
+            .iter()
+            .map(String::as_str)
+    }
+
     pub fn signature(&self) -> &Signature {
         &self.signature
     }

@@ -113,6 +113,84 @@ pub fn quality_table(series: &offnet_core::StudySeries) -> String {
     )
 }
 
+/// Render the incremental engine's per-snapshot reuse accounting: how many
+/// HG cells were replayed from the previous snapshot vs recomputed, and how
+/// the chain population churned. Full recomputes (the first snapshot, or a
+/// snapshot following a degraded one) are flagged so a low reuse rate can
+/// be traced to its cause rather than read as a delta-engine failure.
+pub fn reuse_table(reports: &[offnet_core::DeltaReport]) -> String {
+    let mut rows = Vec::with_capacity(reports.len() + 1);
+    let mut total = offnet_core::DeltaReport::default();
+    for r in reports {
+        total.hgs_total += r.hgs_total;
+        total.hgs_recomputed += r.hgs_recomputed;
+        total.hgs_replayed += r.hgs_replayed;
+        total.cells_recomputed += r.cells_recomputed;
+        total.cells_replayed += r.cells_replayed;
+        total.chains_total += r.chains_total;
+        total.chains_new += r.chains_new;
+        total.chains_rotated += r.chains_rotated;
+        total.chains_vanished += r.chains_vanished;
+        total.chains_replayed += r.chains_replayed;
+        total.chains_revalidated += r.chains_revalidated;
+    }
+    let row = |label: String, r: &offnet_core::DeltaReport, full: &str| -> Vec<String> {
+        let reuse = if r.cells_total() == 0 {
+            "-".to_owned()
+        } else {
+            pct(r.cells_replayed as f64 / r.cells_total() as f64)
+        };
+        vec![
+            label,
+            full.to_owned(),
+            format!("{}/{}", r.hgs_replayed, r.hgs_total),
+            r.cells_replayed.to_string(),
+            r.cells_recomputed.to_string(),
+            reuse,
+            r.chains_new.to_string(),
+            r.chains_rotated.to_string(),
+            r.chains_vanished.to_string(),
+            r.chains_replayed.to_string(),
+            r.chains_revalidated.to_string(),
+        ]
+    };
+    for r in reports {
+        let full = if r.full_compute { "full" } else { "delta" };
+        rows.push(row(snapshot_label(r.snapshot_idx), r, full));
+    }
+    rows.push(row("total".to_owned(), &total, "-"));
+    table(
+        &[
+            "snapshot",
+            "mode",
+            "hgs reused",
+            "cells replayed",
+            "cells recomputed",
+            "reuse",
+            "chains new",
+            "rotated",
+            "vanished",
+            "replayed",
+            "revalidated",
+        ],
+        &rows,
+    )
+}
+
+/// [`quality_table`] followed by the delta engine's reuse accounting for
+/// the same snapshots. The quality rows are rendered by the unchanged
+/// [`quality_table`] so incremental runs stay diffable against full ones;
+/// only this combined view appends the extra section.
+pub fn quality_table_with_reuse(
+    series: &offnet_core::StudySeries,
+    reports: &[offnet_core::DeltaReport],
+) -> String {
+    let mut out = quality_table(series);
+    out.push('\n');
+    out.push_str(&reuse_table(reports));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +227,44 @@ mod tests {
     #[test]
     fn series_line_format() {
         assert_eq!(series_line("x", &[1, 2]), "x: [1, 2]");
+    }
+
+    #[test]
+    fn reuse_table_reports_modes_and_totals() {
+        let full = offnet_core::DeltaReport {
+            snapshot_idx: 0,
+            full_compute: true,
+            hgs_total: 6,
+            hgs_recomputed: 6,
+            cells_recomputed: 40,
+            chains_total: 100,
+            chains_new: 100,
+            chains_revalidated: 100,
+            ..Default::default()
+        };
+        let delta = offnet_core::DeltaReport {
+            snapshot_idx: 1,
+            hgs_total: 6,
+            hgs_recomputed: 1,
+            hgs_replayed: 5,
+            cells_recomputed: 8,
+            cells_replayed: 32,
+            chains_total: 100,
+            chains_new: 10,
+            chains_rotated: 5,
+            chains_vanished: 15,
+            chains_replayed: 85,
+            chains_revalidated: 15,
+            ..Default::default()
+        };
+        let out = reuse_table(&[full, delta]);
+        assert!(out.contains("2013-10"), "{out}");
+        assert!(out.contains(&snapshot_label(1)), "{out}");
+        assert!(out.contains("full"), "{out}");
+        assert!(out.contains("delta"), "{out}");
+        assert!(out.contains("5/6"), "{out}");
+        assert!(out.contains("80.0%"), "{out}");
+        assert!(out.contains("total"), "{out}");
     }
 
     #[test]

@@ -3,14 +3,20 @@
 //!
 //! Usage:
 //!   reproduce [--scale small|paper] [--seed N] [--csv DIR] [--threads N]
-//!             [--sequential] [--fault-rate R] [--fault-seed N]
-//!             <experiment|all>
+//!             [--sequential] [--incremental] [--fault-rate R]
+//!             [--fault-seed N] <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
 //! for external plotting. Studies run on a snapshot-parallel pipeline with
 //! a shared certificate-validation cache by default; `--threads N` pins
 //! the worker count (default: available parallelism, or `OFFNET_THREADS`)
 //! and `--sequential` restores the single-threaded uncached driver.
+//!
+//! `--incremental` runs the studies through the delta engine instead:
+//! snapshot N is diffed against N−1 and only dirty HG×AS cells are
+//! recomputed. The rendered artifacts are byte-identical either way
+//! (pinned by `tests/incremental.rs`); the `quality` experiment
+//! additionally prints the per-snapshot reuse accounting.
 //!
 //! `--fault-rate R` corrupts the study scans with every record-level fault
 //! class at rate R (seeded by `--fault-seed`, default 1); the `quality`
@@ -21,8 +27,9 @@
 //! baselines quality
 //! hideandseek
 //!
-//! `corpus-stats` prints the interned-corpus memory accounting; it is a
-//! data-model diagnostic, deliberately not included in `all`.
+//! `corpus-stats` prints the interned-corpus memory accounting, and
+//! `cache-stats` the validation-cache and delta-engine reuse counters;
+//! both are pipeline diagnostics, deliberately not included in `all`.
 
 use analysis::render::{pct, snapshot_label, table};
 use analysis::{coverage, demographics, overlap, regions as regions_mod, series as series_mod};
@@ -30,7 +37,8 @@ use hgsim::{Hg, HgWorld, ScenarioConfig, TOP4};
 use offnet_core::candidates::CandidateOptions;
 use offnet_core::study::learn_reference_fingerprints;
 use offnet_core::{
-    default_thread_count, run_study, run_study_parallel, PipelineContext, StudyConfig, StudySeries,
+    default_thread_count, run_study, run_study_incremental, run_study_parallel, DeltaStudyEngine,
+    PipelineContext, StudyConfig, StudySeries,
 };
 use scanner::ScanEngine;
 use std::collections::BTreeSet;
@@ -43,6 +51,7 @@ struct Cli {
     csv_dir: Option<std::path::PathBuf>,
     threads: usize,
     sequential: bool,
+    incremental: bool,
     fault_rate: f64,
     fault_seed: u64,
     experiments: Vec<String>,
@@ -54,6 +63,7 @@ fn parse_args() -> Cli {
     let mut csv_dir = None;
     let mut threads = default_thread_count();
     let mut sequential = false;
+    let mut incremental = false;
     let mut fault_rate = 0.0f64;
     let mut fault_seed = 1u64;
     let mut experiments = Vec::new();
@@ -82,6 +92,7 @@ fn parse_args() -> Cli {
                 threads = threads.max(1);
             }
             "--sequential" => sequential = true,
+            "--incremental" => incremental = true,
             "--fault-rate" => {
                 fault_rate = args
                     .next()
@@ -102,7 +113,7 @@ fn parse_args() -> Cli {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--fault-rate R] [--fault-seed N] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -112,12 +123,16 @@ fn parse_args() -> Cli {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
+    if sequential && incremental {
+        panic!("--sequential and --incremental are mutually exclusive");
+    }
     Cli {
         scale,
         seed,
         csv_dir,
         threads,
         sequential,
+        incremental,
         fault_rate,
         fault_seed,
         experiments,
@@ -137,8 +152,13 @@ struct Fixtures {
     world: HgWorld,
     threads: usize,
     sequential: bool,
+    incremental: bool,
     faults: Option<std::sync::Arc<scanner::FaultPlan>>,
     r7: OnceLock<StudySeries>,
+    /// Delta-engine reuse accounting for the Rapid7 study; populated only
+    /// under `--incremental` (kept beside the series so rendered study
+    /// artifacts stay identical across drivers).
+    r7_reports: OnceLock<Vec<offnet_core::DeltaReport>>,
     cs: OnceLock<StudySeries>,
     ctx: OnceLock<PipelineContext>,
 }
@@ -168,8 +188,10 @@ impl Fixtures {
             world: HgWorld::generate(config),
             threads: cli.threads,
             sequential: cli.sequential,
+            incremental: cli.incremental,
             faults,
             r7: OnceLock::new(),
+            r7_reports: OnceLock::new(),
             cs: OnceLock::new(),
             ctx: OnceLock::new(),
         }
@@ -183,14 +205,27 @@ impl Fixtures {
         }
     }
 
-    fn study(&self, engine: ScanEngine, config: &StudyConfig, label: &str) -> StudySeries {
+    fn study(
+        &self,
+        engine: ScanEngine,
+        config: &StudyConfig,
+        label: &str,
+    ) -> (StudySeries, Option<Vec<offnet_core::DeltaReport>>) {
         let start = Instant::now();
-        let series = if self.sequential {
-            run_study(&self.world, &engine, config)
+        let (series, reports) = if self.incremental {
+            let inc = run_study_incremental(&self.world, &engine, config);
+            (inc.series, Some(inc.reports))
+        } else if self.sequential {
+            (run_study(&self.world, &engine, config), None)
         } else {
-            run_study_parallel(&self.world, &engine, config, self.threads)
+            (
+                run_study_parallel(&self.world, &engine, config, self.threads),
+                None,
+            )
         };
-        let mode = if self.sequential {
+        let mode = if self.incremental {
+            "incremental delta engine".to_owned()
+        } else if self.sequential {
             "sequential".to_owned()
         } else {
             format!("{} threads + validation cache", self.threads)
@@ -199,18 +234,28 @@ impl Fixtures {
             "[reproduce] {label} study: {:.2}s ({mode})",
             start.elapsed().as_secs_f64()
         );
-        series
+        (series, reports)
     }
 
     fn r7(&self) -> &StudySeries {
         self.r7.get_or_init(|| {
             eprintln!("[reproduce] running Rapid7 longitudinal study (31 snapshots)...");
-            self.study(
+            let (series, reports) = self.study(
                 self.engine(ScanEngine::rapid7()),
                 &StudyConfig::default(),
                 "rapid7",
-            )
+            );
+            if let Some(reports) = reports {
+                let _ = self.r7_reports.set(reports);
+            }
+            series
         })
+    }
+
+    /// Rapid7 delta-engine reuse reports (only under `--incremental`).
+    fn r7_reports(&self) -> Option<&[offnet_core::DeltaReport]> {
+        self.r7();
+        self.r7_reports.get().map(Vec::as_slice)
     }
 
     fn cs(&self) -> &StudySeries {
@@ -224,6 +269,7 @@ impl Fixtures {
                 },
                 "censys",
             )
+            .0
         })
     }
 
@@ -311,11 +357,45 @@ fn main() {
     if want("hideandseek") {
         hide_and_seek(&cli);
     }
-    // Deliberately outside `all`: a diagnostic of the data model itself,
-    // not a paper artifact, so the canonical `all` report stays stable.
+    // Deliberately outside `all`: diagnostics of the pipeline itself,
+    // not paper artifacts, so the canonical `all` report stays stable.
     if cli.experiments.iter().any(|e| e == "corpus-stats") {
         corpus_stats(&fx);
     }
+    if cli.experiments.iter().any(|e| e == "cache-stats") {
+        cache_stats(&fx);
+    }
+}
+
+/// Validation-cache and delta-engine reuse accounting: runs the Rapid7
+/// study through [`DeltaStudyEngine`] regardless of `--incremental`, then
+/// prints the per-snapshot quality + reuse tables and the cache's lifetime
+/// counters. Run explicitly with `reproduce cache-stats`.
+fn cache_stats(fx: &Fixtures) {
+    heading("Validation cache and incremental reuse (Rapid7 delta engine)");
+    let config = StudyConfig::default();
+    let mut driver = DeltaStudyEngine::new(&fx.world, fx.engine(ScanEngine::rapid7()), &config);
+    let start = Instant::now();
+    for t in config.snapshots.0..=config.snapshots.1.min(fx.world.n_snapshots() - 1) {
+        driver.append_snapshot(t);
+    }
+    eprintln!(
+        "[reproduce] cache-stats study: {:.2}s (incremental delta engine)",
+        start.elapsed().as_secs_f64()
+    );
+    let stats = driver.cache().stats();
+    let (hits, misses) = driver.cache().hit_stats();
+    let tracked = driver.cache().len();
+    let skeletons = driver.cache().skeleton_count();
+    let study = driver.finish();
+    print!(
+        "{}",
+        analysis::render::quality_table_with_reuse(&study.series, &study.reports)
+    );
+    println!(
+        "validation cache: {hits} hits / {misses} misses ({} first sightings, {} promotions); {tracked} chains tracked, {skeletons} skeletons",
+        stats.first_sightings, stats.promotions
+    );
 }
 
 /// Memory accounting for the interned columnar corpus model against the
@@ -347,7 +427,13 @@ fn corpus_stats(fx: &Fixtures) {
 /// every row is all-zeros, which is itself the robustness claim.
 fn quality(fx: &Fixtures) {
     heading("Data quality: quarantine and degradation accounting (Rapid7)");
-    print!("{}", analysis::render::quality_table(fx.r7()));
+    match fx.r7_reports() {
+        Some(reports) => print!(
+            "{}",
+            analysis::render::quality_table_with_reuse(fx.r7(), reports)
+        ),
+        None => print!("{}", analysis::render::quality_table(fx.r7())),
+    }
     if let Some(plan) = &fx.faults {
         let injected = plan.injected_total();
         let quarantined = fx.r7().aggregate_quality().quarantined_total();

@@ -39,6 +39,7 @@ pub mod baselines;
 pub mod candidates;
 pub mod confirm;
 pub mod corpus;
+pub mod delta;
 pub mod errors;
 pub mod headers;
 pub mod parallel;
@@ -54,6 +55,7 @@ pub use confirm::{
     ConfirmMode, ConfirmedSet, Port,
 };
 pub use corpus::{CorpusMemoryStats, SnapshotCorpus};
+pub use delta::{CorpusDelta, DeltaReport, HgEvidence, RowDelta, SnapshotEvidence};
 pub use errors::{DataQualityReport, RecordError};
 pub use headers::{learn_header_fingerprints, HeaderFingerprint, HeaderFingerprints};
 pub use parallel::{
@@ -64,7 +66,10 @@ pub use pipeline::{
     process_corpus, process_snapshot, process_snapshots_parallel, standard_validate_options,
     HgSnapshotResult, PipelineContext, SnapshotResult,
 };
-pub use study::{run_study, run_study_parallel, NetflixVariants, StudyConfig, StudySeries};
+pub use study::{
+    run_study, run_study_incremental, run_study_parallel, DeltaStudyEngine, IncrementalStudy,
+    NetflixVariants, StudyConfig, StudySeries,
+};
 pub use tls_fingerprint::{learn_tls_fingerprints, TlsFingerprint};
 pub use validate::{validate_records, InvalidReason, ValidatedCert, ValidationStats};
-pub use validation_cache::{validate_records_cached, ValidationCache};
+pub use validation_cache::{validate_records_cached, CacheStats, ValidationCache};

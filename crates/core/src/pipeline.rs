@@ -186,9 +186,53 @@ pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> Snapsho
     // Compile the cross-snapshot string fingerprints against this
     // snapshot's frozen interner, once, before the fan-out (§4.5).
     let compiled = CompiledFingerprints::compile(&ctx.header_fps, &corpus.interner);
+    let process_hg =
+        |hg: &Hg| -> (Hg, HgSnapshotResult) { (*hg, process_one_hg(*hg, corpus, ctx, &compiled)) };
 
-    let process_hg = |hg: &Hg| -> (Hg, HgSnapshotResult) {
-        let hg = *hg;
+    // The 23 HG stages are independent: fan out across the worker pool,
+    // with per-task panic isolation — one poisoned HG degrades to an empty
+    // result (noted in the quality report) instead of killing the scope.
+    let mut per_hg: HashMap<Hg, HgSnapshotResult> = HashMap::with_capacity(ALL_HGS.len());
+    let mut degraded_hgs: Vec<(Hg, String)> = Vec::new();
+    for outcome in parallel_map_isolated(&ALL_HGS, ctx.threads, 1, process_hg) {
+        match outcome {
+            Ok((hg, res)) => {
+                per_hg.insert(hg, res);
+            }
+            Err(e) => {
+                let hg = ALL_HGS[e.index];
+                per_hg.insert(hg, HgSnapshotResult::default());
+                degraded_hgs.push((hg, e.message));
+            }
+        }
+    }
+
+    let quality = build_quality_report(corpus, &corpus.banners.quality, &degraded_hgs);
+
+    SnapshotResult {
+        snapshot_idx: corpus.snapshot_idx,
+        total_ips_with_certs: corpus.total_ips_with_certs,
+        n_ases_with_certs: corpus.n_ases_with_certs,
+        validation: corpus.validation.clone(),
+        per_hg,
+        http_only_ips: corpus.http_only_ips.clone(),
+        quality,
+    }
+}
+
+/// The §4.2–§4.5 stages for one HG over a prepared corpus: a pure
+/// function of the HG's member evidence (certificates, banners, AS
+/// origins) and the static context. Shared by the full fan-out above and
+/// the delta engine's dirty-cell recompute path, which replays a previous
+/// snapshot's result whenever this function's inputs are provably
+/// unchanged.
+pub(crate) fn process_one_hg(
+    hg: Hg,
+    corpus: &SnapshotCorpus,
+    ctx: &PipelineContext,
+    compiled: &CompiledFingerprints,
+) -> HgSnapshotResult {
+    {
         if let Some(hook) = ctx.hg_panic_hook {
             if hook(hg) {
                 panic!("hg_panic_hook fired for {hg}");
@@ -205,7 +249,7 @@ pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> Snapsho
         let confirmed = confirm_candidates(
             keyword,
             &cands,
-            &compiled,
+            compiled,
             &corpus.banners,
             &corpus.ip_to_as,
             ctx.confirm_mode,
@@ -213,7 +257,7 @@ pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> Snapsho
         let confirmed_and = confirm_candidates(
             keyword,
             &cands,
-            &compiled,
+            compiled,
             &corpus.banners,
             &corpus.ip_to_as,
             ConfirmMode::HttpAndHttps,
@@ -262,7 +306,7 @@ pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> Snapsho
             let confirmed_all = confirm_candidates(
                 keyword,
                 &cands_all,
-                &compiled,
+                compiled,
                 &corpus.banners,
                 &corpus.ip_to_as,
                 ctx.confirm_mode,
@@ -285,58 +329,25 @@ pub fn process_corpus(corpus: &SnapshotCorpus, ctx: &PipelineContext) -> Snapsho
         let mut groups: Vec<u32> = group_map.into_values().collect();
         groups.sort_unstable_by(|a, b| b.cmp(a));
 
-        (
-            hg,
-            HgSnapshotResult {
-                candidate_ases: cands.ases.clone(),
-                confirmed_ases: confirmed.ases,
-                confirmed_and_ases: confirmed_and.ases,
-                candidate_ips: cands.ips.iter().map(|(ip, _)| *ip).collect(),
-                confirmed_ips: confirmed.ips,
-                cert_ip_groups: groups,
-                onnet_ip_count,
-                median_cert_lifetime_days,
-                with_expired_ases,
-                with_expired_ips,
-            },
-        )
-    };
-
-    // The 23 HG stages are independent: fan out across the worker pool,
-    // with per-task panic isolation — one poisoned HG degrades to an empty
-    // result (noted in the quality report) instead of killing the scope.
-    let mut per_hg: HashMap<Hg, HgSnapshotResult> = HashMap::with_capacity(ALL_HGS.len());
-    let mut degraded_hgs: Vec<(Hg, String)> = Vec::new();
-    for outcome in parallel_map_isolated(&ALL_HGS, ctx.threads, 1, process_hg) {
-        match outcome {
-            Ok((hg, res)) => {
-                per_hg.insert(hg, res);
-            }
-            Err(e) => {
-                let hg = ALL_HGS[e.index];
-                per_hg.insert(hg, HgSnapshotResult::default());
-                degraded_hgs.push((hg, e.message));
-            }
+        HgSnapshotResult {
+            candidate_ases: cands.ases.clone(),
+            confirmed_ases: confirmed.ases,
+            confirmed_and_ases: confirmed_and.ases,
+            candidate_ips: cands.ips.iter().map(|(ip, _)| *ip).collect(),
+            confirmed_ips: confirmed.ips,
+            cert_ip_groups: groups,
+            onnet_ip_count,
+            median_cert_lifetime_days,
+            with_expired_ases,
+            with_expired_ips,
         }
-    }
-
-    let quality = build_quality_report(corpus, &corpus.banners.quality, &degraded_hgs);
-
-    SnapshotResult {
-        snapshot_idx: corpus.snapshot_idx,
-        total_ips_with_certs: corpus.total_ips_with_certs,
-        n_ases_with_certs: corpus.n_ases_with_certs,
-        validation: corpus.validation.clone(),
-        per_hg,
-        http_only_ips: corpus.http_only_ips.clone(),
-        quality,
     }
 }
 
 /// Assemble the per-snapshot [`DataQualityReport`] from the stage
 /// counters: §4.1 rejections by mapped reason, banner-index quarantines,
 /// and any per-HG degradations.
-fn build_quality_report(
+pub(crate) fn build_quality_report(
     corpus: &SnapshotCorpus,
     banners: &BannerQuality,
     degraded_hgs: &[(Hg, String)],

@@ -3,6 +3,7 @@
 
 use crate::confirm::ConfirmMode;
 use crate::corpus::SnapshotCorpus;
+use crate::delta::{process_corpus_delta, DeltaReport, DeltaState};
 use crate::errors::DataQualityReport;
 use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
 use crate::parallel::parallel_map_isolated;
@@ -306,6 +307,159 @@ pub fn run_study_parallel(
         netflix,
         header_fps,
     }
+}
+
+/// The incremental study's output: the same [`StudySeries`] `run_study`
+/// produces, plus per-snapshot delta-engine reuse accounting. The reuse
+/// counters live *beside* the series, never inside it, so every rendered
+/// study artifact stays byte-identical to the full recompute.
+#[derive(Debug)]
+pub struct IncrementalStudy {
+    pub series: StudySeries,
+    /// One report per processed snapshot, aligned with `series.snapshots`.
+    pub reports: Vec<DeltaReport>,
+}
+
+/// Append-only incremental study driver: feed it snapshots in order and
+/// it diffs each corpus against its predecessor, replaying clean HGs'
+/// results and recomputing only dirty ones (see [`crate::delta`]). The
+/// first appended snapshot — and any snapshot following a degraded one —
+/// is a full compute.
+///
+/// Chain validation always runs through a shared [`ValidationCache`], so
+/// §4.1 work on persisted chains is a skeleton replay; the per-snapshot
+/// replay/reverify split lands in each [`DeltaReport`].
+#[derive(Clone)]
+pub struct DeltaStudyEngine<'w> {
+    world: &'w HgWorld,
+    engine: ScanEngine,
+    ctx: PipelineContext,
+    header_fps: HeaderFingerprints,
+    cache: Arc<ValidationCache>,
+    state: Option<DeltaState>,
+    snapshots: Vec<SnapshotResult>,
+    netflix: NetflixVariants,
+    netflix_ip_history: HashSet<u32>,
+    reports: Vec<DeltaReport>,
+    /// Cache (hits, misses) totals at the end of the previous append, so
+    /// each report carries per-snapshot deltas.
+    cache_mark: (u64, u64),
+}
+
+impl<'w> DeltaStudyEngine<'w> {
+    pub fn new(world: &'w HgWorld, engine: ScanEngine, config: &StudyConfig) -> Self {
+        let header_fps =
+            learn_reference_fingerprints(world, &engine, config.header_reference_snapshot);
+        let cache = Arc::new(ValidationCache::new());
+        let mut ctx = PipelineContext::new(
+            world.pki().root_store().clone(),
+            world.org_db(),
+            header_fps.clone(),
+        )
+        .with_validation_cache(cache.clone());
+        ctx.candidate_options = config.candidate_options.clone();
+        ctx.confirm_mode = config.confirm_mode;
+        Self {
+            world,
+            engine,
+            ctx,
+            header_fps,
+            cache,
+            state: None,
+            snapshots: Vec::new(),
+            netflix: NetflixVariants::default(),
+            netflix_ip_history: HashSet::new(),
+            reports: Vec::new(),
+            cache_mark: (0, 0),
+        }
+    }
+
+    /// Observe and process snapshot `t`, diffing against the previously
+    /// appended snapshot. Returns `false` (appending nothing) when the
+    /// engine's corpus does not cover `t` — the same snapshots
+    /// `run_study` skips.
+    pub fn append_snapshot(&mut self, t: usize) -> bool {
+        let Some(obs) = observe_snapshot(self.world, &self.engine, t) else {
+            return false;
+        };
+        let chain_rows = obs.cert.chain_digests();
+        let corpus = SnapshotCorpus::build(
+            &obs,
+            &self.ctx.roots,
+            &standard_validate_options(),
+            self.ctx.validation_cache.as_deref(),
+        );
+        let (result, evidence, mut report) =
+            process_corpus_delta(&corpus, &self.ctx, chain_rows, self.state.as_ref());
+        let (hits, misses) = self.cache.hit_stats();
+        report.chains_replayed = hits - self.cache_mark.0;
+        report.chains_revalidated = misses - self.cache_mark.1;
+        self.cache_mark = (hits, misses);
+
+        // The §6.2 Netflix fold, identical to `run_study`'s.
+        let nf = &result.per_hg[&Hg::Netflix];
+        self.netflix.initial.push(nf.confirmed_ases.len());
+        self.netflix.with_expired.push(nf.with_expired_ases.len());
+        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
+        for ip in &result.http_only_ips {
+            if self.netflix_ip_history.contains(ip) {
+                for a in corpus.ip_to_as.lookup(*ip) {
+                    with_non_tls.insert(*a);
+                }
+            }
+        }
+        self.netflix.with_non_tls.push(with_non_tls.len());
+        self.netflix_ip_history
+            .extend(nf.with_expired_ips.iter().copied());
+        self.netflix_ip_history
+            .extend(nf.confirmed_ips.iter().copied());
+
+        self.state = Some(DeltaState {
+            evidence,
+            result: result.clone(),
+        });
+        self.snapshots.push(result);
+        self.reports.push(report);
+        true
+    }
+
+    /// Per-snapshot reuse reports so far.
+    pub fn reports(&self) -> &[DeltaReport] {
+        &self.reports
+    }
+
+    /// The shared §4.1 validation cache (for its lifetime counters).
+    pub fn cache(&self) -> &ValidationCache {
+        &self.cache
+    }
+
+    pub fn finish(self) -> IncrementalStudy {
+        IncrementalStudy {
+            series: StudySeries {
+                engine: self.engine.id,
+                snapshots: self.snapshots,
+                netflix: self.netflix,
+                header_fps: self.header_fps,
+            },
+            reports: self.reports,
+        }
+    }
+}
+
+/// Incremental variant of [`run_study`]: the first snapshot is computed
+/// in full, every later one as a delta against its predecessor. The
+/// rendered series is byte-identical to the full recompute
+/// (`tests/incremental.rs` pins this, faults included).
+pub fn run_study_incremental(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+) -> IncrementalStudy {
+    let mut driver = DeltaStudyEngine::new(world, engine.clone(), config);
+    for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
+        driver.append_snapshot(t);
+    }
+    driver.finish()
 }
 
 #[cfg(test)]

@@ -117,7 +117,7 @@ pub fn validate_records(
 /// expiry exemption fired, or the rejection reason.
 type Verdict = Result<(Arc<Certificate>, bool), InvalidReason>;
 
-fn verify_one(
+pub(crate) fn verify_one(
     rec: &CertScanRecord,
     roots: &RootStore,
     at: Timestamp,

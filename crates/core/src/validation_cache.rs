@@ -11,29 +11,47 @@
 //! precedence — without touching the DER again; only the time-dependent
 //! window comparisons run per snapshot.
 //!
-//! The cache is fingerprint-keyed (SHA-256 over the length-framed DER
-//! chain) and safe to share across the snapshot worker pool.
+//! The cache is keyed by a cheap 128-bit chain digest (two independently
+//! seeded [`intern::Digest64`] passes over the length-framed DER chain)
+//! and safe to share across the snapshot worker pool. SHA-256 here would
+//! be self-defeating: the simulated PKI's signature checks are themselves
+//! SHA-256 over the certificate bytes, so a cryptographic cache key costs
+//! a large fraction of the verification it is trying to avoid.
+//!
+//! Skeleton capture is *deferred*: building a skeleton costs more than one
+//! direct verification (it re-signs every link and clones the parsed
+//! chain), so paying it for chains seen exactly once makes a cold cache
+//! slower than no cache at all (the regression BENCH_parallel.json
+//! recorded). A chain's first sighting runs a plain `verify_one`; only
+//! its second sighting — proof it recurs — builds and stores the
+//! replayable skeleton; every later sighting replays it.
 
-use crate::validate::{InvalidReason, ValidateOptions, ValidatedCert, ValidationStats};
+use crate::validate::{verify_one, InvalidReason, ValidateOptions, ValidatedCert, ValidationStats};
+use intern::Digest64;
 use parking_lot::RwLock;
 use scanner::CertScanRecord;
-use sha2sim::Sha256;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use timebase::Timestamp;
 use x509::{Certificate, ChainError, RootStore, MAX_CHAIN};
 
-/// SHA-256 over the length-framed concatenation of a chain's DER certs.
-type ChainKey = [u8; 32];
+/// 128-bit identity of a chain: two independently seeded [`Digest64`]
+/// passes over the length-framed concatenation of its DER certs. Not
+/// cryptographic — the corpus is simulated scan data, not an adversary —
+/// but wide enough that accidental collisions are out of reach.
+type ChainKey = (u64, u64);
 
 fn chain_key(rec: &CertScanRecord) -> ChainKey {
-    let mut h = Sha256::new();
+    let mut a = Digest64::new();
+    let mut b = Digest64::seeded(0x9e37_79b9_7f4a_7c15);
     for der in &rec.chain_der {
-        h.update(&(der.len() as u64).to_le_bytes());
-        h.update(der.as_ref());
+        a.write_u64(der.len() as u64);
+        a.write(der);
+        b.write_u64(der.len() as u64);
+        b.write(der);
     }
-    h.finalize()
+    (a.finish(), b.finish())
 }
 
 /// Time-invariant facts about one link of a chain, in the order
@@ -180,22 +198,55 @@ enum CachedChain {
     Parsed(ChainSkeleton),
 }
 
+/// Per-chain cache state: sighted once (no skeleton yet — see the module
+/// docs on deferred capture), or promoted to a replayable skeleton.
+#[derive(Debug)]
+enum Entry {
+    SeenOnce,
+    Cached(Arc<CachedChain>),
+}
+
+/// Lifetime reuse counters. `first_sightings + promotions` is the number
+/// of full (non-replay) verifications the cache performed — the `misses`
+/// half of [`ValidationCache::hit_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Skeleton replays: no parse, no signature checks.
+    pub hits: u64,
+    /// Chains verified directly on their first sighting (no skeleton
+    /// built — most never recur).
+    pub first_sightings: u64,
+    /// Second sightings: the chain recurred, so a skeleton was built and
+    /// stored (one more full verification, amortized by later replays).
+    pub promotions: u64,
+}
+
+impl CacheStats {
+    /// Full verifications (everything that wasn't a skeleton replay).
+    pub fn misses(&self) -> u64 {
+        self.first_sightings + self.promotions
+    }
+}
+
 /// Concurrent, fingerprint-keyed chain-verdict cache shared across
 /// snapshots (and across the snapshot worker pool).
 #[derive(Default)]
 pub struct ValidationCache {
-    map: RwLock<HashMap<ChainKey, Arc<CachedChain>>>,
+    map: RwLock<HashMap<ChainKey, Entry>>,
     hits: AtomicU64,
-    misses: AtomicU64,
+    first_sightings: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl std::fmt::Debug for ValidationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (hits, misses) = self.hit_stats();
+        let s = self.stats();
         f.debug_struct("ValidationCache")
-            .field("chains", &self.map.read().len())
-            .field("hits", &hits)
-            .field("misses", &misses)
+            .field("chains", &self.len())
+            .field("skeletons", &self.skeleton_count())
+            .field("hits", &s.hits)
+            .field("first_sightings", &s.first_sightings)
+            .field("promotions", &s.promotions)
             .finish()
     }
 }
@@ -205,7 +256,7 @@ impl ValidationCache {
         Self::default()
     }
 
-    /// Number of distinct chains cached so far.
+    /// Number of distinct chains tracked so far (sighted or cached).
     pub fn len(&self) -> usize {
         self.map.read().len()
     }
@@ -214,28 +265,105 @@ impl ValidationCache {
         self.map.read().is_empty()
     }
 
-    /// Lifetime (hits, misses) counters.
-    pub fn hit_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Number of chains that recurred and hold a replayable skeleton.
+    pub fn skeleton_count(&self) -> usize {
+        self.map
+            .read()
+            .values()
+            .filter(|e| matches!(e, Entry::Cached(_)))
+            .count()
     }
 
-    fn lookup_or_build(&self, rec: &CertScanRecord, roots: &RootStore) -> Arc<CachedChain> {
-        let key = chain_key(rec);
-        if let Some(hit) = self.map.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+    /// Lifetime `(hits, misses)` counters: skeleton replays vs full
+    /// verifications (first sightings plus promotions).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.hits, s.misses())
+    }
+
+    /// The full counter breakdown.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            first_sightings: self.first_sightings.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Parse and verify outside the lock; a racing builder of the same
-        // chain produces an identical skeleton, so last-write-wins is fine.
-        let built = Arc::new(match parse_chain(rec) {
-            Some(chain) => CachedChain::Parsed(ChainSkeleton::build(&chain, roots)),
-            None => CachedChain::Malformed,
-        });
-        self.map.write().entry(key).or_insert(built).clone()
+    }
+
+    /// The §4.1/§6.2 verdict for one record at `at`: a skeleton replay
+    /// when this chain already recurred, a direct verification otherwise
+    /// (promoting to a skeleton on the second sighting).
+    ///
+    /// Counters are exact under single-threaded use (the delta engine's
+    /// sequential appends); concurrent snapshot workers can race two
+    /// promotions of the same chain, which double-counts a promotion but
+    /// stores identical skeletons — verdicts are unaffected.
+    fn verdict_cached(
+        &self,
+        rec: &CertScanRecord,
+        roots: &RootStore,
+        at: Timestamp,
+        options: &ValidateOptions,
+    ) -> LeafVerdict {
+        let key = chain_key(rec);
+        {
+            let guard = self.map.read();
+            if let Some(Entry::Cached(c)) = guard.get(&key) {
+                let c = Arc::clone(c);
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cached_verdict(&c, at, options);
+            }
+        }
+        enum Decision {
+            Replay(Arc<CachedChain>),
+            First,
+            Promote,
+        }
+        let decision = {
+            use std::collections::hash_map::Entry as MapEntry;
+            let mut map = self.map.write();
+            match map.entry(key) {
+                MapEntry::Occupied(e) => match e.get() {
+                    Entry::Cached(c) => Decision::Replay(Arc::clone(c)),
+                    Entry::SeenOnce => Decision::Promote,
+                },
+                MapEntry::Vacant(v) => {
+                    v.insert(Entry::SeenOnce);
+                    Decision::First
+                }
+            }
+        };
+        match decision {
+            Decision::Replay(c) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cached_verdict(&c, at, options)
+            }
+            Decision::First => {
+                self.first_sightings.fetch_add(1, Ordering::Relaxed);
+                verify_one(rec, roots, at, options)
+            }
+            Decision::Promote => {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                // Build outside the lock; a racing promoter of the same
+                // chain produces an identical skeleton, so last-write-wins
+                // is fine.
+                let built = Arc::new(match parse_chain(rec) {
+                    Some(chain) => CachedChain::Parsed(ChainSkeleton::build(&chain, roots)),
+                    None => CachedChain::Malformed,
+                });
+                let verdict = cached_verdict(&built, at, options);
+                self.map.write().insert(key, Entry::Cached(built));
+                verdict
+            }
+        }
+    }
+}
+
+fn cached_verdict(c: &CachedChain, at: Timestamp, options: &ValidateOptions) -> LeafVerdict {
+    match c {
+        CachedChain::Malformed => Err(InvalidReason::Malformed),
+        CachedChain::Parsed(skeleton) => skeleton.verdict_at(at, options),
     }
 }
 
@@ -278,12 +406,9 @@ pub fn validate_records_cached(
             *stats.invalid.entry(InvalidReason::Malformed).or_insert(0) += 1;
             continue;
         };
-        let verdict = local.entry(leaf_der.as_ref()).or_insert_with(|| {
-            match &*cache.lookup_or_build(rec, roots) {
-                CachedChain::Malformed => Err(InvalidReason::Malformed),
-                CachedChain::Parsed(skeleton) => skeleton.verdict_at(at, options),
-            }
-        });
+        let verdict = local
+            .entry(leaf_der.as_ref())
+            .or_insert_with(|| cache.verdict_cached(rec, roots, at, options));
         match verdict {
             Ok((leaf, exempted)) => {
                 stats.valid += 1;
@@ -367,8 +492,10 @@ mod tests {
         ];
         let cache = ValidationCache::new();
         let opts = ValidateOptions::default();
-        // Two snapshots at different times: the second is fully warm.
-        for at in [t(2019, 6), t(2020, 6)] {
+        // Three snapshots at different times: the first sights every
+        // chain, the second promotes (capture is deferred), the third
+        // replays skeletons.
+        for at in [t(2019, 6), t(2020, 6), t(2021, 6)] {
             let (seq, seq_stats) = validate_records(&records, pki.root_store(), at, &opts);
             let (hot, hot_stats) =
                 validate_records_cached(&records, pki.root_store(), at, &opts, &cache);
@@ -382,9 +509,13 @@ mod tests {
             assert_eq!(seq_stats.valid, hot_stats.valid);
             assert_eq!(seq_stats.invalid, hot_stats.invalid);
         }
-        let (hits, misses) = cache.hit_stats();
-        assert_eq!(cache.len(), 5, "distinct parseable+garbage chains cached");
-        assert!(hits > 0 && misses == 5, "hits {hits} misses {misses}");
+        assert_eq!(cache.len(), 5, "distinct parseable+garbage chains seen");
+        assert_eq!(cache.skeleton_count(), 5, "all recurred, all promoted");
+        let stats = cache.stats();
+        assert_eq!(stats.first_sightings, 5);
+        assert_eq!(stats.promotions, 5);
+        assert_eq!(stats.hits, 5);
+        assert_eq!(cache.hit_stats(), (5, 10));
     }
 
     #[test]
@@ -413,8 +544,9 @@ mod tests {
             ignore_expiry_for_org_containing: Some("netflix".to_owned()),
         };
         let cache = ValidationCache::new();
-        // Run twice so the second pass exercises the warm path.
-        for _ in 0..2 {
+        // Run three times: sight, promote, replay — the third pass
+        // exercises the §6.2 exemption through the stored skeleton.
+        for _ in 0..3 {
             let (valids, stats) =
                 validate_records_cached(&records, pki.root_store(), t(2018, 6), &opts, &cache);
             assert_eq!(valids.len(), 1);
@@ -422,6 +554,7 @@ mod tests {
             assert!(valids[0].expiry_exempted);
             assert_eq!(stats.invalid_total(), 1);
         }
+        assert!(cache.stats().hits > 0, "exemption never replayed");
     }
 
     #[test]
@@ -438,24 +571,19 @@ mod tests {
         );
         let records: Vec<CertScanRecord> = (0..50).map(|i| record(valid.clone(), i)).collect();
         let cache = ValidationCache::new();
-        let (a, _) = validate_records_cached(
-            &records,
-            pki.root_store(),
-            t(2019, 6),
-            &Default::default(),
-            &cache,
-        );
-        let (b, _) = validate_records_cached(
-            &records,
-            pki.root_store(),
-            t(2019, 7),
-            &Default::default(),
-            &cache,
-        );
-        assert!(Arc::ptr_eq(&a[0].leaf, &a[49].leaf));
+        let run = |at| {
+            validate_records_cached(&records, pki.root_store(), at, &Default::default(), &cache).0
+        };
+        let a = run(t(2019, 6)); // first sighting: direct verification
+        let b = run(t(2019, 7)); // second: skeleton built and stored
+        let c = run(t(2019, 8)); // third: replayed from the skeleton
         assert!(
-            Arc::ptr_eq(&a[0].leaf, &b[0].leaf),
-            "cache must share parses across snapshots"
+            Arc::ptr_eq(&a[0].leaf, &a[49].leaf),
+            "shared within snapshot"
+        );
+        assert!(
+            Arc::ptr_eq(&b[0].leaf, &c[0].leaf),
+            "skeleton must share one parse across snapshots"
         );
     }
 
@@ -479,14 +607,26 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
-                    for (ip, chain) in chains.iter().enumerate() {
-                        let rec = record(chain.clone(), ip as u32);
-                        let v = cache.lookup_or_build(&rec, pki.root_store());
-                        assert!(matches!(&*v, CachedChain::Parsed(_)));
+                    // Three rounds per thread: whatever the interleaving,
+                    // each chain is sighted, promoted, then replayed, and
+                    // every verdict must be Ok.
+                    for _ in 0..3 {
+                        for (ip, chain) in chains.iter().enumerate() {
+                            let rec = record(chain.clone(), ip as u32);
+                            let v = cache.verdict_cached(
+                                &rec,
+                                pki.root_store(),
+                                t(2019, 6),
+                                &ValidateOptions::default(),
+                            );
+                            assert!(v.is_ok());
+                        }
                     }
                 });
             }
         });
         assert_eq!(cache.len(), 16);
+        assert_eq!(cache.skeleton_count(), 16, "every chain recurred");
+        assert!(cache.stats().hits > 0);
     }
 }

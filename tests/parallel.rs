@@ -171,21 +171,38 @@ fn faulted_study_parallel_matches_sequential() {
 fn shared_cache_is_hit_across_snapshots() {
     let w = world();
     let engine = ScanEngine::rapid7();
-    let obs: Vec<_> = [29usize, 30]
-        .iter()
-        .map(|&t| observe_snapshot(w, &engine, t).expect("snapshot in corpus"))
-        .collect();
     let cache = Arc::new(ValidationCache::new());
     let ctx = base_ctx()
         .with_threads(2)
         .with_validation_cache(cache.clone());
-    let _ = process_snapshots_parallel(&obs, &ctx);
-    let (hits, misses) = cache.hit_stats();
-    assert!(misses > 0, "cache never populated");
-    // Certificates rotate, so adjacent monthly snapshots only partially
-    // overlap — but a meaningful fraction of chains must persist.
-    assert!(
-        hits * 5 > misses,
-        "cross-snapshot reuse missing: {hits} hits vs {misses} misses"
-    );
+    // Deferred skeleton capture: a chain's first sighting verifies
+    // directly, its second promotes to a replayable skeleton, and only the
+    // third onwards replays. Feed three adjacent months through one cache
+    // sequentially so each stage of that ladder is visible.
+    for t in [28usize, 29, 30] {
+        let obs = observe_snapshot(w, &engine, t).expect("snapshot in corpus");
+        let _ = process_snapshots_parallel(std::slice::from_ref(&obs), &ctx);
+        let stats = cache.stats();
+        match t {
+            28 => {
+                assert!(stats.first_sightings > 0, "cache never populated");
+                assert_eq!(stats.promotions, 0, "nothing recurs within a month");
+                assert_eq!(stats.hits, 0, "no skeleton exists to replay yet");
+            }
+            29 => assert!(
+                stats.promotions > 0,
+                "second sighting never promoted: {stats:?}"
+            ),
+            _ => {
+                // Certificates rotate, so adjacent monthly snapshots only
+                // partially overlap — but a meaningful fraction of chains
+                // must persist long enough to replay on month three.
+                let (hits, misses) = cache.hit_stats();
+                assert!(
+                    hits * 10 > misses,
+                    "cross-snapshot reuse missing: {hits} hits vs {misses} misses"
+                );
+            }
+        }
+    }
 }

@@ -177,6 +177,61 @@ pub fn reuse_table(reports: &[offnet_core::DeltaReport]) -> String {
     )
 }
 
+/// Render the scan layer's per-snapshot transient-failure accounting:
+/// targets admitted, attempts (including retries), recoveries, losses by
+/// transient class (both the engine's intrinsic drops and retry-layer
+/// give-ups), circuit-breaker opens, breaker-skipped targets, and the
+/// virtual seconds spent in backoff — with a study-wide total row. At
+/// `--transient-rate 0` every retry-layer column is zero and only the
+/// intrinsic `base lost` column carries counts.
+pub fn scan_health_table(series: &offnet_core::StudySeries) -> String {
+    let class_counts = |m: &std::collections::BTreeMap<scanner::TransientClass, usize>| {
+        if m.values().all(|&n| n == 0) {
+            "-".to_owned()
+        } else {
+            m.iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(c, n)| format!("{}:{n}", c.name()))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    };
+    let row = |label: String, h: &scanner::ScanHealth| -> Vec<String> {
+        vec![
+            label,
+            h.targets.to_string(),
+            h.attempts.to_string(),
+            h.retries.to_string(),
+            h.recovered.to_string(),
+            class_counts(&h.base_lost),
+            class_counts(&h.gave_up),
+            h.breaker_opens.to_string(),
+            h.unreachable.to_string(),
+            h.backoff_wait_s.to_string(),
+        ]
+    };
+    let mut rows = Vec::with_capacity(series.snapshots.len() + 1);
+    for snap in &series.snapshots {
+        rows.push(row(snapshot_label(snap.snapshot_idx), &snap.quality.scan));
+    }
+    rows.push(row("total".to_owned(), &series.aggregate_quality().scan));
+    table(
+        &[
+            "snapshot",
+            "targets",
+            "attempts",
+            "retries",
+            "recovered",
+            "base lost",
+            "gave up",
+            "breakers",
+            "unreachable",
+            "wait(s)",
+        ],
+        &rows,
+    )
+}
+
 /// [`quality_table`] followed by the delta engine's reuse accounting for
 /// the same snapshots. The quality rows are rendered by the unchanged
 /// [`quality_table`] so incremental runs stay diffable against full ones;
@@ -265,6 +320,52 @@ mod tests {
         assert!(out.contains("5/6"), "{out}");
         assert!(out.contains("80.0%"), "{out}");
         assert!(out.contains("total"), "{out}");
+    }
+
+    #[test]
+    fn scan_health_table_reports_losses_and_breakers() {
+        use offnet_core::pipeline::SnapshotResult;
+        use scanner::TransientClass;
+        let mut clean = SnapshotResult {
+            snapshot_idx: 0,
+            ..Default::default()
+        };
+        clean.quality.scan.targets = 100;
+        clean.quality.scan.attempts = 100;
+        let mut rough = SnapshotResult {
+            snapshot_idx: 1,
+            ..Default::default()
+        };
+        rough.quality.scan.targets = 90;
+        rough.quality.scan.attempts = 120;
+        rough.quality.scan.retries = 30;
+        rough.quality.scan.recovered = 25;
+        rough
+            .quality
+            .scan
+            .base_lost
+            .insert(TransientClass::Timeout, 4);
+        rough
+            .quality
+            .scan
+            .gave_up
+            .insert(TransientClass::RateLimited, 5);
+        rough.quality.scan.breaker_opens = 1;
+        rough.quality.scan.unreachable = 12;
+        rough.quality.scan.backoff_wait_s = 310;
+        let series = offnet_core::StudySeries {
+            engine: scanner::EngineId::Rapid7,
+            snapshots: vec![clean, rough],
+            netflix: Default::default(),
+            header_fps: Default::default(),
+        };
+        let out = scan_health_table(&series);
+        assert!(out.contains("timeout:4"), "{out}");
+        assert!(out.contains("rate-limited:5"), "{out}");
+        assert!(out.contains("310"), "{out}");
+        assert!(out.contains("total"), "{out}");
+        // The total row sums both snapshots' attempts.
+        assert!(out.lines().last().unwrap_or("").contains("220"), "{out}");
     }
 
     #[test]

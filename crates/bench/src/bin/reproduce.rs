@@ -4,7 +4,9 @@
 //! Usage:
 //!   reproduce [--scale small|paper] [--seed N] [--csv DIR] [--threads N]
 //!             [--sequential] [--incremental] [--fault-rate R]
-//!             [--fault-seed N] <experiment|all>
+//!             [--fault-seed N] [--transient-rate R]
+//!             [--checkpoint-dir DIR] [--resume | --no-resume]
+//!             <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
 //! for external plotting. Studies run on a snapshot-parallel pipeline with
@@ -21,6 +23,22 @@
 //! `--fault-rate R` corrupts the study scans with every record-level fault
 //! class at rate R (seeded by `--fault-seed`, default 1); the `quality`
 //! experiment then reports what the pipeline quarantined.
+//!
+//! `--transient-rate R` makes scan connections fail transiently at rate R
+//! (timeouts, connection resets, rate limiting — seeded by `--fault-seed`),
+//! exercising the deterministic retry/backoff layer and the per-AS circuit
+//! breakers; the `quality` experiment prints the scan-health accounting.
+//! At rate 0 the rendered output is byte-identical to a run without the
+//! flag.
+//!
+//! `--checkpoint-dir DIR` persists each study snapshot's result into
+//! `DIR/<engine>/snap_NNNN.ckpt` as it completes, and (by default) resumes
+//! from whatever completed prefix the directory already holds — so a
+//! killed run continues where it stopped, byte-identical to an
+//! uninterrupted one. `--no-resume` wipes the directory's artifacts first;
+//! `--resume` spells out the default. Checkpointing runs the sequential
+//! driver (or the delta engine under `--incremental`); it is not available
+//! for the snapshot-parallel driver.
 //!
 //! Experiments: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 certlifetimes validate ablation
@@ -54,6 +72,9 @@ struct Cli {
     incremental: bool,
     fault_rate: f64,
     fault_seed: u64,
+    transient_rate: f64,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
     experiments: Vec<String>,
 }
 
@@ -66,6 +87,9 @@ fn parse_args() -> Cli {
     let mut incremental = false;
     let mut fault_rate = 0.0f64;
     let mut fault_seed = 1u64;
+    let mut transient_rate = 0.0f64;
+    let mut checkpoint_dir = None;
+    let mut resume = true;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -111,9 +135,27 @@ fn parse_args() -> Cli {
                     .parse()
                     .expect("fault seed must be an integer")
             }
+            "--transient-rate" => {
+                transient_rate = args
+                    .next()
+                    .expect("--transient-rate needs a value")
+                    .parse()
+                    .expect("transient rate must be a float");
+                assert!(
+                    (0.0..=1.0).contains(&transient_rate),
+                    "transient rate must be in [0, 1]"
+                );
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--checkpoint-dir needs a directory"),
+                ))
+            }
+            "--resume" => resume = true,
+            "--no-resume" => resume = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] [--transient-rate R] [--checkpoint-dir DIR] [--resume|--no-resume] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +177,9 @@ fn parse_args() -> Cli {
         incremental,
         fault_rate,
         fault_seed,
+        transient_rate,
+        checkpoint_dir,
+        resume,
         experiments,
     }
 }
@@ -154,6 +199,9 @@ struct Fixtures {
     sequential: bool,
     incremental: bool,
     faults: Option<std::sync::Arc<scanner::FaultPlan>>,
+    transients: Option<std::sync::Arc<scanner::TransientPolicy>>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
     r7: OnceLock<StudySeries>,
     /// Delta-engine reuse accounting for the Rapid7 study; populated only
     /// under `--incremental` (kept beside the series so rendered study
@@ -184,12 +232,25 @@ impl Fixtures {
                 cli.fault_rate,
             ))
         });
+        let transients = (cli.transient_rate > 0.0).then(|| {
+            eprintln!(
+                "[reproduce] injecting transient scan failures (rate={}, seed={})",
+                cli.transient_rate, cli.fault_seed
+            );
+            std::sync::Arc::new(scanner::TransientPolicy::new(
+                cli.fault_seed,
+                cli.transient_rate,
+            ))
+        });
         Fixtures {
             world: HgWorld::generate(config),
             threads: cli.threads,
             sequential: cli.sequential,
             incremental: cli.incremental,
             faults,
+            transients,
+            checkpoint_dir: cli.checkpoint_dir.clone(),
+            resume: cli.resume,
             r7: OnceLock::new(),
             r7_reports: OnceLock::new(),
             cs: OnceLock::new(),
@@ -197,12 +258,37 @@ impl Fixtures {
         }
     }
 
-    /// Attach the CLI-configured fault plan (if any) to a scan engine.
+    /// Attach the CLI-configured fault plan and transient-failure policy
+    /// (if any) to a scan engine.
     fn engine(&self, base: ScanEngine) -> ScanEngine {
-        match &self.faults {
+        let base = match &self.faults {
             Some(plan) => base.with_faults(plan.clone()),
             None => base,
+        };
+        match &self.transients {
+            Some(policy) => base.with_transients(policy.clone()),
+            None => base,
         }
+    }
+
+    /// Open (and under `--no-resume`, clear) the per-engine checkpoint
+    /// store for this run's exact configuration.
+    fn checkpoint_store(
+        &self,
+        dir: &std::path::Path,
+        engine: &ScanEngine,
+        config: &StudyConfig,
+        driver: offnet_core::CheckpointDriver,
+    ) -> offnet_core::CheckpointStore {
+        let fp = offnet_core::study_fingerprint(&self.world, engine, config, driver);
+        let store = or_die(offnet_core::CheckpointStore::open(
+            dir.join(engine.id.name().to_lowercase()),
+            fp,
+        ));
+        if !self.resume {
+            or_die(store.wipe());
+        }
+        store
     }
 
     fn study(
@@ -212,7 +298,43 @@ impl Fixtures {
         label: &str,
     ) -> (StudySeries, Option<Vec<offnet_core::DeltaReport>>) {
         let start = Instant::now();
-        let (series, reports) = if self.incremental {
+        let checkpointed = self.checkpoint_dir.is_some();
+        let (series, reports) = if let Some(dir) = &self.checkpoint_dir {
+            if self.incremental {
+                let store = self.checkpoint_store(
+                    dir,
+                    &engine,
+                    config,
+                    offnet_core::CheckpointDriver::Incremental,
+                );
+                let inc = or_die(offnet_core::run_study_incremental_checkpointed(
+                    &self.world,
+                    &engine,
+                    config,
+                    store,
+                ));
+                (inc.series, Some(inc.reports))
+            } else {
+                // Checkpoints need snapshot-ordered processing; the
+                // snapshot-parallel driver cannot provide it, so a plain
+                // `--checkpoint-dir` runs the sequential driver.
+                let store = self.checkpoint_store(
+                    dir,
+                    &engine,
+                    config,
+                    offnet_core::CheckpointDriver::Sequential,
+                );
+                (
+                    or_die(offnet_core::run_study_checkpointed(
+                        &self.world,
+                        &engine,
+                        config,
+                        &store,
+                    )),
+                    None,
+                )
+            }
+        } else if self.incremental {
             let inc = run_study_incremental(&self.world, &engine, config);
             (inc.series, Some(inc.reports))
         } else if self.sequential {
@@ -223,13 +345,16 @@ impl Fixtures {
                 None,
             )
         };
-        let mode = if self.incremental {
+        let mut mode = if self.incremental {
             "incremental delta engine".to_owned()
-        } else if self.sequential {
+        } else if self.sequential || checkpointed {
             "sequential".to_owned()
         } else {
             format!("{} threads + validation cache", self.threads)
         };
+        if checkpointed {
+            mode.push_str(", checkpointed");
+        }
         eprintln!(
             "[reproduce] {label} study: {:.2}s ({mode})",
             start.elapsed().as_secs_f64()
@@ -282,6 +407,19 @@ impl Fixtures {
                 fps,
             )
         })
+    }
+}
+
+/// Unwrap a checkpoint-layer result, or print the typed error (which
+/// carries its own remediation: delete the checkpoint dir or pass
+/// `--no-resume`) and exit with a distinct status.
+fn or_die<T>(r: Result<T, offnet_core::CheckpointError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[reproduce] checkpoint error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -434,6 +572,8 @@ fn quality(fx: &Fixtures) {
         ),
         None => print!("{}", analysis::render::quality_table(fx.r7())),
     }
+    println!();
+    print!("{}", analysis::render::scan_health_table(fx.r7()));
     if let Some(plan) = &fx.faults {
         let injected = plan.injected_total();
         let quarantined = fx.r7().aggregate_quality().quarantined_total();

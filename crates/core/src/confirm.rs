@@ -459,6 +459,7 @@ mod tests {
             snapshot_idx: 30,
             port,
             records,
+            health: Default::default(),
         }
     }
 

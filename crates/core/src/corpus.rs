@@ -78,6 +78,8 @@ pub struct SnapshotCorpus {
     pub http_only_ips: Vec<u32>,
     /// Whether the certificate snapshot carried zero records.
     pub empty_cert_snapshot: bool,
+    /// Scan-layer health merged over the observation's scan passes.
+    pub scan_health: scanner::ScanHealth,
     pub memory: CorpusMemoryStats,
     /// `san_syms[san_offsets[i]..san_offsets[i+1]]` is certificate `i`'s
     /// SAN set: sorted, deduplicated host symbols.
@@ -187,6 +189,7 @@ impl SnapshotCorpus {
             n_ases_with_certs: ases_with_certs.len(),
             http_only_ips,
             empty_cert_snapshot: obs.cert.records.is_empty(),
+            scan_health: obs.scan_health(),
             memory,
             san_offsets,
             san_syms,

@@ -116,6 +116,12 @@ pub struct DataQualityReport {
     pub degraded_snapshot: Option<String>,
     /// The certificate scan carried zero records.
     pub empty_cert_snapshot: bool,
+    /// Scan-layer health: targets, attempts, retries, transient losses by
+    /// class, breaker opens, and virtual backoff time, merged over every
+    /// scan pass feeding this snapshot. Exact even with the retry layer
+    /// disabled — the engine's intrinsic transient losses are counted here
+    /// too, so nothing the scan failed to observe goes unaccounted.
+    pub scan: scanner::ScanHealth,
 }
 
 impl DataQualityReport {
@@ -156,6 +162,7 @@ impl DataQualityReport {
             self.degraded_snapshot = other.degraded_snapshot.clone();
         }
         self.empty_cert_snapshot |= other.empty_cert_snapshot;
+        self.scan.merge(&other.scan);
     }
 }
 

@@ -37,6 +37,7 @@
 
 pub mod baselines;
 pub mod candidates;
+pub mod checkpoint;
 pub mod confirm;
 pub mod corpus;
 pub mod delta;
@@ -50,6 +51,10 @@ pub mod validate;
 pub mod validation_cache;
 
 pub use candidates::{find_candidates, CandidateSet};
+pub use checkpoint::{
+    study_fingerprint, CheckpointDriver, CheckpointError, CheckpointStore, SnapshotCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use confirm::{
     confirm_candidates, BannerIndex, BannerQuality, CompiledFingerprint, CompiledFingerprints,
     ConfirmMode, ConfirmedSet, Port,
@@ -67,8 +72,9 @@ pub use pipeline::{
     HgSnapshotResult, PipelineContext, SnapshotResult,
 };
 pub use study::{
-    run_study, run_study_incremental, run_study_parallel, DeltaStudyEngine, IncrementalStudy,
-    NetflixVariants, StudyConfig, StudySeries,
+    run_study, run_study_checkpointed, run_study_incremental, run_study_incremental_checkpointed,
+    run_study_parallel, DeltaStudyEngine, IncrementalStudy, NetflixVariants, StudyConfig,
+    StudySeries,
 };
 pub use tls_fingerprint::{learn_tls_fingerprints, TlsFingerprint};
 pub use validate::{validate_records, InvalidReason, ValidatedCert, ValidationStats};

@@ -357,6 +357,7 @@ pub(crate) fn build_quality_report(
         cert_records_seen: validation.total_records,
         banners_seen: banners.records_seen,
         empty_cert_snapshot: corpus.empty_cert_snapshot,
+        scan: corpus.scan_health.clone(),
         ..Default::default()
     };
     for (&reason, &n) in &validation.invalid {

@@ -1,6 +1,7 @@
 //! Longitudinal study driver: the full 2013-10 … 2021-04 analysis over one
 //! scan engine, including the §6.2 Netflix restorations.
 
+use crate::checkpoint::{CheckpointError, CheckpointStore, SnapshotCheckpoint};
 use crate::confirm::ConfirmMode;
 use crate::corpus::SnapshotCorpus;
 use crate::delta::{process_corpus_delta, DeltaReport, DeltaState};
@@ -48,6 +49,67 @@ pub struct NetflixVariants {
     /// Additionally restoring IPs that previously served Netflix
     /// certificates and now answer only on HTTP.
     pub with_non_tls: Vec<usize>,
+}
+
+/// The order-dependent §6.2 Netflix fold, shared by every study driver:
+/// per snapshot it pushes the three footprint variants and grows the
+/// cumulative certificate-history IP set the non-TLS restoration consults.
+#[derive(Debug, Clone, Default)]
+struct NetflixFold {
+    variants: NetflixVariants,
+    /// Cumulative IPs ever seen serving a (possibly expired) Netflix
+    /// certificate — the history the non-TLS restoration consults.
+    ip_history: HashSet<u32>,
+}
+
+impl NetflixFold {
+    /// Fold one snapshot's result. `origins_of` maps an HTTP-only IP to
+    /// its AS origins at this snapshot (drivers differ only in where that
+    /// lookup lives). Returns the `(initial, with_expired, with_non_tls)`
+    /// triple pushed, so checkpoints can record it.
+    fn push(
+        &mut self,
+        result: &SnapshotResult,
+        origins_of: impl Fn(u32) -> Vec<AsId>,
+    ) -> (usize, usize, usize) {
+        let nf = &result.per_hg[&Hg::Netflix];
+        let initial = nf.confirmed_ases.len();
+        let with_expired = nf.with_expired_ases.len();
+
+        // Non-TLS restoration: HTTP-only IPs with Netflix certificate
+        // history map back to their ASes.
+        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
+        for &ip in &result.http_only_ips {
+            if self.ip_history.contains(&ip) {
+                with_non_tls.extend(origins_of(ip));
+            }
+        }
+        let with_non_tls = with_non_tls.len();
+
+        self.variants.initial.push(initial);
+        self.variants.with_expired.push(with_expired);
+        self.variants.with_non_tls.push(with_non_tls);
+        self.ip_history.extend(nf.with_expired_ips.iter().copied());
+        self.ip_history.extend(nf.confirmed_ips.iter().copied());
+        (initial, with_expired, with_non_tls)
+    }
+
+    /// The cumulative IP history in checkpoint-stable (sorted) order.
+    fn sorted_history(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.ip_history.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Restore the fold to its state just after `ckpt`'s snapshot.
+    fn adopt(&mut self, ckpt: &SnapshotCheckpoint) {
+        if ckpt.processed {
+            self.variants.initial.push(ckpt.netflix_initial);
+            self.variants.with_expired.push(ckpt.netflix_with_expired);
+            self.variants.with_non_tls.push(ckpt.netflix_with_non_tls);
+        }
+        self.ip_history = ckpt.netflix_ip_history.iter().copied().collect();
+    }
 }
 
 /// The full longitudinal result for one engine.
@@ -174,10 +236,7 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
     ctx.confirm_mode = config.confirm_mode;
 
     let mut snapshots = Vec::new();
-    let mut netflix = NetflixVariants::default();
-    // Cumulative IPs ever seen serving a (possibly expired) Netflix
-    // certificate — the history the non-TLS restoration consults.
-    let mut netflix_ip_history: HashSet<u32> = HashSet::new();
+    let mut fold = NetflixFold::default();
 
     for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
         let Some(obs) = observe_snapshot(world, engine, t) else {
@@ -187,35 +246,107 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
         // owns the frozen interner the downstream stages resolve through.
         let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
         let result = process_corpus(&corpus, &ctx);
-
-        let nf = &result.per_hg[&Hg::Netflix];
-        netflix.initial.push(nf.confirmed_ases.len());
-        netflix.with_expired.push(nf.with_expired_ases.len());
-
-        // Non-TLS restoration: HTTP-only IPs with Netflix certificate
-        // history map back to their ASes.
-        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
-        for ip in &result.http_only_ips {
-            if netflix_ip_history.contains(ip) {
-                for a in corpus.ip_to_as.lookup(*ip) {
-                    with_non_tls.insert(*a);
-                }
-            }
-        }
-        netflix.with_non_tls.push(with_non_tls.len());
-
-        netflix_ip_history.extend(nf.with_expired_ips.iter().copied());
-        netflix_ip_history.extend(nf.confirmed_ips.iter().copied());
-
+        fold.push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
         snapshots.push(result);
     }
 
     StudySeries {
         engine: engine.id,
         snapshots,
-        netflix,
+        netflix: fold.variants,
         header_fps,
     }
+}
+
+/// Crash-resumable variant of [`run_study`]: after each snapshot
+/// completes, its result and the §6.2 fold state are persisted into
+/// `store`; a relaunched run adopts the contiguous completed prefix and
+/// recomputes only from the first missing snapshot. The returned series
+/// is byte-identical (under [`crate::delta`]-style rendering) to an
+/// uninterrupted [`run_study`] over the same range.
+pub fn run_study_checkpointed(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    store: &CheckpointStore,
+) -> Result<StudySeries, CheckpointError> {
+    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let mut ctx = PipelineContext::new(
+        world.pki().root_store().clone(),
+        world.org_db(),
+        header_fps.clone(),
+    );
+    ctx.candidate_options = config.candidate_options.clone();
+    ctx.confirm_mode = config.confirm_mode;
+
+    let start = config.snapshots.0;
+    let end = config.snapshots.1.min(world.n_snapshots() - 1);
+
+    let mut snapshots = Vec::new();
+    let mut fold = NetflixFold::default();
+    let mut next = start;
+    for ckpt in adopt_contiguous_prefix(store, start, end)? {
+        fold.adopt(&ckpt);
+        next = ckpt.snapshot_idx + 1;
+        if ckpt.processed {
+            snapshots.push(ckpt.result);
+        }
+    }
+
+    for t in next..=end {
+        let Some(obs) = observe_snapshot(world, engine, t) else {
+            // Record skips too, so the completed prefix stays contiguous
+            // in snapshot indices and the resume point is unambiguous.
+            store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
+            continue;
+        };
+        let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
+        let result = process_corpus(&corpus, &ctx);
+        let (initial, with_expired, with_non_tls) =
+            fold.push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
+        store.save(&SnapshotCheckpoint {
+            snapshot_idx: t,
+            processed: true,
+            result: result.clone(),
+            netflix_initial: initial,
+            netflix_with_expired: with_expired,
+            netflix_with_non_tls: with_non_tls,
+            netflix_ip_history: fold.sorted_history(),
+            evidence: None,
+            report: None,
+        })?;
+        snapshots.push(result);
+    }
+
+    Ok(StudySeries {
+        engine: engine.id,
+        snapshots,
+        netflix: fold.variants,
+        header_fps,
+    })
+}
+
+/// Load `store` and keep the contiguous run of checkpoints starting
+/// exactly at `start` (bounded by `end`). Artifacts below `start` are
+/// ignored; the first gap ends adoption — everything past it is
+/// recomputed (and overwritten) rather than trusted out of order.
+fn adopt_contiguous_prefix(
+    store: &CheckpointStore,
+    start: usize,
+    end: usize,
+) -> Result<Vec<SnapshotCheckpoint>, CheckpointError> {
+    let mut adopted: Vec<SnapshotCheckpoint> = Vec::new();
+    for ckpt in store.load_all()? {
+        if ckpt.snapshot_idx < start {
+            continue;
+        }
+        if ckpt.snapshot_idx == start + adopted.len() && ckpt.snapshot_idx <= end {
+            adopted.push(ckpt);
+        } else {
+            break;
+        }
+    }
+    Ok(adopted)
 }
 
 /// Parallel variant of [`run_study`]: snapshots are observed and processed
@@ -280,31 +411,20 @@ pub fn run_study_parallel(
     // The §6.2 non-TLS restoration consults the cumulative IP history, so
     // it must run in snapshot order — but it is cheap set arithmetic.
     let mut snapshots = Vec::new();
-    let mut netflix = NetflixVariants::default();
-    let mut netflix_ip_history: HashSet<u32> = HashSet::new();
+    let mut fold = NetflixFold::default();
     for (result, http_only_origins) in outputs.into_iter().flatten() {
-        let nf = &result.per_hg[&Hg::Netflix];
-        netflix.initial.push(nf.confirmed_ases.len());
-        netflix.with_expired.push(nf.with_expired_ases.len());
-
-        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
-        for (ip, origins) in &http_only_origins {
-            if netflix_ip_history.contains(ip) {
-                with_non_tls.extend(origins.iter().copied());
-            }
-        }
-        netflix.with_non_tls.push(with_non_tls.len());
-
-        netflix_ip_history.extend(nf.with_expired_ips.iter().copied());
-        netflix_ip_history.extend(nf.confirmed_ips.iter().copied());
-
+        let origin_map: std::collections::HashMap<u32, Vec<AsId>> =
+            http_only_origins.into_iter().collect();
+        fold.push(&result, |ip| {
+            origin_map.get(&ip).cloned().unwrap_or_default()
+        });
         snapshots.push(result);
     }
 
     StudySeries {
         engine: engine.id,
         snapshots,
-        netflix,
+        netflix: fold.variants,
         header_fps,
     }
 }
@@ -338,12 +458,21 @@ pub struct DeltaStudyEngine<'w> {
     cache: Arc<ValidationCache>,
     state: Option<DeltaState>,
     snapshots: Vec<SnapshotResult>,
-    netflix: NetflixVariants,
-    netflix_ip_history: HashSet<u32>,
+    fold: NetflixFold,
     reports: Vec<DeltaReport>,
     /// Cache (hits, misses) totals at the end of the previous append, so
     /// each report carries per-snapshot deltas.
     cache_mark: (u64, u64),
+    /// Checkpoint persistence, when attached via [`Self::with_checkpoints`].
+    store: Option<CheckpointStore>,
+    /// Snapshot indices adopted from checkpoints at construction, with the
+    /// `processed` flag each artifact recorded. Appends for these indices
+    /// return the recorded outcome instead of recomputing.
+    adopted: std::collections::BTreeMap<usize, bool>,
+    /// The study range from construction — adoption only trusts a
+    /// contiguous prefix starting exactly at `first_snapshot`.
+    first_snapshot: usize,
+    last_snapshot: usize,
 }
 
 impl<'w> DeltaStudyEngine<'w> {
@@ -367,20 +496,69 @@ impl<'w> DeltaStudyEngine<'w> {
             cache,
             state: None,
             snapshots: Vec::new(),
-            netflix: NetflixVariants::default(),
-            netflix_ip_history: HashSet::new(),
+            fold: NetflixFold::default(),
             reports: Vec::new(),
             cache_mark: (0, 0),
+            store: None,
+            adopted: std::collections::BTreeMap::new(),
+            first_snapshot: config.snapshots.0,
+            last_snapshot: config.snapshots.1.min(world.n_snapshots() - 1),
         }
+    }
+
+    /// Attach a checkpoint store and adopt whatever contiguous completed
+    /// prefix it holds: adopted snapshots' results, reuse reports, fold
+    /// state, and the last processed snapshot's delta evidence are
+    /// restored, so the first live append diffs against it exactly as an
+    /// uninterrupted run would. An adopted artifact without evidence (or
+    /// a prefix ending in skips) simply degrades the next append to a
+    /// full compute — correct, just slower.
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Result<Self, CheckpointError> {
+        for ckpt in adopt_contiguous_prefix(&store, self.first_snapshot, self.last_snapshot)? {
+            self.adopted.insert(ckpt.snapshot_idx, ckpt.processed);
+            self.fold.adopt(&ckpt);
+            if ckpt.processed {
+                self.reports.push(ckpt.report.unwrap_or(DeltaReport {
+                    snapshot_idx: ckpt.snapshot_idx,
+                    full_compute: true,
+                    ..Default::default()
+                }));
+                self.state = ckpt.evidence.map(|evidence| DeltaState {
+                    evidence,
+                    result: ckpt.result.clone(),
+                });
+                self.snapshots.push(ckpt.result);
+            }
+        }
+        self.store = Some(store);
+        Ok(self)
     }
 
     /// Observe and process snapshot `t`, diffing against the previously
     /// appended snapshot. Returns `false` (appending nothing) when the
     /// engine's corpus does not cover `t` — the same snapshots
     /// `run_study` skips.
+    ///
+    /// With no checkpoint store attached this cannot fail; prefer
+    /// [`Self::try_append_snapshot`] when one is.
     pub fn append_snapshot(&mut self, t: usize) -> bool {
+        self.try_append_snapshot(t)
+            .expect("checkpoint persistence failed")
+    }
+
+    /// [`Self::append_snapshot`] with checkpoint persistence surfaced:
+    /// the snapshot's artifact is written (atomically) after processing,
+    /// and appends for snapshots adopted at construction return their
+    /// recorded outcome without recomputing.
+    pub fn try_append_snapshot(&mut self, t: usize) -> Result<bool, CheckpointError> {
+        if let Some(&processed) = self.adopted.get(&t) {
+            return Ok(processed);
+        }
         let Some(obs) = observe_snapshot(self.world, &self.engine, t) else {
-            return false;
+            if let Some(store) = &self.store {
+                store.save(&SnapshotCheckpoint::skipped(t, self.fold.sorted_history()))?;
+            }
+            return Ok(false);
         };
         let chain_rows = obs.cert.chain_digests();
         let corpus = SnapshotCorpus::build(
@@ -397,22 +575,23 @@ impl<'w> DeltaStudyEngine<'w> {
         self.cache_mark = (hits, misses);
 
         // The §6.2 Netflix fold, identical to `run_study`'s.
-        let nf = &result.per_hg[&Hg::Netflix];
-        self.netflix.initial.push(nf.confirmed_ases.len());
-        self.netflix.with_expired.push(nf.with_expired_ases.len());
-        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
-        for ip in &result.http_only_ips {
-            if self.netflix_ip_history.contains(ip) {
-                for a in corpus.ip_to_as.lookup(*ip) {
-                    with_non_tls.insert(*a);
-                }
-            }
+        let (initial, with_expired, with_non_tls) = self
+            .fold
+            .push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
+
+        if let Some(store) = &self.store {
+            store.save(&SnapshotCheckpoint {
+                snapshot_idx: t,
+                processed: true,
+                result: result.clone(),
+                netflix_initial: initial,
+                netflix_with_expired: with_expired,
+                netflix_with_non_tls: with_non_tls,
+                netflix_ip_history: self.fold.sorted_history(),
+                evidence: Some(evidence.clone()),
+                report: Some(report),
+            })?;
         }
-        self.netflix.with_non_tls.push(with_non_tls.len());
-        self.netflix_ip_history
-            .extend(nf.with_expired_ips.iter().copied());
-        self.netflix_ip_history
-            .extend(nf.confirmed_ips.iter().copied());
 
         self.state = Some(DeltaState {
             evidence,
@@ -420,7 +599,7 @@ impl<'w> DeltaStudyEngine<'w> {
         });
         self.snapshots.push(result);
         self.reports.push(report);
-        true
+        Ok(true)
     }
 
     /// Per-snapshot reuse reports so far.
@@ -438,7 +617,7 @@ impl<'w> DeltaStudyEngine<'w> {
             series: StudySeries {
                 engine: self.engine.id,
                 snapshots: self.snapshots,
-                netflix: self.netflix,
+                netflix: self.fold.variants,
                 header_fps: self.header_fps,
             },
             reports: self.reports,
@@ -460,6 +639,27 @@ pub fn run_study_incremental(
         driver.append_snapshot(t);
     }
     driver.finish()
+}
+
+/// Crash-resumable variant of [`run_study_incremental`]: every appended
+/// snapshot persists its result *and* the delta engine's evidence into
+/// `store`, so a relaunched run adopts the completed prefix and resumes
+/// diffing from the first missing snapshot — still incremental, not a
+/// full recompute. The rendered series is byte-identical to an
+/// uninterrupted run; only the reuse reports' validation-cache counters
+/// differ (the cache restarts cold).
+pub fn run_study_incremental_checkpointed(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    store: CheckpointStore,
+) -> Result<IncrementalStudy, CheckpointError> {
+    let mut driver =
+        DeltaStudyEngine::new(world, engine.clone(), config).with_checkpoints(store)?;
+    for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
+        driver.try_append_snapshot(t)?;
+    }
+    Ok(driver.finish())
 }
 
 #[cfg(test)]

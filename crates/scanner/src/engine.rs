@@ -68,6 +68,10 @@ pub struct ScanEngine {
     /// Optional deterministic fault-injection plan applied to everything
     /// this engine scans (see [`crate::faults`]). `None` means clean scans.
     pub faults: Option<std::sync::Arc<crate::faults::FaultPlan>>,
+    /// Optional transient-failure + retry policy (see [`crate::transient`]).
+    /// `None` means the historical behaviour: intrinsic transient loss
+    /// only, no injected failures, no retries, no breakers.
+    pub transients: Option<std::sync::Arc<crate::transient::TransientPolicy>>,
 }
 
 fn hsalt(label: &str) -> u64 {
@@ -87,6 +91,7 @@ impl ScanEngine {
             https_headers_since: Some(11), // 2016-07
             active_since: 0,
             faults: None,
+            transients: None,
         }
     }
 
@@ -101,6 +106,7 @@ impl ScanEngine {
             https_headers_since: Some(24), // corpus used from 2019-10
             active_since: 24,
             faults: None,
+            transients: None,
         }
     }
 
@@ -115,6 +121,7 @@ impl ScanEngine {
             https_headers_since: Some(0),
             active_since: 0,
             faults: None,
+            transients: None,
         }
     }
 
@@ -134,8 +141,30 @@ impl ScanEngine {
         self
     }
 
+    /// Attach a transient-failure + retry policy: scans inject seeded
+    /// per-attempt failures at the policy's rate and retry them with
+    /// deterministic backoff under per-(scan pass, AS) circuit breakers.
+    pub fn with_transients(
+        mut self,
+        policy: std::sync::Arc<crate::transient::TransientPolicy>,
+    ) -> Self {
+        self.transients = Some(policy);
+        self
+    }
+
     /// Whether this engine's scan reaches `ip` at snapshot `t`.
+    ///
+    /// Equivalent to [`reaches_stable`](Self::reaches_stable) plus surviving
+    /// the intrinsic transient-loss coin
+    /// ([`base_transient_lost`](Self::base_transient_lost)).
     pub fn reaches(&self, ip: u32, t: usize, n_snapshots: usize) -> bool {
+        self.reaches_stable(ip, t, n_snapshots) && self.base_transient_lost(ip, t).is_none()
+    }
+
+    /// The stable (snapshot-persistent) reachability filters: the growing
+    /// exclusion list and per-/14-block AS opt-outs. IPs failing these are
+    /// never scan targets at all.
+    pub fn reaches_stable(&self, ip: u32, t: usize, n_snapshots: usize) -> bool {
         let frac = t as f64 / (n_snapshots - 1).max(1) as f64;
         let excl = self.exclusion_start + frac * (self.exclusion_end - self.exclusion_start);
         let coin = mix(self.salt ^ u64::from(ip)) as f64 / u64::MAX as f64;
@@ -146,12 +175,21 @@ impl ScanEngine {
         // allocations sit inside one block).
         let block = u64::from(ip >> 18);
         let coin_block = mix(self.salt ^ 0xb10c ^ block) as f64 / u64::MAX as f64;
-        if coin_block < self.block_optout {
-            return false;
+        coin_block >= self.block_optout
+    }
+
+    /// The engine's intrinsic transient loss for `(ip, t)` — the exact coin
+    /// `reaches` has always flipped, now classified instead of silent.
+    /// `Some(class)` means the historical corpus lacks this record; the
+    /// retry layer never retries these (doing so would change the corpus).
+    pub fn base_transient_lost(&self, ip: u32, t: usize) -> Option<crate::TransientClass> {
+        let h = mix(self.salt ^ u64::from(ip).rotate_left(17) ^ (t as u64) << 48);
+        let coin2 = h as f64 / u64::MAX as f64;
+        if coin2 < self.transient_loss {
+            Some(crate::TransientClass::from_draw(mix(h ^ 0x7c1a_55e5)))
+        } else {
+            None
         }
-        let coin2 = mix(self.salt ^ u64::from(ip).rotate_left(17) ^ (t as u64) << 48) as f64
-            / u64::MAX as f64;
-        coin2 >= self.transient_loss
     }
 }
 

@@ -192,6 +192,18 @@ impl FaultPlan {
         self.rates.get(&class).copied().unwrap_or(0.0)
     }
 
+    /// Stable digest of the plan's seed and per-class rates (the ledger is
+    /// runtime state and does not participate). Two plans with equal
+    /// fingerprints corrupt scans identically, so checkpoint config
+    /// fingerprints can include this to invalidate stale artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(self.seed ^ 0xfa51_7b1a_u64.rotate_left(1));
+        for (class, rate) in &self.rates {
+            h = mix(h ^ class.tag() ^ rate.to_bits());
+        }
+        h
+    }
+
     /// The deterministic coin for (class, snapshot, record key).
     fn coin(&self, class: FaultClass, t: usize, key: u64) -> bool {
         let rate = self.rate(class);
@@ -440,6 +452,7 @@ mod tests {
                     ])],
                 })
                 .collect(),
+            health: Default::default(),
         }
     }
 
@@ -456,6 +469,7 @@ mod tests {
                     headers: vec![(name, value)],
                 })
                 .collect(),
+            health: Default::default(),
         }
     }
 

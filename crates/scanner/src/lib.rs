@@ -11,6 +11,7 @@ mod engine;
 pub mod faults;
 mod observe;
 mod scan;
+pub mod transient;
 mod zgrab;
 
 pub use engine::{EngineId, ScanEngine};
@@ -19,6 +20,10 @@ pub use observe::{observe_snapshot, SnapshotObservations};
 pub use scan::{
     scan_certificates, scan_http_headers, CertScanRecord, CertScanSnapshot, HttpRecord,
     HttpScanSnapshot,
+};
+pub use transient::{
+    RetryConfig, ScanHealth, ScanSession, TransientClass, TransientPolicy, STREAM_CERT,
+    STREAM_HTTP80, STREAM_HTTPS443,
 };
 pub use zgrab::{zgrab_probe, ZgrabResult};
 

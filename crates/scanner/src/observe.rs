@@ -25,6 +25,21 @@ pub struct SnapshotObservations {
     pub snapshot_idx: usize,
 }
 
+impl SnapshotObservations {
+    /// Scan health merged over every pass in the bundle (certificates plus
+    /// whichever banner scans the corpus carries at this snapshot).
+    pub fn scan_health(&self) -> crate::ScanHealth {
+        let mut health = self.cert.health.clone();
+        if let Some(snap) = &self.http80 {
+            health.merge(&snap.health);
+        }
+        if let Some(snap) = &self.https443 {
+            health.merge(&snap.health);
+        }
+        health
+    }
+}
+
 /// Observe snapshot `t` of `world` with `engine`, generating endpoints,
 /// performing the scans, and building the month's IP-to-AS map.
 ///

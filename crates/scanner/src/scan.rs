@@ -1,6 +1,7 @@
 //! Certificate and HTTP(S)-banner scans over an endpoint set.
 
 use crate::engine::ScanEngine;
+use crate::transient::{ScanHealth, ScanSession, STREAM_CERT, STREAM_HTTP80, STREAM_HTTPS443};
 use bytes::Bytes;
 use hgsim::EndpointSet;
 use intern::{Digest64, HeaderNameSym, HeaderValueSym, Interner};
@@ -37,6 +38,8 @@ pub struct CertScanSnapshot {
     pub snapshot_idx: usize,
     pub date: Date,
     pub records: Vec<CertScanRecord>,
+    /// Exact reachability/retry accounting for this scan pass.
+    pub health: ScanHealth,
 }
 
 impl CertScanSnapshot {
@@ -73,6 +76,8 @@ pub struct HttpScanSnapshot {
     pub snapshot_idx: usize,
     pub port: u16,
     pub records: Vec<HttpRecord>,
+    /// Exact reachability/retry accounting for this scan pass.
+    pub health: ScanHealth,
 }
 
 /// Run a port-443 certificate scan: a real (simulated-wire) no-SNI TLS
@@ -87,9 +92,10 @@ pub fn scan_certificates(
 ) -> CertScanSnapshot {
     let t = eps.snapshot_idx;
     let client = TlsClient::new([0x5cu8; 32]);
+    let mut session = ScanSession::new(engine, t, n_snapshots, STREAM_CERT);
     let mut records = Vec::with_capacity(eps.len());
     for ep in eps.endpoints() {
-        if !engine.reaches(ep.ip, t, n_snapshots) {
+        if !session.admit(ep.ip, ep.true_as) {
             continue;
         }
         let endpoint = TlsEndpoint::new(ep.tls.clone());
@@ -106,6 +112,7 @@ pub fn scan_certificates(
         snapshot_idx: t,
         date,
         records,
+        health: session.finish(),
     };
     if let Some(plan) = &engine.faults {
         plan.apply_cert(&mut snap);
@@ -138,9 +145,15 @@ pub fn scan_http_headers(
             _ => return None,
         }
     }
+    let stream = if port == 80 {
+        STREAM_HTTP80
+    } else {
+        STREAM_HTTPS443
+    };
+    let mut session = ScanSession::new(engine, t, n_snapshots, stream);
     let mut records = Vec::with_capacity(eps.len());
     for ep in eps.endpoints() {
-        if !engine.reaches(ep.ip, t, n_snapshots) {
+        if !session.admit(ep.ip, ep.true_as) {
             continue;
         }
         let headers = if port == 80 {
@@ -170,6 +183,7 @@ pub fn scan_http_headers(
         snapshot_idx: t,
         port,
         records,
+        health: session.finish(),
     };
     if let Some(plan) = &engine.faults {
         plan.apply_http(&mut snap, interner);

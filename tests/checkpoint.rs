@@ -1,0 +1,231 @@
+//! Crash-resumable studies: a run killed mid-study and relaunched over the
+//! same checkpoint directory must render byte-identical output to an
+//! uninterrupted run — for the sequential and the incremental driver,
+//! clean and under injected faults/transients alike — and checkpoint
+//! corruption or configuration drift must surface as typed errors with
+//! remediation, never as silent wrong answers.
+//!
+//! `OFFNET_FAULT_RATE` (shared with `tests/incremental.rs` and the CI
+//! kill/resume job) sets the corruption rate for the faulted comparison.
+
+use hgsim::{HgWorld, ScenarioConfig};
+use offnet_bench::render_study;
+use offnet_core::{
+    run_study, run_study_checkpointed, run_study_incremental_checkpointed, study_fingerprint,
+    CheckpointDriver, CheckpointError, CheckpointStore, StudyConfig,
+};
+use scanner::{FaultPlan, ScanEngine, TransientPolicy};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+fn fault_rate() -> f64 {
+    std::env::var("OFFNET_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// A process-unique checkpoint directory per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("offnet-ckpt-{tag}-{}", std::process::id()));
+    // Stale artifacts from a previous crashed test run must not leak in.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(range: (usize, usize)) -> StudyConfig {
+    StudyConfig {
+        snapshots: range,
+        ..Default::default()
+    }
+}
+
+fn store(
+    dir: &PathBuf,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    driver: CheckpointDriver,
+) -> CheckpointStore {
+    let fp = study_fingerprint(world(), engine, config, driver);
+    CheckpointStore::open(dir, fp).expect("open store")
+}
+
+/// Sequential driver, killed after snapshot 25 and relaunched: the resumed
+/// study renders byte-identical to an uninterrupted run, and the directory
+/// ends up with one artifact per snapshot in the range.
+#[test]
+fn sequential_kill_resume_is_byte_identical() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let full_cfg = config((20, 30));
+    let uninterrupted = run_study(w, &engine, &full_cfg);
+
+    let dir = temp_dir("seq");
+    // "Kill" after snapshot 25: run the prefix range to completion. The
+    // fingerprint excludes the snapshot range, so the resumed (longer)
+    // run adopts these artifacts.
+    let killed_cfg = config((20, 25));
+    let s = store(&dir, &engine, &killed_cfg, CheckpointDriver::Sequential);
+    run_study_checkpointed(w, &engine, &killed_cfg, &s).expect("killed prefix run");
+
+    let s = store(&dir, &engine, &full_cfg, CheckpointDriver::Sequential);
+    let resumed = run_study_checkpointed(w, &engine, &full_cfg, &s).expect("resumed run");
+    assert_eq!(
+        render_study(&uninterrupted),
+        render_study(&resumed),
+        "resumed sequential study diverged from the uninterrupted run"
+    );
+    let artifacts = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .count();
+    assert_eq!(artifacts, 11, "one artifact per snapshot in 20..=30");
+
+    // Re-running over the complete directory adopts everything and still
+    // renders identically — resume is idempotent.
+    let s = store(&dir, &engine, &full_cfg, CheckpointDriver::Sequential);
+    let again = run_study_checkpointed(w, &engine, &full_cfg, &s).expect("idempotent run");
+    assert_eq!(render_study(&uninterrupted), render_study(&again));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Incremental driver, killed and relaunched: byte-identical output, and
+/// the first snapshot computed after the resume must still be a *delta*
+/// against the restored evidence, not a full-compute fallback.
+#[test]
+fn incremental_kill_resume_stays_incremental() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let full_cfg = config((20, 30));
+    let uninterrupted = run_study(w, &engine, &full_cfg);
+
+    let dir = temp_dir("inc");
+    let killed_cfg = config((20, 25));
+    let s = store(&dir, &engine, &killed_cfg, CheckpointDriver::Incremental);
+    run_study_incremental_checkpointed(w, &engine, &killed_cfg, s).expect("killed prefix run");
+
+    let s = store(&dir, &engine, &full_cfg, CheckpointDriver::Incremental);
+    let resumed = run_study_incremental_checkpointed(w, &engine, &full_cfg, s).expect("resumed");
+    assert_eq!(
+        render_study(&uninterrupted),
+        render_study(&resumed.series),
+        "resumed incremental study diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.reports.len(), resumed.series.snapshots.len());
+    let resume_point = resumed
+        .reports
+        .iter()
+        .find(|r| r.snapshot_idx == 26)
+        .expect("snapshot 26 was processed live");
+    assert!(
+        !resume_point.full_compute,
+        "resume fell back to a full compute instead of diffing restored evidence"
+    );
+    // Adopted snapshots keep their original reuse reports.
+    assert!(resumed.reports[0].full_compute, "t=20 was the cold start");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The robustness layers compose: with record faults and transient scan
+/// failures both injected, a killed-and-resumed checkpointed run still
+/// renders byte-identical to an uninterrupted faulted run.
+#[test]
+fn kill_resume_is_byte_identical_under_faults_and_transients() {
+    let w = world();
+    let rate = fault_rate();
+    let engine = || {
+        ScanEngine::rapid7()
+            .with_faults(Arc::new(FaultPlan::uniform_record_faults(11, rate)))
+            .with_transients(Arc::new(TransientPolicy::new(11, 0.2)))
+    };
+    let full_cfg = config((22, 30));
+    let uninterrupted = run_study(w, &engine(), &full_cfg);
+
+    let dir = temp_dir("faulted");
+    let killed_cfg = config((22, 26));
+    let e = engine();
+    let s = store(&dir, &e, &killed_cfg, CheckpointDriver::Sequential);
+    run_study_checkpointed(w, &e, &killed_cfg, &s).expect("killed prefix run");
+
+    let e = engine();
+    let s = store(&dir, &e, &full_cfg, CheckpointDriver::Sequential);
+    let resumed = run_study_checkpointed(w, &e, &full_cfg, &s).expect("resumed run");
+    assert_eq!(
+        render_study(&uninterrupted),
+        render_study(&resumed),
+        "faulted resume diverged (fault rate {rate}, transient rate 0.2)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sequential artifacts must not be adopted by the incremental driver (or
+/// vice versa): the driver kind is part of the config fingerprint, so the
+/// attempt dies with a typed `ConfigMismatch` carrying remediation.
+#[test]
+fn mismatched_driver_checkpoints_are_rejected() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let cfg = config((28, 30));
+    let dir = temp_dir("mismatch");
+    let s = store(&dir, &engine, &cfg, CheckpointDriver::Sequential);
+    run_study_checkpointed(w, &engine, &cfg, &s).expect("seed the dir");
+
+    let s = store(&dir, &engine, &cfg, CheckpointDriver::Incremental);
+    let err = run_study_incremental_checkpointed(w, &engine, &cfg, s)
+        .expect_err("incremental driver adopted sequential artifacts");
+    assert!(
+        matches!(err, CheckpointError::ConfigMismatch { .. }),
+        "wrong error: {err}"
+    );
+    assert!(
+        err.to_string().contains("--no-resume"),
+        "error lacks remediation: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted artifact is a typed, recoverable error: the resumed run
+/// refuses with `Corrupt` (never a panic, never a silent wrong answer),
+/// and after `wipe()` — the `--no-resume` path — the rerun succeeds and
+/// still matches the uninterrupted output.
+#[test]
+fn corrupt_checkpoint_is_rejected_then_recoverable() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let cfg = config((27, 30));
+    let uninterrupted = run_study(w, &engine, &cfg);
+
+    let dir = temp_dir("corrupt");
+    let s = store(&dir, &engine, &cfg, CheckpointDriver::Sequential);
+    run_study_checkpointed(w, &engine, &cfg, &s).expect("seed the dir");
+
+    // Flip a byte in the middle of the first artifact's payload.
+    let victim = dir.join("snap_0027.ckpt");
+    let mut bytes = std::fs::read(&victim).expect("artifact exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let err =
+        run_study_checkpointed(w, &engine, &cfg, &s).expect_err("resumed over a corrupt artifact");
+    assert!(
+        matches!(err, CheckpointError::Corrupt { .. }),
+        "wrong error: {err}"
+    );
+    assert!(
+        err.to_string()
+            .ends_with("delete the checkpoint dir or pass --no-resume"),
+        "error lacks remediation: {err}"
+    );
+
+    s.wipe().expect("wipe");
+    let rerun = run_study_checkpointed(w, &engine, &cfg, &s).expect("rerun after wipe");
+    assert_eq!(render_study(&uninterrupted), render_study(&rerun));
+    let _ = std::fs::remove_dir_all(&dir);
+}

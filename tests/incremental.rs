@@ -8,80 +8,17 @@
 //! the injected corruption rate for the faulted comparison (default 0.1).
 
 use hgsim::{HgWorld, ScenarioConfig, ALL_HGS};
+use offnet_bench::render_study;
 use offnet_core::{
     run_study, run_study_incremental, standard_validate_options, CorpusDelta, DeltaStudyEngine,
-    SnapshotCorpus, SnapshotEvidence, StudyConfig, StudySeries,
+    SnapshotCorpus, SnapshotEvidence, StudyConfig,
 };
 use scanner::{observe_snapshot, FaultPlan, ScanEngine};
-use std::fmt::Write as _;
 use std::sync::{Arc, OnceLock};
 
 fn world() -> &'static HgWorld {
     static W: OnceLock<HgWorld> = OnceLock::new();
     W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
-}
-
-/// Render everything a study produces into one deterministic string:
-/// per-snapshot scalars, sorted validation stats, every per-HG result in
-/// `ALL_HGS` order, the Netflix restoration series, the learned header
-/// fingerprints, and the study-wide quality table. Any divergence between
-/// the full and incremental drivers must surface here.
-fn render_study(series: &StudySeries) -> String {
-    let mut out = String::new();
-    writeln!(out, "engine: {:?}", series.engine).unwrap();
-    for snap in &series.snapshots {
-        writeln!(
-            out,
-            "== t={} ips={} ases={} http_only={:?}",
-            snap.snapshot_idx,
-            snap.total_ips_with_certs,
-            snap.n_ases_with_certs,
-            snap.http_only_ips
-        )
-        .unwrap();
-        // ValidationStats.invalid is a HashMap; sort for determinism.
-        let mut invalid: Vec<String> = snap
-            .validation
-            .invalid
-            .iter()
-            .map(|(r, n)| format!("{r:?}={n}"))
-            .collect();
-        invalid.sort();
-        writeln!(
-            out,
-            "validation: total={} valid={} invalid=[{}]",
-            snap.validation.total_records,
-            snap.validation.valid,
-            invalid.join(" ")
-        )
-        .unwrap();
-        writeln!(out, "quality: {:?}", snap.quality).unwrap();
-        for hg in ALL_HGS {
-            writeln!(out, "{hg}: {:?}", snap.per_hg[&hg]).unwrap();
-        }
-    }
-    writeln!(out, "netflix.initial: {:?}", series.netflix.initial).unwrap();
-    writeln!(
-        out,
-        "netflix.with_expired: {:?}",
-        series.netflix.with_expired
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "netflix.with_non_tls: {:?}",
-        series.netflix.with_non_tls
-    )
-    .unwrap();
-    // HeaderFingerprints iterates a HashMap; sort by keyword so the
-    // rendering is a function of content, not of hash-seed luck.
-    let mut fps: Vec<_> = series.header_fps.iter().collect();
-    fps.sort_by(|a, b| a.keyword.cmp(&b.keyword));
-    for fp in fps {
-        writeln!(out, "header_fp: {fp:?}").unwrap();
-    }
-    out.push_str(&analysis::render::quality_table(series));
-    out
 }
 
 fn fault_rate() -> f64 {

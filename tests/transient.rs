@@ -1,0 +1,207 @@
+//! Transient-failure scan layer: the deterministic retry/backoff policy
+//! and per-AS circuit breakers must be invisible at rate 0 (byte-identical
+//! rendered studies), exactly accounted at every rate, and deterministic
+//! for a fixed seed.
+//!
+//! `OFFNET_TRANSIENT_RATE` (used by the CI transient-chaos job) sets the
+//! injected failure rate for the lossy comparisons (default 0.2).
+
+use hgsim::{HgWorld, ScenarioConfig};
+use offnet_bench::render_study;
+use offnet_core::{run_study, StudyConfig};
+use proptest::prelude::*;
+use scanner::{observe_snapshot, RetryConfig, ScanEngine, TransientPolicy};
+use std::sync::{Arc, OnceLock};
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+fn transient_rate() -> f64 {
+    std::env::var("OFFNET_TRANSIENT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
+}
+
+/// The tentpole's zero-cost claim: attaching the retry layer at rate 0
+/// changes nothing — the rendered study (results, quality reports, scan
+/// health) is byte-identical to an engine without the policy.
+#[test]
+fn zero_rate_policy_is_byte_identical() {
+    let w = world();
+    let config = StudyConfig {
+        snapshots: (24, 30),
+        ..Default::default()
+    };
+    let clean = run_study(w, &ScanEngine::rapid7(), &config);
+    let wrapped = run_study(
+        w,
+        &ScanEngine::rapid7().with_transients(Arc::new(TransientPolicy::new(5, 0.0))),
+        &config,
+    );
+    assert_eq!(
+        render_study(&clean),
+        render_study(&wrapped),
+        "a rate-0 transient policy changed the rendered study"
+    );
+}
+
+/// Satellite: even with the retry layer disabled, the engine's intrinsic
+/// transient losses are counted — and the counts reconcile exactly against
+/// the engine's own coin flips.
+#[test]
+fn base_losses_are_counted_exactly_without_retry_layer() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let t = 30;
+    let n = w.n_snapshots();
+    let obs = observe_snapshot(w, &engine, t).expect("corpus covers t");
+    let expected: usize = w
+        .endpoints(t)
+        .endpoints()
+        .iter()
+        .filter(|ep| engine.reaches_stable(ep.ip, t, n))
+        .filter(|ep| engine.base_transient_lost(ep.ip, t).is_some())
+        .count();
+    assert!(
+        expected > 0,
+        "engine injected no base losses; test is vacuous"
+    );
+    let health = &obs.cert.health;
+    assert_eq!(
+        health.base_lost_total(),
+        expected,
+        "base-loss ledger drifted"
+    );
+    // With no retry policy attached there are no retries, recoveries,
+    // give-ups, or breaker events — only the intrinsic losses.
+    assert_eq!(health.attempts, health.targets);
+    assert_eq!(health.retries, 0);
+    assert_eq!(health.recovered, 0);
+    assert_eq!(health.gave_up_total(), 0);
+    assert_eq!(health.breaker_opens, 0);
+    assert_eq!(health.unreachable, 0);
+    assert_eq!(health.connected(), health.targets - expected);
+}
+
+/// The retry layer at the CI-gated rate: the attempt ledger must balance
+/// (`attempts == targets + retries`), retries must actually recover
+/// targets, and every counter must flow into the study's aggregate
+/// quality report.
+#[test]
+fn retry_layer_recovers_and_accounts() {
+    let w = world();
+    let rate = transient_rate();
+    let policy = Arc::new(TransientPolicy::new(7, rate));
+    let engine = ScanEngine::rapid7().with_transients(policy);
+    let config = StudyConfig {
+        snapshots: (27, 30),
+        ..Default::default()
+    };
+    let series = run_study(w, &engine, &config);
+    let scan = series.aggregate_quality().scan;
+    assert_eq!(
+        scan.attempts,
+        scan.targets + scan.retries,
+        "attempt ledger out of balance"
+    );
+    assert!(scan.retries > 0, "rate {rate} produced no retries");
+    assert!(scan.recovered > 0, "retries never recovered a target");
+    assert!(
+        scan.backoff_wait_s > 0,
+        "retries spent no virtual time in backoff"
+    );
+    assert!(
+        scan.recovered <= scan.retries,
+        "more recoveries than retries"
+    );
+    // Per-snapshot reports carry the same ledger, not just the aggregate.
+    for snap in &series.snapshots {
+        let h = &snap.quality.scan;
+        assert_eq!(h.attempts, h.targets + h.retries, "t={}", snap.snapshot_idx);
+    }
+}
+
+/// Per-AS circuit breakers: at a crushing failure rate with a low
+/// threshold, breakers must open and mark the remaining targets of their
+/// AS unreachable instead of burning the full retry budget on each.
+#[test]
+fn breakers_open_under_sustained_failure() {
+    let w = world();
+    let policy = Arc::new(
+        TransientPolicy::new(11, 0.97)
+            .with_retry(RetryConfig {
+                max_attempts: 2,
+                ..Default::default()
+            })
+            .with_breaker_threshold(3),
+    );
+    let engine = ScanEngine::rapid7().with_transients(policy);
+    let t = 30;
+    let obs = observe_snapshot(w, &engine, t).expect("corpus covers t");
+    let health = obs.scan_health();
+    assert!(health.breaker_opens > 0, "no breaker opened at rate 0.97");
+    assert!(
+        health.unreachable > 0,
+        "open breakers marked nothing unreachable"
+    );
+    assert!(health.gave_up_total() > 0, "nothing gave up at rate 0.97");
+    // Breaker-skipped targets are never admitted, so the attempt ledger
+    // still balances over the targets that were.
+    assert_eq!(health.attempts, health.targets + health.retries);
+}
+
+proptest! {
+    /// Backoff schedules are a pure function of (seed, stream, t, ip):
+    /// recomputing one yields identical sleeps, every sleep respects the
+    /// configured base/cap, and the schedule length is the retry budget.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded(seed in any::<u64>()) {
+        let policy = TransientPolicy::new(seed, 0.5);
+        let retry = RetryConfig::default();
+        for (stream, t, ip) in [
+            (scanner::STREAM_CERT, 3usize, 0x0a00_0001u32),
+            (scanner::STREAM_HTTP80, 17, 0xc0a8_0101),
+            (scanner::STREAM_HTTPS443, 30, (seed as u32) | 1),
+        ] {
+            let a = policy.backoff_schedule(stream, t, ip);
+            let b = policy.backoff_schedule(stream, t, ip);
+            prop_assert_eq!(&a, &b, "schedule not deterministic");
+            prop_assert_eq!(a.len() as u32, retry.max_attempts - 1);
+            for &sleep in &a {
+                prop_assert!(sleep >= retry.base_backoff_s);
+                prop_assert!(sleep <= retry.max_backoff_s);
+            }
+        }
+    }
+
+    /// The virtual wait actually spent never exceeds the per-target
+    /// budget, whatever the seed draws.
+    #[test]
+    fn backoff_wait_respects_budget(seed in any::<u64>()) {
+        let policy = TransientPolicy::new(seed, 0.5);
+        let budget = RetryConfig::default().budget_s;
+        let waited = policy.max_budgeted_wait(scanner::STREAM_CERT, 9, seed as u32);
+        prop_assert!(
+            waited <= budget,
+            "waited {waited}s against a {budget}s budget"
+        );
+    }
+
+    /// Failure classification is deterministic and the injected classes
+    /// cover the whole taxonomy at rate 1.
+    #[test]
+    fn failure_draws_are_deterministic(seed in any::<u64>()) {
+        let policy = TransientPolicy::new(seed, 1.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for attempt in 0..64u32 {
+            let a = policy.fails(scanner::STREAM_CERT, 5, 0x0a00_0002, attempt);
+            let b = policy.fails(scanner::STREAM_CERT, 5, 0x0a00_0002, attempt);
+            prop_assert_eq!(a, b);
+            seen.insert(a.expect("rate 1.0 always fails"));
+        }
+        prop_assert_eq!(seen.len(), scanner::TransientClass::ALL.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! Review probe: checkpoint dir written under start=20, resumed with start=25.
+
+use hgsim::{HgWorld, ScenarioConfig};
+use offnet_bench::render_study;
+use offnet_core::{
+    run_study, run_study_checkpointed, study_fingerprint, CheckpointDriver, CheckpointStore,
+    StudyConfig,
+};
+use scanner::ScanEngine;
+
+#[test]
+fn start_mismatch_adoption() {
+    let w = HgWorld::generate(ScenarioConfig::small());
+    let engine = ScanEngine::rapid7();
+    let dir = std::env::temp_dir().join(format!("offnet-review-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Run 1: full range (20,30) checkpointed.
+    let cfg_a = StudyConfig {
+        snapshots: (20, 30),
+        ..Default::default()
+    };
+    let fp_a = study_fingerprint(&w, &engine, &cfg_a, CheckpointDriver::Sequential);
+    let s = CheckpointStore::open(&dir, fp_a).unwrap();
+    run_study_checkpointed(&w, &engine, &cfg_a, &s).unwrap();
+
+    // Run 2: same dir, start moved to 25.
+    let cfg_b = StudyConfig {
+        snapshots: (25, 30),
+        ..Default::default()
+    };
+    let fp_b = study_fingerprint(&w, &engine, &cfg_b, CheckpointDriver::Sequential);
+    assert_eq!(fp_a, fp_b, "fingerprint excludes the range, as documented");
+    let s = CheckpointStore::open(&dir, fp_b).unwrap();
+    let resumed = run_study_checkpointed(&w, &engine, &cfg_b, &s).unwrap();
+    let fresh = run_study(&w, &engine, &cfg_b);
+    let same = render_study(&fresh) == render_study(&resumed);
+    eprintln!("PROBE netflix fresh:   {:?}", fresh.netflix.with_non_tls);
+    eprintln!("PROBE netflix resumed: {:?}", resumed.netflix.with_non_tls);
+    eprintln!("PROBE byte-identical: {same}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -147,6 +147,68 @@ pub fn memory_table(rows: &[MemoryRow]) -> String {
     )
 }
 
+/// Render the sharded pipeline's spill ledger (the `shard-stats`
+/// experiment): one row per segment with endpoint count, on-disk payload
+/// size, resident interned footprint, the string-model figure the shard
+/// replaces, and build/reuse provenance; a total row sums the study and a
+/// peak row states the bounded-memory high-water mark.
+pub fn shard_stats_table(rows: &[offnet_core::ShardStat]) -> String {
+    let mut body = Vec::with_capacity(rows.len() + 2);
+    let mut total_endpoints = 0usize;
+    let mut total_segment = 0usize;
+    let mut total_interned = 0usize;
+    let mut total_string = 0usize;
+    let mut reused = 0usize;
+    let mut peak = 0usize;
+    for r in rows {
+        total_endpoints += r.endpoints;
+        total_segment += r.segment_bytes;
+        total_interned += r.interned_bytes;
+        total_string += r.string_model_bytes;
+        reused += usize::from(r.reused);
+        peak = peak.max(r.interned_bytes);
+        body.push(vec![
+            crate::render::snapshot_label(r.snapshot_idx),
+            r.shard_idx.to_string(),
+            r.endpoints.to_string(),
+            humanize_bytes(r.segment_bytes),
+            humanize_bytes(r.interned_bytes),
+            humanize_bytes(r.string_model_bytes),
+            if r.reused { "reused" } else { "built" }.to_owned(),
+        ]);
+    }
+    body.push(vec![
+        "total".to_owned(),
+        rows.len().to_string(),
+        total_endpoints.to_string(),
+        humanize_bytes(total_segment),
+        humanize_bytes(total_interned),
+        humanize_bytes(total_string),
+        format!("{reused} reused"),
+    ]);
+    body.push(vec![
+        "peak resident".to_owned(),
+        String::new(),
+        String::new(),
+        String::new(),
+        humanize_bytes(peak),
+        String::new(),
+        String::new(),
+    ]);
+    crate::render::table(
+        &[
+            "snapshot",
+            "shard",
+            "endpoints",
+            "segment",
+            "interned",
+            "string-model",
+            "provenance",
+        ],
+        &body,
+    )
+}
+
 /// One point of Figure 2.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig2Point {
@@ -244,6 +306,7 @@ mod tests {
             hosts: 10,
             header_names: 4,
             header_values: 7,
+            ..Default::default()
         };
         let rows = vec![
             MemoryRow {

@@ -32,7 +32,9 @@ pub mod truth;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use corpus::{fig2, humanize_bytes, memory_table, table2, Fig2Point, MemoryRow, Table2Row};
+pub use corpus::{
+    fig2, humanize_bytes, memory_table, shard_stats_table, table2, Fig2Point, MemoryRow, Table2Row,
+};
 pub use coverage::{coverage_by_country, coverage_with_cone, worldwide_coverage, CountryCoverage};
 pub use overlap::{fig10a, fig10b, fig14, OverlapDistribution};
 pub use series::{fig3, fig4, table3, Fig4Series, Table3Row};

@@ -1,0 +1,90 @@
+//! Streaming sharded pipeline benchmarks: one snapshot processed through
+//! the in-memory path vs the bounded-memory spill path, cold (segments
+//! built and frozen to disk) and warm (segments admitted back from a
+//! previous run's spill directory).
+//!
+//! The sharded path trades wall time for a peak-memory bound of O(shard
+//! size): the cold delta over monolithic is the price of encoding,
+//! checksumming, and atomically persisting every segment; the warm run
+//! bounds the resume/reuse win. Large-scale wall/footprint figures (the
+//! `--scale large` world the spill path exists for) are recorded in
+//! `BENCH_stream.json` from the `reproduce --scale large shard-stats`
+//! smoke, not from criterion — a multi-minute iteration has no place in
+//! a sampled harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use offnet_bench::small_world;
+use offnet_core::{run_study, ShardingConfig, StudyConfig};
+use scanner::ScanEngine;
+use std::path::PathBuf;
+
+const SNAPSHOT: usize = 22;
+const SHARD_SIZE: usize = 400;
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("offnet-bench-stream-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let world = small_world();
+    let engine = ScanEngine::rapid7();
+    let base = StudyConfig {
+        snapshots: (SNAPSHOT, SNAPSHOT),
+        ..Default::default()
+    };
+    let endpoints = {
+        let mut n = 0u64;
+        world.for_each_endpoint(SNAPSHOT, |_| n += 1);
+        n
+    };
+
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(endpoints));
+
+    group.bench_function("monolithic_snapshot", |b| {
+        b.iter(|| std::hint::black_box(run_study(world, &engine, &base)))
+    });
+
+    // Cold: every iteration starts from an empty spill directory, so the
+    // measured cost includes building, checksumming, and persisting every
+    // segment (the wipe itself is one removedir of a handful of files).
+    let cold_dir = spill_dir("cold");
+    group.bench_function("sharded_snapshot_cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            let cfg = StudyConfig {
+                sharding: Some(ShardingConfig::new(SHARD_SIZE, cold_dir.clone())),
+                ..base.clone()
+            };
+            std::hint::black_box(run_study(world, &engine, &cfg))
+        })
+    });
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
+    // Warm: segments already on disk with matching fingerprints — every
+    // shard is admitted from its frozen segment instead of rebuilt.
+    let warm_dir = spill_dir("warm");
+    let warm_cfg = StudyConfig {
+        sharding: Some(ShardingConfig::new(SHARD_SIZE, warm_dir.clone())),
+        ..base.clone()
+    };
+    run_study(world, &engine, &warm_cfg);
+    group.bench_function("sharded_snapshot_warm", |b| {
+        b.iter(|| {
+            let cfg = StudyConfig {
+                sharding: Some(ShardingConfig::new(SHARD_SIZE, warm_dir.clone())),
+                ..base.clone()
+            };
+            std::hint::black_box(run_study(world, &engine, &cfg))
+        })
+    });
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

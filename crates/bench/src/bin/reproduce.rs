@@ -2,10 +2,11 @@
 //! Hypergiants' Off-Nets" (SIGCOMM 2021) against the simulated Internet.
 //!
 //! Usage:
-//!   reproduce [--scale small|paper] [--seed N] [--csv DIR] [--threads N]
-//!             [--sequential] [--incremental] [--fault-rate R]
-//!             [--fault-seed N] [--transient-rate R]
+//!   reproduce [--scale small|paper|large] [--seed N] [--csv DIR]
+//!             [--threads N] [--sequential] [--incremental]
+//!             [--fault-rate R] [--fault-seed N] [--transient-rate R]
 //!             [--checkpoint-dir DIR] [--resume | --no-resume]
+//!             [--shard-size N] [--spill-dir DIR]
 //!             <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
@@ -45,9 +46,21 @@
 //! baselines quality
 //! hideandseek
 //!
-//! `corpus-stats` prints the interned-corpus memory accounting, and
-//! `cache-stats` the validation-cache and delta-engine reuse counters;
-//! both are pipeline diagnostics, deliberately not included in `all`.
+//! `--shard-size N` routes every study through the streaming sharded
+//! pipeline: snapshots are scanned in N-endpoint chunks, each chunk's
+//! corpus is frozen into a checksummed segment under `--spill-dir`
+//! (default: a per-user temp directory) and dropped, so peak memory is
+//! bounded by the shard — the requirement for `--scale large`, whose
+//! snapshots do not fit in memory at once. Rendered output is
+//! byte-identical to the in-memory path (pinned by `tests/sharded.rs`),
+//! and a rerun over the same spill directory reuses valid segments
+//! instead of rescanning.
+//!
+//! `corpus-stats` prints the interned-corpus memory accounting,
+//! `cache-stats` the validation-cache and delta-engine reuse counters,
+//! and `shard-stats` the sharded pipeline's per-segment spill ledger;
+//! all three are pipeline diagnostics, deliberately not included in
+//! `all`.
 
 use analysis::render::{pct, snapshot_label, table};
 use analysis::{coverage, demographics, overlap, regions as regions_mod, series as series_mod};
@@ -75,7 +88,20 @@ struct Cli {
     transient_rate: f64,
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
+    shard_size: Option<usize>,
+    spill_dir: Option<std::path::PathBuf>,
     experiments: Vec<String>,
+}
+
+/// The single source of truth for `--scale`, used by every world
+/// construction site.
+fn parse_scale(scale: &str, seed: u64) -> ScenarioConfig {
+    match scale {
+        "small" => ScenarioConfig::small().with_seed(seed),
+        "paper" => ScenarioConfig::paper().with_seed(seed),
+        "large" => ScenarioConfig::large().with_seed(seed),
+        other => panic!("unknown scale {other:?} (use small|paper|large)"),
+    }
 }
 
 fn parse_args() -> Cli {
@@ -90,6 +116,8 @@ fn parse_args() -> Cli {
     let mut transient_rate = 0.0f64;
     let mut checkpoint_dir = None;
     let mut resume = true;
+    let mut shard_size = None;
+    let mut spill_dir = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -153,9 +181,23 @@ fn parse_args() -> Cli {
             }
             "--resume" => resume = true,
             "--no-resume" => resume = false,
+            "--shard-size" => {
+                let n: usize = args
+                    .next()
+                    .expect("--shard-size needs a value")
+                    .parse()
+                    .expect("shard size must be an integer");
+                assert!(n > 0, "shard size must be positive");
+                shard_size = Some(n);
+            }
+            "--spill-dir" => {
+                spill_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--spill-dir needs a directory"),
+                ))
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] [--transient-rate R] [--checkpoint-dir DIR] [--resume|--no-resume] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper|large] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] [--transient-rate R] [--checkpoint-dir DIR] [--resume|--no-resume] [--shard-size N] [--spill-dir DIR] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -180,6 +222,8 @@ fn parse_args() -> Cli {
         transient_rate,
         checkpoint_dir,
         resume,
+        shard_size,
+        spill_dir,
         experiments,
     }
 }
@@ -202,6 +246,9 @@ struct Fixtures {
     transients: Option<std::sync::Arc<scanner::TransientPolicy>>,
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
+    /// Streaming sharded processing for every study, when `--shard-size`
+    /// was given.
+    sharding: Option<offnet_core::ShardingConfig>,
     r7: OnceLock<StudySeries>,
     /// Delta-engine reuse accounting for the Rapid7 study; populated only
     /// under `--incremental` (kept beside the series so rendered study
@@ -213,15 +260,16 @@ struct Fixtures {
 
 impl Fixtures {
     fn new(cli: &Cli) -> Self {
-        let config = match cli.scale.as_str() {
-            "small" => ScenarioConfig::small().with_seed(cli.seed),
-            "paper" => ScenarioConfig::paper().with_seed(cli.seed),
-            other => panic!("unknown scale {other:?} (use small|paper)"),
-        };
+        let config = parse_scale(&cli.scale, cli.seed);
         eprintln!(
             "[reproduce] generating world (scale={}, seed={})...",
             cli.scale, cli.seed
         );
+        if cli.scale == "large" && cli.shard_size.is_none() {
+            eprintln!(
+                "[reproduce] note: --scale large without --shard-size holds whole snapshots in memory; consider --shard-size 100000"
+            );
+        }
         let faults = (cli.fault_rate > 0.0).then(|| {
             eprintln!(
                 "[reproduce] injecting record faults (rate={}, seed={})",
@@ -242,6 +290,17 @@ impl Fixtures {
                 cli.transient_rate,
             ))
         });
+        let sharding = cli.shard_size.map(|size| {
+            let dir = cli
+                .spill_dir
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join("offnet-segments"));
+            eprintln!(
+                "[reproduce] streaming sharded pipeline: {size} endpoints/shard, segments under {}",
+                dir.display()
+            );
+            offnet_core::ShardingConfig::new(size, dir)
+        });
         Fixtures {
             world: HgWorld::generate(config),
             threads: cli.threads,
@@ -251,6 +310,7 @@ impl Fixtures {
             transients,
             checkpoint_dir: cli.checkpoint_dir.clone(),
             resume: cli.resume,
+            sharding,
             r7: OnceLock::new(),
             r7_reports: OnceLock::new(),
             cs: OnceLock::new(),
@@ -297,6 +357,10 @@ impl Fixtures {
         config: &StudyConfig,
         label: &str,
     ) -> (StudySeries, Option<Vec<offnet_core::DeltaReport>>) {
+        let config = &StudyConfig {
+            sharding: self.sharding.clone(),
+            ..config.clone()
+        };
         let start = Instant::now();
         let checkpointed = self.checkpoint_dir.is_some();
         let (series, reports) = if let Some(dir) = &self.checkpoint_dir {
@@ -354,6 +418,9 @@ impl Fixtures {
         };
         if checkpointed {
             mode.push_str(", checkpointed");
+        }
+        if let Some(s) = &self.sharding {
+            mode.push_str(&format!(", sharded ({} endpoints/shard)", s.shard_size));
         }
         eprintln!(
             "[reproduce] {label} study: {:.2}s ({mode})",
@@ -503,6 +570,41 @@ fn main() {
     if cli.experiments.iter().any(|e| e == "cache-stats") {
         cache_stats(&fx);
     }
+    if cli.experiments.iter().any(|e| e == "shard-stats") {
+        shard_stats(&fx);
+    }
+}
+
+/// Spill accounting for the streaming sharded pipeline: runs a short
+/// Rapid7 study through bounded-memory segments regardless of
+/// `--shard-size` (which, when given, supplies the shard size and spill
+/// directory), then prints the per-segment ledger. Run explicitly with
+/// `reproduce shard-stats`.
+fn shard_stats(fx: &Fixtures) {
+    heading("Streaming sharded pipeline: segment spill accounting (Rapid7)");
+    let sharding = fx.sharding.clone().unwrap_or_else(|| {
+        offnet_core::ShardingConfig::new(50_000, std::env::temp_dir().join("offnet-segments"))
+    });
+    let config = StudyConfig {
+        snapshots: (24, 30),
+        sharding: Some(sharding.clone()),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let series = run_study(&fx.world, &fx.engine(ScanEngine::rapid7()), &config);
+    eprintln!(
+        "[reproduce] shard-stats study: {:.2}s ({} endpoints/shard)",
+        start.elapsed().as_secs_f64(),
+        sharding.shard_size
+    );
+    print!("{}", analysis::shard_stats_table(&sharding.ledger.rows()));
+    println!(
+        "segments: {} built, {} reused; peak resident shard {} (snapshots processed: {})",
+        sharding.ledger.segments_built(),
+        sharding.ledger.segments_reused(),
+        analysis::humanize_bytes(sharding.ledger.peak_shard_interned_bytes()),
+        series.snapshots.len(),
+    );
 }
 
 /// Validation-cache and delta-engine reuse accounting: runs the Rapid7
@@ -1085,10 +1187,7 @@ fn hide_and_seek(cli: &Cli) {
     ];
     let mut body = Vec::new();
     for (label, cm) in variants {
-        let mut config = match cli.scale.as_str() {
-            "small" => ScenarioConfig::small().with_seed(cli.seed),
-            _ => ScenarioConfig::paper().with_seed(cli.seed),
-        };
+        let mut config = parse_scale(&cli.scale, cli.seed);
         if let Some(cm) = cm {
             config = config.with_countermeasure(Hg::Google, cm);
         }

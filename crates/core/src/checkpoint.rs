@@ -99,14 +99,14 @@ pub enum CheckpointError {
 }
 
 impl CheckpointError {
-    fn io(path: &Path, err: std::io::Error) -> Self {
+    pub(crate) fn io(path: &Path, err: std::io::Error) -> Self {
         CheckpointError::Io {
             path: path.to_path_buf(),
             detail: err.to_string(),
         }
     }
 
-    fn corrupt(path: &Path, detail: impl Into<String>) -> Self {
+    pub(crate) fn corrupt(path: &Path, detail: impl Into<String>) -> Self {
         CheckpointError::Corrupt {
             path: path.to_path_buf(),
             detail: detail.into(),
@@ -357,7 +357,7 @@ pub fn study_fingerprint(
     h
 }
 
-fn engine_tag(engine: &ScanEngine) -> u64 {
+pub(crate) fn engine_tag(engine: &ScanEngine) -> u64 {
     match engine.id {
         scanner::EngineId::Rapid7 => 1,
         scanner::EngineId::Censys => 2,
@@ -378,7 +378,7 @@ fn candidate_bits(config: &StudyConfig) -> u64 {
 }
 
 /// splitmix64 — the repo-wide seeded-hash primitive.
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -465,47 +465,51 @@ fn hg_tag(hg: Hg) -> u8 {
 // ---------------------------------------------------------------------------
 
 #[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.buf.push(u8::from(v));
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
-    fn u32s(&mut self, vs: &[u32]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+    pub(crate) fn u32s(&mut self, vs: &[u32]) {
         self.usize(vs.len());
         for &v in vs {
             self.u32(v);
         }
     }
-    fn rows(&mut self, rows: &[(u32, u64)]) {
+    pub(crate) fn rows(&mut self, rows: &[(u32, u64)]) {
         self.usize(rows.len());
         for &(ip, dg) in rows {
             self.u32(ip);
             self.u64(dg);
         }
     }
-    fn as_set(&mut self, set: &BTreeSet<AsId>) {
+    pub(crate) fn as_set(&mut self, set: &BTreeSet<AsId>) {
         self.usize(set.len());
         for a in set {
             self.u32(a.0);
@@ -513,14 +517,14 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-    path: &'a Path,
+pub(crate) struct Dec<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) path: &'a Path,
 }
 
 impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         let end = self
             .pos
             .checked_add(n)
@@ -530,30 +534,30 @@ impl<'a> Dec<'a> {
         self.pos = end;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
-    fn bool(&mut self) -> Result<bool, CheckpointError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, CheckpointError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             v => Err(CheckpointError::corrupt(self.path, format!("bad bool {v}"))),
         }
     }
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
-    fn usize(&mut self) -> Result<usize, CheckpointError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, CheckpointError> {
         let v = self.u64()?;
         usize::try_from(v)
             .map_err(|_| CheckpointError::corrupt(self.path, format!("oversized count {v}")))
     }
     /// A count that will allocate: bound it by the bytes that could
     /// plausibly remain, so a corrupt length can't trigger a huge alloc.
-    fn count(&mut self, min_item_bytes: usize) -> Result<usize, CheckpointError> {
+    pub(crate) fn count(&mut self, min_item_bytes: usize) -> Result<usize, CheckpointError> {
         let n = self.usize()?;
         let remaining = self.buf.len() - self.pos;
         if n.saturating_mul(min_item_bytes.max(1)) > remaining {
@@ -564,28 +568,32 @@ impl<'a> Dec<'a> {
         }
         Ok(n)
     }
-    fn f64(&mut self) -> Result<f64, CheckpointError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn str(&mut self) -> Result<String, CheckpointError> {
+    pub(crate) fn str(&mut self) -> Result<String, CheckpointError> {
         let n = self.count(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| CheckpointError::corrupt(self.path, "non-UTF-8 string"))
     }
-    fn u32s(&mut self) -> Result<Vec<u32>, CheckpointError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+    pub(crate) fn u32s(&mut self) -> Result<Vec<u32>, CheckpointError> {
         let n = self.count(4)?;
         (0..n).map(|_| self.u32()).collect()
     }
-    fn rows(&mut self) -> Result<Vec<(u32, u64)>, CheckpointError> {
+    pub(crate) fn rows(&mut self) -> Result<Vec<(u32, u64)>, CheckpointError> {
         let n = self.count(12)?;
         (0..n).map(|_| Ok((self.u32()?, self.u64()?))).collect()
     }
-    fn as_set(&mut self) -> Result<BTreeSet<AsId>, CheckpointError> {
+    pub(crate) fn as_set(&mut self) -> Result<BTreeSet<AsId>, CheckpointError> {
         let n = self.count(4)?;
         (0..n).map(|_| Ok(AsId(self.u32()?))).collect()
     }
-    fn finish(self) -> Result<(), CheckpointError> {
+    pub(crate) fn finish(self) -> Result<(), CheckpointError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -704,7 +712,7 @@ fn decode_result(d: &mut Dec) -> Result<SnapshotResult, CheckpointError> {
     })
 }
 
-fn encode_validation(e: &mut Enc, v: &ValidationStats) {
+pub(crate) fn encode_validation(e: &mut Enc, v: &ValidationStats) {
     e.usize(v.total_records);
     e.usize(v.valid);
     // HashMap: canonicalize by stable tag.
@@ -721,7 +729,7 @@ fn encode_validation(e: &mut Enc, v: &ValidationStats) {
     }
 }
 
-fn decode_validation(d: &mut Dec) -> Result<ValidationStats, CheckpointError> {
+pub(crate) fn decode_validation(d: &mut Dec) -> Result<ValidationStats, CheckpointError> {
     let total_records = d.usize()?;
     let valid = d.usize()?;
     let n = d.count(9)?;
@@ -837,7 +845,7 @@ fn decode_quality(d: &mut Dec) -> Result<DataQualityReport, CheckpointError> {
     })
 }
 
-fn encode_health(e: &mut Enc, h: &ScanHealth) {
+pub(crate) fn encode_health(e: &mut Enc, h: &ScanHealth) {
     e.usize(h.targets);
     e.usize(h.attempts);
     e.usize(h.retries);
@@ -854,7 +862,7 @@ fn encode_health(e: &mut Enc, h: &ScanHealth) {
     e.u64(h.backoff_wait_s);
 }
 
-fn decode_health(d: &mut Dec) -> Result<ScanHealth, CheckpointError> {
+pub(crate) fn decode_health(d: &mut Dec) -> Result<ScanHealth, CheckpointError> {
     let mut h = ScanHealth {
         targets: d.usize()?,
         attempts: d.usize()?,

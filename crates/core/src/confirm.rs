@@ -58,6 +58,15 @@ impl BannerQuality {
     pub fn quarantined_total(&self) -> usize {
         self.oversized + self.mojibake + self.duplicate_ip
     }
+
+    /// Sum another quality block into this one (per-shard banner indexes
+    /// partition the record stream, so their counters add exactly).
+    pub fn merge(&mut self, other: &BannerQuality) {
+        self.records_seen += other.records_seen;
+        self.oversized += other.oversized;
+        self.mojibake += other.mojibake;
+        self.duplicate_ip += other.duplicate_ip;
+    }
 }
 
 /// A header value is corrupt when it carries a control byte (other than

@@ -49,6 +49,10 @@ pub struct CorpusMemoryStats {
     pub hosts: usize,
     pub header_names: usize,
     pub header_values: usize,
+    /// Bytes of the serialized segment this corpus was frozen into (zero
+    /// for the in-memory path — only the streaming sharded pipeline spills
+    /// corpus shards to disk).
+    pub segment_bytes: usize,
 }
 
 /// One snapshot's validated, interned, columnar corpus.
@@ -83,11 +87,11 @@ pub struct SnapshotCorpus {
     pub memory: CorpusMemoryStats,
     /// `san_syms[san_offsets[i]..san_offsets[i+1]]` is certificate `i`'s
     /// SAN set: sorted, deduplicated host symbols.
-    san_offsets: Vec<u32>,
-    san_syms: Vec<HostSym>,
+    pub(crate) san_offsets: Vec<u32>,
+    pub(crate) san_syms: Vec<HostSym>,
     /// Per-host-symbol flag: is this name a Cloudflare universal-SSL
     /// marker (§7)? Computed once over the pool, not per certificate.
-    cf_free_host: Vec<bool>,
+    pub(crate) cf_free_host: Vec<bool>,
 }
 
 impl SnapshotCorpus {
@@ -241,16 +245,39 @@ fn measure_memory(
     san_syms: &[HostSym],
     san_offsets: &[u32],
 ) -> CorpusMemoryStats {
+    let banner_records: Vec<&[scanner::HttpRecord]> = [obs.http80.as_ref(), obs.https443.as_ref()]
+        .into_iter()
+        .flatten()
+        .map(|s| s.records.as_slice())
+        .collect();
+    measure_memory_parts(
+        &banner_records,
+        valids,
+        interner,
+        banners,
+        san_syms,
+        san_offsets,
+    )
+}
+
+/// As [`measure_memory`], but over bare banner-record slices — the shard
+/// loader reconstructs records from a segment and has no
+/// `SnapshotObservations` to hand.
+pub(crate) fn measure_memory_parts(
+    banner_records: &[&[scanner::HttpRecord]],
+    valids: &[ValidatedCert],
+    interner: &intern::Interner,
+    banners: &BannerIndex,
+    san_syms: &[HostSym],
+    san_offsets: &[u32],
+) -> CorpusMemoryStats {
     const STRING_HEADER: usize = std::mem::size_of::<String>(); // 24
     const PAIR_SYMS: usize = 8; // (u32, u32)
 
     let mut string_model = 0usize;
     let mut interned_records = 0usize;
-    for snap in [obs.http80.as_ref(), obs.https443.as_ref()]
-        .into_iter()
-        .flatten()
-    {
-        for r in &snap.records {
+    for records in banner_records {
+        for r in *records {
             string_model += STRING_HEADER; // the Vec header
             interned_records += STRING_HEADER + r.headers.len() * PAIR_SYMS;
             for (n, v) in &r.headers {
@@ -279,6 +306,7 @@ fn measure_memory(
         hosts: interner.hosts.len(),
         header_names: interner.header_names.len(),
         header_values: interner.header_values.len(),
+        segment_bytes: 0,
     }
 }
 

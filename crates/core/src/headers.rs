@@ -142,20 +142,33 @@ pub struct GlobalHeaderStats {
 
 impl GlobalHeaderStats {
     pub fn build(records: &[HttpRecord]) -> Self {
-        let mut s = Self {
-            total_banners: records.len(),
-            ..Default::default()
-        };
+        let mut s = Self::default();
         for r in records {
-            let mut seen_names = HashSet::new();
-            for &(name, value) in &r.headers {
-                if seen_names.insert(name) {
-                    *s.name_counts.entry(name).or_insert(0) += 1;
-                }
-                *s.pair_counts.entry((name, value)).or_insert(0) += 1;
-            }
+            s.absorb(r);
         }
         s
+    }
+
+    /// Fold one banner into the tally — the streaming building block
+    /// behind [`Self::build`]. Counts *everything*, standard headers
+    /// included; the standard filter happens at selection time
+    /// ([`learn_header_fingerprints_from_tallies`]), which is equivalent
+    /// because standard entries are excluded before the top-pairs cutoff
+    /// and can never be selected.
+    pub fn absorb(&mut self, r: &HttpRecord) {
+        self.total_banners += 1;
+        let mut seen_names = HashSet::new();
+        for &(name, value) in &r.headers {
+            if seen_names.insert(name) {
+                *self.name_counts.entry(name).or_insert(0) += 1;
+            }
+            *self.pair_counts.entry((name, value)).or_insert(0) += 1;
+        }
+    }
+
+    /// Banners folded in so far.
+    pub fn banners(&self) -> usize {
+        self.total_banners
     }
 
     fn name_freq(&self, name: HeaderNameSym) -> f64 {
@@ -192,48 +205,55 @@ pub fn learn_header_fingerprints(
     global: &GlobalHeaderStats,
     interner: &Interner,
 ) -> HeaderFingerprint {
+    let mut onnet = GlobalHeaderStats::default();
+    for r in onnet_banners {
+        onnet.absorb(r);
+    }
+    learn_header_fingerprints_from_tallies(keyword, &onnet, global, interner)
+}
+
+/// Tally-based form of [`learn_header_fingerprints`]: the on-net side
+/// arrives as a pre-accumulated [`GlobalHeaderStats`], so the sharded
+/// reference-learning pass can stream banners chunk by chunk and never
+/// hold them. Produces exactly the fingerprint the record-slice form
+/// would (the standard filter moves from count time to selection time;
+/// standard entries are discarded *before* the top-pairs cutoff, so
+/// selection sees the same ranked list either way).
+pub fn learn_header_fingerprints_from_tallies(
+    keyword: &str,
+    onnet: &GlobalHeaderStats,
+    global: &GlobalHeaderStats,
+    interner: &Interner,
+) -> HeaderFingerprint {
     let keyword = keyword.to_ascii_lowercase();
     let mut fp = HeaderFingerprint {
         keyword: keyword.clone(),
-        support: onnet_banners.len(),
+        support: onnet.total_banners,
         ..Default::default()
     };
-    if onnet_banners.is_empty() {
+    if onnet.total_banners == 0 {
         apply_manual_overrides(&mut fp);
         return fp;
     }
 
     // Standard headers as symbols: one pool probe per list entry instead
-    // of a string comparison per record header.
+    // of a string comparison per tally entry.
     let standard: HashSet<HeaderNameSym> = STANDARD_HEADERS
         .iter()
         .filter_map(|h| interner.header_names.get(h))
         .collect();
 
-    // Frequency analysis over on-net banners.
-    let mut pair_counts: HashMap<(HeaderNameSym, HeaderValueSym), usize> = HashMap::new();
-    let mut name_counts: HashMap<HeaderNameSym, usize> = HashMap::new();
-    for r in onnet_banners {
-        let mut seen_names = HashSet::new();
-        for &(name, value) in &r.headers {
-            if standard.contains(&name) {
-                continue;
-            }
-            if seen_names.insert(name) {
-                *name_counts.entry(name).or_insert(0) += 1;
-            }
-            *pair_counts.entry((name, value)).or_insert(0) += 1;
-        }
-    }
-    let min_support = ((onnet_banners.len() as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
+    let min_support = ((onnet.total_banners as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(2);
 
     // Top pairs by on-net frequency (the paper's "50 most frequent header
     // name-value pairs"). Ties break on the resolved strings so the
     // take(50) cutoff is independent of symbol-id assignment order.
     // (resolved strings, symbol pair, on-net count) per distinct pair.
     type RankedPair<'a> = ((&'a str, &'a str), (HeaderNameSym, HeaderValueSym), usize);
-    let mut top_pairs: Vec<RankedPair> = pair_counts
+    let mut top_pairs: Vec<RankedPair> = onnet
+        .pair_counts
         .iter()
+        .filter(|((n, _), _)| !standard.contains(n))
         .map(|(&(n, v), &c)| {
             (
                 (
@@ -246,7 +266,7 @@ pub fn learn_header_fingerprints(
         })
         .collect();
     top_pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
-    let n_onnet = onnet_banners.len() as f64;
+    let n_onnet = onnet.total_banners as f64;
     for ((name, value), pair, count) in top_pairs.into_iter().take(TOP_PAIRS) {
         if count < min_support {
             continue;
@@ -260,16 +280,16 @@ pub fn learn_header_fingerprints(
 
     // Names with dynamic values: frequent on-net, rare globally, and not
     // already captured via a stable pair.
-    for (&name, &count) in &name_counts {
-        if count < min_support {
+    for (&name, &count) in &onnet.name_counts {
+        if standard.contains(&name) || count < min_support {
             continue;
         }
         let name_str = interner.header_names.resolve(name);
         if fp.pairs.iter().any(|(n, _)| n == name_str) {
             // If the name also has many distinct values, keep it name-only
             // instead of enumerating per-request values.
-            let distinct_values = pair_counts.keys().filter(|(n, _)| *n == name).count();
-            if distinct_values > onnet_banners.len() / 2 && distinct_values > 4 {
+            let distinct_values = onnet.pair_counts.keys().filter(|(n, _)| *n == name).count();
+            if distinct_values > onnet.total_banners / 2 && distinct_values > 4 {
                 fp.pairs.retain(|(n, _)| n != name_str);
             } else {
                 continue;

@@ -45,6 +45,7 @@ pub mod errors;
 pub mod headers;
 pub mod parallel;
 pub mod pipeline;
+pub mod shard;
 pub mod study;
 pub mod tls_fingerprint;
 pub mod validate;
@@ -70,6 +71,9 @@ pub use parallel::{
 pub use pipeline::{
     process_corpus, process_snapshot, process_snapshots_parallel, standard_validate_options,
     HgSnapshotResult, PipelineContext, SnapshotResult,
+};
+pub use shard::{
+    segment_fingerprint, segment_path, ShardLedger, ShardStat, ShardingConfig, SEGMENT_VERSION,
 };
 pub use study::{
     run_study, run_study_checkpointed, run_study_incremental, run_study_incremental_checkpointed,

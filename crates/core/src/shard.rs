@@ -1,0 +1,1244 @@
+//! The streaming sharded corpus pipeline: bounded-peak-memory snapshot
+//! processing for worlds too large to materialize in one piece.
+//!
+//! The monolithic path ([`observe_snapshot`](scanner::observe_snapshot) →
+//! [`SnapshotCorpus::build`] → [`process_corpus`](crate::process_corpus))
+//! holds every endpoint, record and corpus table of a snapshot resident at
+//! once. This module splits corpus *construction* from corpus
+//! *consumption*: a producer walks the endpoint stream in contiguous
+//! chunks of `shard_size`, scans each chunk through the scanner's
+//! streaming sessions, freezes the chunk's interned columnar corpus into a
+//! compact on-disk **segment**, extracts the small cross-shard
+//! accumulators (§4.1 stats, on-net fingerprint names, AS unions, evidence
+//! digests), and drops the shard before the next one is generated. A
+//! consumer pass then maps segments back one at a time to run the per-HG
+//! §4.3–§4.5 stages, merging per-shard partial results.
+//!
+//! Peak memory is O(shard) + O(merged summaries), never O(snapshot) — and
+//! because shards are contiguous chunks of the *same* record stream the
+//! monolithic path scans (fault coins are pure per-record functions, IPs
+//! are unique per snapshot, and an endpoint's certificate and banner
+//! records always share a chunk), every per-record decision — validation
+//! dedup, banner quarantine, candidate filtering, confirmation — is local
+//! to a shard and concatenates in shard order to exactly the monolithic
+//! result. `render_study` output is byte-identical across the two paths;
+//! `tests/sharded.rs` pins this.
+//!
+//! Segments are checksummed, fingerprinted and written atomically (tmp +
+//! rename), mirroring [`CheckpointStore`](crate::CheckpointStore): a
+//! killed producer resumes by *reusing* every valid segment on disk —
+//! admitting (not rescanning) those chunks keeps the scan-health and
+//! fault ledgers exact — and rebuilding only what is missing or stale.
+//!
+//! Two deliberate behavioral notes, both invisible at equal inputs:
+//!
+//! - The sharded path has no per-HG panic isolation (the monolithic
+//!   fan-out degrades a panicking HG to an empty result). A sharded
+//!   study's `degraded_hgs` is always empty; the test-only
+//!   `hg_panic_hook` is ignored.
+//! - Per-shard corpora carry `Default` scan health; the true merged
+//!   health comes from the producer's streaming sessions and lands in
+//!   the snapshot-level quality report, exactly as the monolithic path's
+//!   merged observation health does.
+
+use crate::candidates::{find_candidates, is_cloudflare_free_san};
+use crate::checkpoint::{
+    decode_validation, encode_validation, engine_tag, mix, CheckpointError, Dec, Enc,
+};
+use crate::confirm::{
+    confirm_candidates, BannerIndex, BannerQuality, CompiledFingerprints, ConfirmMode, Port,
+};
+use crate::corpus::{measure_memory_parts, SnapshotCorpus};
+use crate::delta::{CorpusDelta, DeltaReport, DeltaState, HgEvidence, SnapshotEvidence};
+use crate::errors::{DataQualityReport, RecordError};
+use crate::pipeline::{
+    standard_validate_options, HgSnapshotResult, PipelineContext, SnapshotResult,
+};
+use crate::tls_fingerprint::{learn_tls_fingerprints, TlsFingerprint};
+use crate::validate::{ValidatedCert, ValidationStats};
+use hgsim::{Endpoint, Hg, HgWorld, ALL_HGS};
+use intern::{Digest64, HostSym, Interner, SymTable};
+use netsim::{AsId, IpToAsMap};
+use scanner::{
+    covers_snapshot, CertScanSnapshot, CertScanStream, HttpRecord, HttpScanSnapshot,
+    HttpScanStream, ScanEngine, ScanHealth,
+};
+use sha2sim::Sha256;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use x509::Certificate;
+
+/// Segment format version. Bumping it invalidates (and silently rebuilds)
+/// every on-disk segment.
+pub const SEGMENT_VERSION: u32 = 1;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"OFFNSSEG";
+
+/// How a study spills and re-reads corpus shards.
+#[derive(Debug, Clone)]
+pub struct ShardingConfig {
+    /// Maximum endpoints per shard (clamped to ≥ 1). Peak memory scales
+    /// with this, not with the snapshot.
+    pub shard_size: usize,
+    /// Segment directory; per-snapshot subdirectories (`t0007/`) are
+    /// created inside it, so parallel drivers never collide.
+    pub spill_dir: PathBuf,
+    /// Shared build/reuse accounting, readable after the run.
+    pub ledger: Arc<ShardLedger>,
+}
+
+impl ShardingConfig {
+    pub fn new(shard_size: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            shard_size,
+            spill_dir: spill_dir.into(),
+            ledger: Arc::new(ShardLedger::default()),
+        }
+    }
+}
+
+/// Per-shard statistics row recorded by the producer.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStat {
+    pub snapshot_idx: usize,
+    pub shard_idx: usize,
+    /// Endpoints in the chunk the shard covers.
+    pub endpoints: usize,
+    /// Serialized segment payload size on disk.
+    pub segment_bytes: usize,
+    /// In-memory interned corpus size of the shard while resident.
+    pub interned_bytes: usize,
+    /// What the shard's records would cost under the replaced per-record
+    /// string model. Purely per-record additive, so summing it across a
+    /// snapshot's shards reproduces the monolithic corpus figure exactly.
+    pub string_model_bytes: usize,
+    /// Whether the shard was loaded from a valid on-disk segment instead
+    /// of being rescanned and rebuilt.
+    pub reused: bool,
+}
+
+/// Cross-thread build/reuse ledger for a sharded study (the parallel
+/// driver's workers all record into the same instance).
+#[derive(Debug, Default)]
+pub struct ShardLedger {
+    built: AtomicUsize,
+    reused: AtomicUsize,
+    rows: Mutex<Vec<ShardStat>>,
+}
+
+impl ShardLedger {
+    pub fn segments_built(&self) -> usize {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    pub fn segments_reused(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Every recorded shard row, sorted by (snapshot, shard).
+    pub fn rows(&self) -> Vec<ShardStat> {
+        let mut rows = self.rows.lock().expect("shard ledger lock").clone();
+        rows.sort_by_key(|r| (r.snapshot_idx, r.shard_idx));
+        rows
+    }
+
+    /// Largest single-shard interned footprint seen so far — the resident
+    /// high-water mark the bounded-memory claim is about.
+    pub fn peak_shard_interned_bytes(&self) -> usize {
+        self.rows
+            .lock()
+            .expect("shard ledger lock")
+            .iter()
+            .map(|r| r.interned_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn record(&self, stat: ShardStat) {
+        if stat.reused {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.built.fetch_add(1, Ordering::Relaxed);
+        }
+        self.rows.lock().expect("shard ledger lock").push(stat);
+    }
+}
+
+/// On-disk path of one segment.
+pub fn segment_path(spill_dir: &Path, snapshot_idx: usize, shard_idx: usize) -> PathBuf {
+    spill_dir
+        .join(format!("t{snapshot_idx:04}"))
+        .join(format!("shard_{shard_idx:04}.seg"))
+}
+
+/// Fingerprint of everything that shapes one segment's contents: the
+/// world scenario, the engine (identity, coverage windows, fault and
+/// transient plans), and the shard's position `(t, shard_size,
+/// shard_idx)`. A segment whose stored fingerprint differs is stale and
+/// rebuilt. Validation options are fixed
+/// ([`standard_validate_options`]) and covered by [`SEGMENT_VERSION`].
+pub fn segment_fingerprint(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    snapshot_idx: usize,
+    shard_size: usize,
+    shard_idx: usize,
+) -> u64 {
+    let sc = world.config();
+    let mut h = mix(0x5e6_0ff5_e75e_6a11);
+    h = mix(h ^ u64::from(SEGMENT_VERSION));
+    h = mix(h ^ sc.seed);
+    h = mix(h ^ sc.footprint_scale.to_bits());
+    h = mix(h ^ sc.ip_scale.to_bits());
+    h = mix(h ^ sc.background_ips.0 ^ sc.background_ips.1.rotate_left(32));
+    h = mix(h ^ sc.countermeasures.len() as u64);
+    h = mix(h ^ world.n_snapshots() as u64);
+    h = mix(h ^ engine_tag(engine));
+    h = mix(h ^ engine.active_since as u64);
+    h = mix(h ^ engine.https_headers_since.map_or(u64::MAX, |s| s as u64));
+    h = mix(h ^ engine.faults.as_ref().map_or(0, |p| p.fingerprint()));
+    h = mix(h ^ engine.transients.as_ref().map_or(0, |p| p.fingerprint()));
+    h = mix(h ^ snapshot_idx as u64);
+    h = mix(h ^ shard_size as u64);
+    h = mix(h ^ shard_idx as u64);
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Segment envelope: magic · version · fingerprint · len · payload · sha256.
+// ---------------------------------------------------------------------------
+
+fn write_segment(path: &Path, fingerprint: u64, payload: &[u8]) -> Result<(), CheckpointError> {
+    let mut file = Vec::with_capacity(payload.len() + 60);
+    file.extend_from_slice(SEGMENT_MAGIC);
+    file.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    file.extend_from_slice(&fingerprint.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(payload);
+    file.extend_from_slice(&Sha256::digest(payload));
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &file).map_err(|e| CheckpointError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::io(path, e))
+}
+
+/// Read and fully validate one segment, returning its payload.
+fn read_segment(path: &Path, fingerprint: u64) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::io(path, e))?;
+    let header = SEGMENT_MAGIC.len() + 4 + 8 + 8;
+    if bytes.len() < header + 32 || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(CheckpointError::corrupt(path, "bad segment magic"));
+    }
+    let mut at = SEGMENT_MAGIC.len();
+    let version = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    at += 4;
+    if version != SEGMENT_VERSION {
+        return Err(CheckpointError::corrupt(
+            path,
+            format!("segment version {version} != {SEGMENT_VERSION}"),
+        ));
+    }
+    let found = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    at += 8;
+    if found != fingerprint {
+        return Err(CheckpointError::corrupt(
+            path,
+            "segment fingerprint mismatch (stale scenario/engine/shard config)",
+        ));
+    }
+    let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize;
+    at += 8;
+    let rest = &bytes[at..];
+    if rest.len() != len + 32 {
+        return Err(CheckpointError::corrupt(
+            path,
+            format!("payload length {} != declared {len} + 32", rest.len()),
+        ));
+    }
+    let (payload, checksum) = rest.split_at(len);
+    if Sha256::digest(payload) != checksum[..32] {
+        return Err(CheckpointError::corrupt(path, "segment checksum mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Segment payload codec.
+// ---------------------------------------------------------------------------
+
+/// One resident shard: its corpus plus the shard-scoped summaries the
+/// cross-shard merge consumes.
+struct Shard {
+    corpus: SnapshotCorpus,
+    /// ASes hosting a certificate-bearing IP inside this shard.
+    as_set: BTreeSet<AsId>,
+    /// Raw served-chain digest rows for this shard (sorted by IP).
+    chain_rows: Vec<(u32, u64)>,
+}
+
+fn enc_pool(e: &mut Enc, (buf, spans): (&str, &[(u32, u32)])) {
+    e.str(buf);
+    e.usize(spans.len());
+    for &(start, len) in spans {
+        e.u32(start);
+        e.u32(len);
+    }
+}
+
+fn dec_pool(d: &mut Dec) -> Result<(String, Vec<(u32, u32)>), CheckpointError> {
+    let buf = d.str()?;
+    let n = d.count(8)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push((d.u32()?, d.u32()?));
+    }
+    Ok((buf, spans))
+}
+
+fn enc_http(e: &mut Enc, snap: Option<&HttpScanSnapshot>) {
+    match snap {
+        None => e.u8(0),
+        Some(s) => {
+            e.u8(1);
+            e.usize(s.records.len());
+            for r in &s.records {
+                e.u32(r.ip);
+                e.usize(r.headers.len());
+                for (n, v) in &r.headers {
+                    e.u32(n.index());
+                    e.u32(v.index());
+                }
+            }
+        }
+    }
+}
+
+fn dec_http(
+    d: &mut Dec,
+    interner: &Interner,
+    engine: scanner::EngineId,
+    snapshot_idx: usize,
+    port: u16,
+    path: &Path,
+) -> Result<Option<HttpScanSnapshot>, CheckpointError> {
+    if d.u8()? == 0 {
+        return Ok(None);
+    }
+    let n = d.count(12)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ip = d.u32()?;
+        let n_headers = d.count(8)?;
+        let mut headers = Vec::with_capacity(n_headers);
+        for _ in 0..n_headers {
+            let name = interner
+                .header_names
+                .sym_for_index(d.u32()?)
+                .ok_or_else(|| CheckpointError::corrupt(path, "header name symbol out of range"))?;
+            let value = interner
+                .header_values
+                .sym_for_index(d.u32()?)
+                .ok_or_else(|| {
+                    CheckpointError::corrupt(path, "header value symbol out of range")
+                })?;
+            headers.push((name, value));
+        }
+        records.push(HttpRecord { ip, headers });
+    }
+    Ok(Some(HttpScanSnapshot {
+        engine,
+        snapshot_idx,
+        port,
+        records,
+        health: Default::default(),
+    }))
+}
+
+/// Serialize one built shard into a segment payload. The interner pools
+/// are the *corpus* pools (scanner pools plus SAN host interning), so the
+/// stored SAN/banner symbol indices resolve against them on load.
+fn encode_shard(
+    shard: &Shard,
+    endpoints: usize,
+    http80: Option<&HttpScanSnapshot>,
+    https443: Option<&HttpScanSnapshot>,
+) -> Vec<u8> {
+    let c = &shard.corpus;
+    let mut e = Enc::default();
+    e.usize(c.snapshot_idx);
+    e.usize(endpoints);
+    enc_pool(&mut e, c.interner.hosts().raw_parts());
+    enc_pool(&mut e, c.interner.header_names().raw_parts());
+    enc_pool(&mut e, c.interner.header_values().raw_parts());
+    e.usize(c.valids.len());
+    for vc in &c.valids {
+        e.u32(vc.ip);
+        e.bool(vc.expiry_exempted);
+        e.bytes(vc.leaf.der());
+    }
+    encode_validation(&mut e, &c.validation);
+    e.u32s(&c.san_offsets);
+    let san_indices: Vec<u32> = c.san_syms.iter().map(|s| s.index()).collect();
+    e.u32s(&san_indices);
+    enc_http(&mut e, http80);
+    enc_http(&mut e, https443);
+    e.usize(c.total_ips_with_certs);
+    e.as_set(&shard.as_set);
+    e.u32s(&c.http_only_ips);
+    e.rows(&shard.chain_rows);
+    e.buf
+}
+
+/// Rebuild a shard from a validated segment payload. Everything cheap to
+/// recompute (Cloudflare flags, per-HG org indices, the banner index and
+/// its quality counters, memory stats) is rederived from the decoded
+/// tables rather than stored; chain verification is *not* redone — the
+/// stored valids are the §4.1 survivors.
+fn decode_shard(
+    payload: &[u8],
+    expected_idx: usize,
+    engine: scanner::EngineId,
+    ip_to_as: Arc<IpToAsMap>,
+    path: &Path,
+) -> Result<Shard, CheckpointError> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+        path,
+    };
+    let snapshot_idx = d.usize()?;
+    if snapshot_idx != expected_idx {
+        return Err(CheckpointError::corrupt(path, "segment snapshot mismatch"));
+    }
+    let _endpoints = d.usize()?;
+    let (hosts_buf, hosts_spans) = dec_pool(&mut d)?;
+    let (names_buf, names_spans) = dec_pool(&mut d)?;
+    let (values_buf, values_spans) = dec_pool(&mut d)?;
+    let interner = Interner {
+        hosts: SymTable::from_parts(hosts_buf, hosts_spans),
+        header_names: SymTable::from_parts(names_buf, names_spans),
+        header_values: SymTable::from_parts(values_buf, values_spans),
+    };
+
+    let n_valids = d.count(13)?;
+    let mut valids = Vec::with_capacity(n_valids);
+    for _ in 0..n_valids {
+        let ip = d.u32()?;
+        let expiry_exempted = d.bool()?;
+        let der = d.bytes()?;
+        let leaf = Certificate::parse(&der)
+            .map_err(|_| CheckpointError::corrupt(path, "stored leaf DER does not parse"))?;
+        valids.push(ValidatedCert {
+            ip,
+            leaf: Arc::new(leaf),
+            expiry_exempted,
+        });
+    }
+    let validation = decode_validation(&mut d)?;
+    let san_offsets = d.u32s()?;
+    if san_offsets.len() != valids.len() + 1 {
+        return Err(CheckpointError::corrupt(path, "SAN offset table size"));
+    }
+    let san_syms: Vec<HostSym> = d
+        .u32s()?
+        .into_iter()
+        .map(|i| {
+            interner
+                .hosts
+                .sym_for_index(i)
+                .ok_or_else(|| CheckpointError::corrupt(path, "SAN symbol out of range"))
+        })
+        .collect::<Result<_, _>>()?;
+    let http80 = dec_http(&mut d, &interner, engine, snapshot_idx, 80, path)?;
+    let https443 = dec_http(&mut d, &interner, engine, snapshot_idx, 443, path)?;
+    let total_ips_with_certs = d.usize()?;
+    let as_set = d.as_set()?;
+    let http_only_ips = d.u32s()?;
+    let chain_rows = d.rows()?;
+    d.finish()?;
+
+    // Rederive the corpus-build byproducts exactly as
+    // `SnapshotCorpus::build` computes them.
+    let cf_free_host: Vec<bool> = interner
+        .hosts
+        .iter()
+        .map(|(_, name)| is_cloudflare_free_san(name))
+        .collect();
+    let mut by_hg_std: HashMap<Hg, Vec<u32>> = HashMap::new();
+    let mut by_hg_all: HashMap<Hg, Vec<u32>> = HashMap::new();
+    for (i, vc) in valids.iter().enumerate() {
+        let Some(org) = vc.leaf.subject().organization() else {
+            continue;
+        };
+        let org_lc = org.to_ascii_lowercase();
+        for hg in ALL_HGS {
+            if org_lc.contains(hg.spec().keyword) {
+                by_hg_all.entry(hg).or_default().push(i as u32);
+                if !vc.expiry_exempted {
+                    by_hg_std.entry(hg).or_default().push(i as u32);
+                }
+            }
+        }
+    }
+    let banners = BannerIndex::build(http80.as_ref(), https443.as_ref(), &interner);
+    let banner_records: Vec<&[HttpRecord]> = [http80.as_ref(), https443.as_ref()]
+        .into_iter()
+        .flatten()
+        .map(|s| s.records.as_slice())
+        .collect();
+    let mut memory = measure_memory_parts(
+        &banner_records,
+        &valids,
+        &interner,
+        &banners,
+        &san_syms,
+        &san_offsets,
+    );
+    memory.segment_bytes = payload.len();
+
+    let corpus = SnapshotCorpus {
+        snapshot_idx,
+        interner: interner.freeze(),
+        validation,
+        banners,
+        by_hg_std,
+        by_hg_all,
+        ip_to_as,
+        total_ips_with_certs,
+        n_ases_with_certs: as_set.len(),
+        http_only_ips,
+        empty_cert_snapshot: total_ips_with_certs == 0,
+        scan_health: Default::default(),
+        memory,
+        san_offsets,
+        san_syms,
+        cf_free_host,
+        valids,
+    };
+    Ok(Shard {
+        corpus,
+        as_set,
+        chain_rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Producer: chunk the endpoint stream, build or reuse segments, accumulate
+// the cross-shard summaries.
+// ---------------------------------------------------------------------------
+
+/// Per-HG evidence accumulator for the sharded delta path. The membership
+/// digest is length-prefixed, so member digests are buffered (8 bytes per
+/// member certificate — small); the banner digest streams.
+struct HgMemberAccum {
+    member_digests: Vec<u64>,
+    banners: Digest64,
+    cells: BTreeSet<AsId>,
+}
+
+impl Default for HgMemberAccum {
+    fn default() -> Self {
+        Self {
+            member_digests: Vec::new(),
+            banners: Digest64::new(),
+            cells: BTreeSet::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct EvidenceAccum {
+    cert_rows: Vec<(u32, u64)>,
+    banner_rows: Vec<(u32, u64)>,
+    per_hg: BTreeMap<Hg, HgMemberAccum>,
+}
+
+/// Everything the producer pass leaves behind: segment references for the
+/// consumer pass plus every merged snapshot-level summary.
+struct Produced {
+    segments: Vec<(PathBuf, u64)>,
+    health: ScanHealth,
+    validation: ValidationStats,
+    banner_quality: BannerQuality,
+    total_ips_with_certs: usize,
+    as_union: BTreeSet<AsId>,
+    http_only_ips: Vec<u32>,
+    /// Study-wide on-net dNSName sets, kept as strings so they bridge the
+    /// per-shard symbol spaces.
+    hg_names: HashMap<Hg, BTreeSet<String>>,
+    hg_onnet_certs: HashMap<Hg, usize>,
+    chain_rows: Vec<(u32, u64)>,
+    evidence: Option<EvidenceAccum>,
+}
+
+impl Produced {
+    fn new(want_evidence: bool) -> Self {
+        Self {
+            segments: Vec::new(),
+            health: ScanHealth::default(),
+            validation: ValidationStats::default(),
+            banner_quality: BannerQuality::default(),
+            total_ips_with_certs: 0,
+            as_union: BTreeSet::new(),
+            http_only_ips: Vec::new(),
+            hg_names: HashMap::new(),
+            hg_onnet_certs: HashMap::new(),
+            chain_rows: Vec::new(),
+            evidence: want_evidence.then(EvidenceAccum::default),
+        }
+    }
+
+    /// Fold one resident shard into the cross-shard summaries (then the
+    /// caller drops it).
+    fn absorb(&mut self, shard: &Shard, ctx: &PipelineContext) {
+        let c = &shard.corpus;
+        self.validation.merge(&c.validation);
+        self.banner_quality.merge(&c.banners.quality);
+        self.total_ips_with_certs += c.total_ips_with_certs;
+        self.as_union.extend(shard.as_set.iter().copied());
+        self.http_only_ips.extend_from_slice(&c.http_only_ips);
+        self.chain_rows.extend_from_slice(&shard.chain_rows);
+
+        // §4.2 contributions: the global on-net fingerprint is the union
+        // of per-shard on-net name sets (each contributing certificate
+        // lives in exactly one shard).
+        for hg in ALL_HGS {
+            let idx = c.hg_std_indices(hg);
+            if idx.is_empty() {
+                continue;
+            }
+            let fp = learn_tls_fingerprints(hg.spec().keyword, &ctx.hg_ases[&hg], c, idx);
+            if fp.onnet_certs == 0 {
+                continue;
+            }
+            self.hg_names
+                .entry(hg)
+                .or_default()
+                .extend(fp.resolved_names(&c.interner).map(str::to_owned));
+            *self.hg_onnet_certs.entry(hg).or_insert(0) += fp.onnet_certs;
+        }
+
+        if let Some(ev) = &mut self.evidence {
+            absorb_evidence(ev, c);
+        }
+    }
+}
+
+/// Per-shard slice of [`SnapshotEvidence::build`]: identical digest
+/// recipes, accumulated across shards in corpus order.
+fn absorb_evidence(ev: &mut EvidenceAccum, c: &SnapshotCorpus) {
+    let name_digests = c.interner.header_names().digests();
+    let value_digests = c.interner.header_values().digests();
+
+    let cert_digests: Vec<u64> = c
+        .valids
+        .iter()
+        .map(|vc| {
+            let mut d = Digest64::new();
+            d.write_u32(vc.ip);
+            d.write(&vc.leaf.fingerprint().0);
+            d.write_u8(u8::from(vc.expiry_exempted));
+            let ases = c.ip_to_as.lookup(vc.ip);
+            d.write_u64(ases.len() as u64);
+            for a in ases {
+                d.write_u32(a.0);
+            }
+            d.finish()
+        })
+        .collect();
+    ev.cert_rows.extend(
+        c.valids
+            .iter()
+            .zip(&cert_digests)
+            .map(|(vc, &dg)| (vc.ip, dg)),
+    );
+
+    let banner_ips: BTreeSet<u32> = Port::ALL
+        .iter()
+        .flat_map(|&p| c.banners.indexed_ips(p))
+        .collect();
+    let digest_banner_ip = |ip: u32| -> u64 {
+        let mut d = Digest64::new();
+        for &port in &Port::ALL {
+            match c.banners.get(port, ip) {
+                None => d.write_u8(0),
+                Some(row) => {
+                    d.write_u8(1);
+                    d.write_u64(row.len() as u64);
+                    for (n, v) in row {
+                        d.write_u64(name_digests[n.index() as usize]);
+                        d.write_u64(value_digests[v.index() as usize]);
+                    }
+                }
+            }
+        }
+        d.finish()
+    };
+    let banner_map: HashMap<u32, u64> = banner_ips
+        .iter()
+        .map(|&ip| (ip, digest_banner_ip(ip)))
+        .collect();
+    ev.banner_rows
+        .extend(banner_ips.iter().map(|&ip| (ip, banner_map[&ip])));
+
+    for hg in ALL_HGS {
+        let members = c.hg_all_indices(hg);
+        if members.is_empty() {
+            continue;
+        }
+        let acc = ev.per_hg.entry(hg).or_default();
+        for &i in members {
+            let ip = c.valids[i as usize].ip;
+            acc.member_digests.push(cert_digests[i as usize]);
+            match banner_map.get(&ip) {
+                None => acc.banners.write_u8(0),
+                Some(&dg) => {
+                    acc.banners.write_u8(1);
+                    acc.banners.write_u64(dg);
+                }
+            }
+            acc.cells.extend(c.ip_to_as.lookup(ip).iter().copied());
+        }
+    }
+}
+
+fn finish_evidence(
+    ev: EvidenceAccum,
+    snapshot_idx: usize,
+    chain_rows: Vec<(u32, u64)>,
+) -> SnapshotEvidence {
+    let mut cert_rows = ev.cert_rows;
+    cert_rows.sort_unstable_by_key(|&(ip, _)| ip);
+    let mut banner_rows = ev.banner_rows;
+    banner_rows.sort_unstable_by_key(|&(ip, _)| ip);
+    let per_hg = ev
+        .per_hg
+        .into_iter()
+        .map(|(hg, acc)| {
+            let mut membership = Digest64::new();
+            membership.write_u64(acc.member_digests.len() as u64);
+            for &dg in &acc.member_digests {
+                membership.write_u64(dg);
+            }
+            (
+                hg,
+                HgEvidence {
+                    membership_digest: membership.finish(),
+                    banner_digest: acc.banners.finish(),
+                    cells: acc.cells,
+                },
+            )
+        })
+        .collect();
+    SnapshotEvidence {
+        snapshot_idx,
+        cert_rows,
+        banner_rows,
+        chain_rows,
+        per_hg,
+    }
+}
+
+/// Producer pass: walk the endpoint stream in `shard_size` chunks; per
+/// chunk, either reuse a valid on-disk segment (admitting its endpoints
+/// into the streams for health parity) or scan, build, and spill it;
+/// either way absorb the shard's summaries and drop it.
+fn produce(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    t: usize,
+    ctx: &PipelineContext,
+    sharding: &ShardingConfig,
+    want_evidence: bool,
+) -> Result<Produced, CheckpointError> {
+    let n = world.n_snapshots();
+    let shard_size = sharding.shard_size.max(1);
+    let dir = sharding.spill_dir.join(format!("t{t:04}"));
+    std::fs::create_dir_all(&dir).map_err(|e| CheckpointError::io(&dir, e))?;
+
+    let mut cert_stream = CertScanStream::new(engine, t, n);
+    let mut http80 = HttpScanStream::new(engine, t, 80, n);
+    let mut https443 = HttpScanStream::new(engine, t, 443, n);
+
+    let mut acc = Produced::new(want_evidence);
+    let mut chunk: Vec<Endpoint> = Vec::with_capacity(shard_size);
+    let mut shard_idx = 0usize;
+    let mut first_err: Option<CheckpointError> = None;
+
+    {
+        let flush = |chunk: &mut Vec<Endpoint>,
+                     shard_idx: usize,
+                     acc: &mut Produced,
+                     cert_stream: &mut CertScanStream,
+                     http80: &mut Option<HttpScanStream>,
+                     https443: &mut Option<HttpScanStream>|
+         -> Result<(), CheckpointError> {
+            let path = dir.join(format!("shard_{shard_idx:04}.seg"));
+            let fingerprint = segment_fingerprint(world, engine, t, shard_size, shard_idx);
+
+            // Reuse path: any read/validation/decode failure simply falls
+            // through to a rebuild — segments are a cache, not a source of
+            // truth.
+            if let Ok(payload) = read_segment(&path, fingerprint) {
+                if let Ok(shard) = decode_shard(&payload, t, engine.id, world.ip_to_as(t), &path) {
+                    cert_stream.admit_chunk(chunk);
+                    if let Some(s) = http80.as_mut() {
+                        s.admit_chunk(chunk);
+                    }
+                    if let Some(s) = https443.as_mut() {
+                        s.admit_chunk(chunk);
+                    }
+                    sharding.ledger.record(ShardStat {
+                        snapshot_idx: t,
+                        shard_idx,
+                        endpoints: chunk.len(),
+                        segment_bytes: payload.len(),
+                        interned_bytes: shard.corpus.memory.interned_bytes,
+                        string_model_bytes: shard.corpus.memory.string_model_bytes,
+                        reused: true,
+                    });
+                    acc.absorb(&shard, ctx);
+                    acc.segments.push((path, fingerprint));
+                    chunk.clear();
+                    return Ok(());
+                }
+            }
+
+            // Build path: scan the chunk through the streaming sessions,
+            // assemble a shard-sized observation bundle, build its corpus,
+            // and spill it.
+            let records = cert_stream.scan_chunk(chunk);
+            let mut interner = Interner::default();
+            let http80_records = http80.as_mut().map(|s| s.scan_chunk(chunk, &mut interner));
+            let https443_records = https443
+                .as_mut()
+                .map(|s| s.scan_chunk(chunk, &mut interner));
+            let obs = scanner::SnapshotObservations {
+                cert: CertScanSnapshot {
+                    engine: engine.id,
+                    snapshot_idx: t,
+                    date: world.snapshot_date(t),
+                    records,
+                    health: Default::default(),
+                },
+                http80: http80_records.map(|records| HttpScanSnapshot {
+                    engine: engine.id,
+                    snapshot_idx: t,
+                    port: 80,
+                    records,
+                    health: Default::default(),
+                }),
+                https443: https443_records.map(|records| HttpScanSnapshot {
+                    engine: engine.id,
+                    snapshot_idx: t,
+                    port: 443,
+                    records,
+                    health: Default::default(),
+                }),
+                interner,
+                ip_to_as: world.ip_to_as(t),
+                snapshot_idx: t,
+            };
+            let chain_rows = obs.cert.chain_digests();
+            let as_set: BTreeSet<AsId> = obs
+                .cert
+                .records
+                .iter()
+                .flat_map(|r| obs.ip_to_as.lookup(r.ip).iter().copied())
+                .collect();
+            let corpus = SnapshotCorpus::build(
+                &obs,
+                &ctx.roots,
+                &standard_validate_options(),
+                ctx.validation_cache.as_deref(),
+            );
+            let shard = Shard {
+                corpus,
+                as_set,
+                chain_rows,
+            };
+            let payload = encode_shard(
+                &shard,
+                chunk.len(),
+                obs.http80.as_ref(),
+                obs.https443.as_ref(),
+            );
+            write_segment(&path, fingerprint, &payload)?;
+            sharding.ledger.record(ShardStat {
+                snapshot_idx: t,
+                shard_idx,
+                endpoints: chunk.len(),
+                segment_bytes: payload.len(),
+                interned_bytes: shard.corpus.memory.interned_bytes,
+                string_model_bytes: shard.corpus.memory.string_model_bytes,
+                reused: false,
+            });
+            acc.absorb(&shard, ctx);
+            acc.segments.push((path, fingerprint));
+            chunk.clear();
+            Ok(())
+        };
+
+        world.for_each_endpoint(t, |ep| {
+            if first_err.is_some() {
+                return;
+            }
+            chunk.push(ep);
+            if chunk.len() == shard_size {
+                if let Err(e) = flush(
+                    &mut chunk,
+                    shard_idx,
+                    &mut acc,
+                    &mut cert_stream,
+                    &mut http80,
+                    &mut https443,
+                ) {
+                    first_err = Some(e);
+                }
+                shard_idx += 1;
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if !chunk.is_empty() {
+            flush(
+                &mut chunk,
+                shard_idx,
+                &mut acc,
+                &mut cert_stream,
+                &mut http80,
+                &mut https443,
+            )?;
+        }
+    }
+
+    let mut health = cert_stream.finish();
+    if let Some(s) = http80 {
+        health.merge(&s.finish());
+    }
+    if let Some(s) = https443 {
+        health.merge(&s.finish());
+    }
+    acc.health = health;
+    acc.chain_rows.sort_unstable_by_key(|&(ip, _)| ip);
+    Ok(acc)
+}
+
+// ---------------------------------------------------------------------------
+// Consumer: map segments back one at a time, run §4.3–§4.5 per HG per
+// shard, merge the partials.
+// ---------------------------------------------------------------------------
+
+/// Cross-shard accumulator for one HG's snapshot result.
+#[derive(Default)]
+struct HgAccum {
+    candidate_ases: BTreeSet<AsId>,
+    confirmed_ases: BTreeSet<AsId>,
+    confirmed_and_ases: BTreeSet<AsId>,
+    candidate_ips: Vec<u32>,
+    confirmed_ips: Vec<u32>,
+    /// Per distinct certificate: (IP count, lifetime days) — groups and
+    /// the lifetime median share the covers-all filter and the
+    /// by-fingerprint dedup.
+    certs: HashMap<x509::Fingerprint, (u32, i64)>,
+    onnet_ip_count: usize,
+    with_expired_ases: BTreeSet<AsId>,
+    with_expired_ips: Vec<u32>,
+}
+
+impl HgAccum {
+    fn finish(self) -> HgSnapshotResult {
+        let mut groups: Vec<u32> = self.certs.values().map(|&(n, _)| n).collect();
+        groups.sort_unstable_by(|a, b| b.cmp(a));
+        let mut lifetimes: Vec<i64> = self.certs.values().map(|&(_, d)| d).collect();
+        lifetimes.sort_unstable();
+        let median_cert_lifetime_days = if lifetimes.is_empty() {
+            None
+        } else {
+            Some(lifetimes[lifetimes.len() / 2] as f64)
+        };
+        HgSnapshotResult {
+            candidate_ases: self.candidate_ases,
+            confirmed_ases: self.confirmed_ases,
+            confirmed_and_ases: self.confirmed_and_ases,
+            candidate_ips: self.candidate_ips,
+            confirmed_ips: self.confirmed_ips,
+            cert_ip_groups: groups,
+            onnet_ip_count: self.onnet_ip_count,
+            median_cert_lifetime_days,
+            with_expired_ases: self.with_expired_ases,
+            with_expired_ips: self.with_expired_ips,
+        }
+    }
+}
+
+/// Run one HG's §4.3–§4.5 stages over one shard, folding into its
+/// accumulator. Mirrors `process_one_hg` with the fingerprint re-based
+/// into the shard's symbol space: global on-net names absent from the
+/// shard's host pool cannot appear in any shard SAN span, so dropping
+/// them preserves every covers-all verdict.
+fn process_hg_shard(
+    hg: Hg,
+    shard: &SnapshotCorpus,
+    ctx: &PipelineContext,
+    compiled: &CompiledFingerprints,
+    names: Option<&BTreeSet<String>>,
+    onnet_certs: usize,
+    acc: &mut HgAccum,
+) {
+    let keyword = hg.spec().keyword;
+    let hg_ases = &ctx.hg_ases[&hg];
+    let mut syms: Vec<HostSym> = names
+        .map(|ns| {
+            ns.iter()
+                .filter_map(|n| shard.interner.hosts().get(n))
+                .collect()
+        })
+        .unwrap_or_default();
+    syms.sort_unstable();
+    let fp = TlsFingerprint::from_parts(keyword.to_ascii_lowercase(), syms, onnet_certs);
+
+    let idx_std = shard.hg_std_indices(hg);
+    let cands = find_candidates(&fp, hg_ases, shard, idx_std, &ctx.candidate_options);
+    let confirmed = confirm_candidates(
+        keyword,
+        &cands,
+        compiled,
+        &shard.banners,
+        &shard.ip_to_as,
+        ctx.confirm_mode,
+    );
+    let confirmed_and = confirm_candidates(
+        keyword,
+        &cands,
+        compiled,
+        &shard.banners,
+        &shard.ip_to_as,
+        ConfirmMode::HttpAndHttps,
+    );
+
+    acc.onnet_ip_count += idx_std
+        .iter()
+        .filter(|&&i| {
+            shard
+                .ip_to_as
+                .lookup(shard.valids[i as usize].ip)
+                .iter()
+                .any(|a| hg_ases.contains(a))
+        })
+        .count();
+
+    for &i in idx_std {
+        if fp.covers_all(shard.sans(i)) {
+            let vc = &shard.valids[i as usize];
+            let entry = acc.certs.entry(vc.leaf.fingerprint()).or_insert_with(|| {
+                let v = vc.leaf.validity();
+                (0, (v.not_after - v.not_before) / 86_400)
+            });
+            entry.0 += 1;
+        }
+    }
+
+    if hg == Hg::Netflix {
+        let idx_all = shard.hg_all_indices(hg);
+        let cands_all = find_candidates(&fp, hg_ases, shard, idx_all, &ctx.candidate_options);
+        let confirmed_all = confirm_candidates(
+            keyword,
+            &cands_all,
+            compiled,
+            &shard.banners,
+            &shard.ip_to_as,
+            ctx.confirm_mode,
+        );
+        acc.with_expired_ases.extend(confirmed_all.ases);
+        acc.with_expired_ips.extend(confirmed_all.ips);
+    }
+
+    acc.candidate_ases.extend(cands.ases.iter().copied());
+    acc.candidate_ips
+        .extend(cands.ips.iter().map(|(ip, _)| *ip));
+    acc.confirmed_ases.extend(confirmed.ases);
+    acc.confirmed_ips.extend(confirmed.ips);
+    acc.confirmed_and_ases.extend(confirmed_and.ases);
+}
+
+/// Consumer pass: load each segment once, run the requested HGs' stages
+/// against it, merge.
+fn consume(
+    produced: &Produced,
+    t: usize,
+    world: &HgWorld,
+    engine: &ScanEngine,
+    ctx: &PipelineContext,
+    hgs: &[Hg],
+) -> Result<HashMap<Hg, HgSnapshotResult>, CheckpointError> {
+    let mut accums: HashMap<Hg, HgAccum> = hgs.iter().map(|&hg| (hg, HgAccum::default())).collect();
+    for (path, fingerprint) in &produced.segments {
+        let payload = read_segment(path, *fingerprint)?;
+        let shard = decode_shard(&payload, t, engine.id, world.ip_to_as(t), path)?;
+        let compiled = CompiledFingerprints::compile(&ctx.header_fps, &shard.corpus.interner);
+        for &hg in hgs {
+            process_hg_shard(
+                hg,
+                &shard.corpus,
+                ctx,
+                &compiled,
+                produced.hg_names.get(&hg),
+                produced.hg_onnet_certs.get(&hg).copied().unwrap_or(0),
+                accums.get_mut(&hg).expect("accumulator for requested HG"),
+            );
+        }
+    }
+    Ok(accums
+        .into_iter()
+        .map(|(hg, acc)| (hg, acc.finish()))
+        .collect())
+}
+
+fn assemble_quality(p: &Produced) -> DataQualityReport {
+    let mut q = DataQualityReport {
+        cert_records_seen: p.validation.total_records,
+        banners_seen: p.banner_quality.records_seen,
+        empty_cert_snapshot: p.total_ips_with_certs == 0,
+        scan: p.health.clone(),
+        ..Default::default()
+    };
+    for (&reason, &n) in &p.validation.invalid {
+        q.add(reason.into(), n);
+    }
+    q.add(RecordError::HeaderOversized, p.banner_quality.oversized);
+    q.add(RecordError::HeaderMojibake, p.banner_quality.mojibake);
+    q.add(RecordError::DuplicateIp, p.banner_quality.duplicate_ip);
+    q
+}
+
+fn assemble_result(
+    t: usize,
+    p: &Produced,
+    per_hg: HashMap<Hg, HgSnapshotResult>,
+) -> SnapshotResult {
+    SnapshotResult {
+        snapshot_idx: t,
+        total_ips_with_certs: p.total_ips_with_certs,
+        n_ases_with_certs: p.as_union.len(),
+        validation: p.validation.clone(),
+        per_hg,
+        http_only_ips: p.http_only_ips.clone(),
+        quality: assemble_quality(p),
+    }
+}
+
+/// The sharded equivalent of observe + [`process_snapshot`]
+/// (crate::process_snapshot): returns `None` when the engine's corpus
+/// does not cover `t`, otherwise the snapshot result with peak memory
+/// bounded by the shard size.
+pub(crate) fn process_snapshot_sharded(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    t: usize,
+    ctx: &PipelineContext,
+    sharding: &ShardingConfig,
+) -> Result<Option<SnapshotResult>, CheckpointError> {
+    if !covers_snapshot(engine, t) {
+        return Ok(None);
+    }
+    let produced = produce(world, engine, t, ctx, sharding, false)?;
+    let per_hg = consume(&produced, t, world, engine, ctx, &ALL_HGS)?;
+    Ok(Some(assemble_result(t, &produced, per_hg)))
+}
+
+/// The sharded equivalent of [`process_corpus_delta`]: build evidence
+/// during the producer pass, diff against the previous snapshot's state,
+/// recompute only the dirty HGs in the consumer pass and replay the rest.
+///
+/// [`process_corpus_delta`]: crate::delta::process_corpus_delta
+pub(crate) fn process_snapshot_sharded_delta(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    t: usize,
+    ctx: &PipelineContext,
+    sharding: &ShardingConfig,
+    prev: Option<&DeltaState>,
+) -> Result<Option<(SnapshotResult, SnapshotEvidence, DeltaReport)>, CheckpointError> {
+    if !covers_snapshot(engine, t) {
+        return Ok(None);
+    }
+    let mut produced = produce(world, engine, t, ctx, sharding, true)?;
+    let evidence = finish_evidence(
+        produced.evidence.take().expect("evidence requested"),
+        t,
+        produced.chain_rows.clone(),
+    );
+
+    // A degraded predecessor has unusable per-HG results; treat it as
+    // no-previous-snapshot, exactly as `process_corpus_delta` does.
+    let prev = prev.filter(|p| p.result.quality.degraded_snapshot.is_none());
+    let delta = prev.map(|p| CorpusDelta::diff(&p.evidence, &evidence));
+
+    let mut report = DeltaReport {
+        snapshot_idx: t,
+        full_compute: delta.is_none(),
+        hgs_total: ALL_HGS.len(),
+        chains_total: evidence.chain_rows.len(),
+        ..Default::default()
+    };
+
+    let dirty: Vec<Hg> = match (&delta, prev) {
+        (Some(delta), Some(p)) => {
+            let dirty_set = delta.dirty_hgs();
+            report.chains_new = delta.chain.added.len();
+            report.chains_rotated = delta.chain.changed.len();
+            report.chains_vanished = delta.chain.removed.len();
+            report.cert_rows_changed = delta.cert.touched();
+            report.banner_rows_changed = delta.banner.touched();
+            ALL_HGS
+                .iter()
+                .copied()
+                .filter(|hg| {
+                    dirty_set.contains(hg)
+                        || p.result.quality.degraded_hgs.contains_key(&hg.to_string())
+                })
+                .collect()
+        }
+        _ => {
+            report.chains_new = evidence.chain_rows.len();
+            report.cert_rows_changed = evidence.cert_rows.len();
+            report.banner_rows_changed = evidence.banner_rows.len();
+            ALL_HGS.to_vec()
+        }
+    };
+    let dirty_set: std::collections::HashSet<Hg> = dirty.iter().copied().collect();
+
+    let empty_cells = BTreeSet::new();
+    for hg in ALL_HGS {
+        let now = evidence.per_hg.get(&hg).map_or(&empty_cells, |e| &e.cells);
+        if dirty_set.contains(&hg) {
+            let before = prev
+                .and_then(|p| p.evidence.per_hg.get(&hg))
+                .map_or(&empty_cells, |e| &e.cells);
+            report.cells_recomputed += now.union(before).count();
+        } else {
+            report.cells_replayed += now.len();
+        }
+    }
+
+    let mut per_hg: HashMap<Hg, HgSnapshotResult> = HashMap::with_capacity(ALL_HGS.len());
+    if let Some(p) = prev {
+        for hg in ALL_HGS {
+            if !dirty_set.contains(&hg) {
+                per_hg.insert(hg, p.result.per_hg[&hg].clone());
+            }
+        }
+    }
+    report.hgs_replayed = per_hg.len();
+    report.hgs_recomputed = dirty.len();
+
+    if !dirty.is_empty() {
+        per_hg.extend(consume(&produced, t, world, engine, ctx, &dirty)?);
+    }
+
+    let result = assemble_result(t, &produced, per_hg);
+    Ok(Some((result, evidence, report)))
+}

@@ -6,13 +6,18 @@ use crate::confirm::ConfirmMode;
 use crate::corpus::SnapshotCorpus;
 use crate::delta::{process_corpus_delta, DeltaReport, DeltaState};
 use crate::errors::DataQualityReport;
-use crate::headers::{learn_header_fingerprints, GlobalHeaderStats, HeaderFingerprints};
+use crate::headers::{
+    learn_header_fingerprints, learn_header_fingerprints_from_tallies, GlobalHeaderStats,
+    HeaderFingerprints,
+};
 use crate::parallel::parallel_map_isolated;
 use crate::pipeline::{process_corpus, standard_validate_options, PipelineContext, SnapshotResult};
+use crate::shard::{process_snapshot_sharded, process_snapshot_sharded_delta, ShardingConfig};
 use crate::validation_cache::ValidationCache;
-use hgsim::{Hg, HgWorld, ALL_HGS};
+use hgsim::{Endpoint, Hg, HgWorld, ALL_HGS};
+use intern::Interner;
 use netsim::AsId;
-use scanner::{observe_snapshot, ScanEngine};
+use scanner::{covers_snapshot, observe_snapshot, HttpScanStream, ScanEngine};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
@@ -26,6 +31,10 @@ pub struct StudyConfig {
     pub candidate_options: crate::candidates::CandidateOptions,
     /// Inclusive snapshot range to process.
     pub snapshots: (usize, usize),
+    /// When set, snapshots are processed through the streaming sharded
+    /// pipeline ([`crate::shard`]): bounded peak memory, spilled segments,
+    /// byte-identical rendered output.
+    pub sharding: Option<ShardingConfig>,
 }
 
 impl Default for StudyConfig {
@@ -35,6 +44,7 @@ impl Default for StudyConfig {
             confirm_mode: ConfirmMode::HttpOrHttps,
             candidate_options: Default::default(),
             snapshots: (0, 30),
+            sharding: None,
         }
     }
 }
@@ -224,9 +234,119 @@ pub fn learn_reference_fingerprints(
     fps
 }
 
+/// Streaming variant of [`learn_reference_fingerprints`]: the reference
+/// snapshot's banners are scanned in `shard_size` chunks and folded into
+/// per-HG and global tallies, never held as a record slice. Because the
+/// learned fingerprints are string-typed and selection is independent of
+/// interning order (pinned by the permutation property test), the result
+/// equals the monolithic learner's.
+pub fn learn_reference_fingerprints_sharded(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    reference_snapshot: usize,
+    shard_size: usize,
+) -> HeaderFingerprints {
+    let n = world.n_snapshots();
+    let t0 = reference_snapshot.min(n - 1);
+    // Same spiral as the monolithic learner: t0, t0-1, t0+1, t0-2, …
+    let mut candidates = vec![t0];
+    for d in 1..n {
+        if let Some(t) = t0.checked_sub(d) {
+            candidates.push(t);
+        }
+        if t0 + d < n {
+            candidates.push(t0 + d);
+        }
+    }
+    let Some(t) = candidates.into_iter().find(|&t| covers_snapshot(engine, t)) else {
+        return HeaderFingerprints::default();
+    };
+    let mut fps = HeaderFingerprints::default();
+    // Banner source matches the monolithic picker: HTTPS banners where
+    // available, HTTP otherwise; neither → empty fingerprints.
+    let Some(mut stream) =
+        HttpScanStream::new(engine, t, 443, n).or_else(|| HttpScanStream::new(engine, t, 80, n))
+    else {
+        return fps;
+    };
+
+    let ip_to_as = world.ip_to_as(t);
+    let hg_ases: Vec<(Hg, HashSet<AsId>)> = ALL_HGS
+        .iter()
+        .map(|&hg| {
+            (
+                hg,
+                world
+                    .org_db()
+                    .ases_matching(hg.spec().keyword)
+                    .into_iter()
+                    .collect(),
+            )
+        })
+        .collect();
+
+    // One persistent interner across chunks keeps symbols consistent for
+    // the cross-chunk tallies.
+    let mut interner = Interner::default();
+    let mut global = GlobalHeaderStats::default();
+    let mut onnet: Vec<GlobalHeaderStats> = vec![GlobalHeaderStats::default(); hg_ases.len()];
+    let shard_size = shard_size.max(1);
+    let mut chunk: Vec<Endpoint> = Vec::with_capacity(shard_size);
+    {
+        let mut absorb_chunk = |chunk: &mut Vec<Endpoint>, interner: &mut Interner| {
+            for r in stream.scan_chunk(chunk, interner) {
+                global.absorb(&r);
+                for ((_, ases), tally) in hg_ases.iter().zip(onnet.iter_mut()) {
+                    if ip_to_as.lookup(r.ip).iter().any(|a| ases.contains(a)) {
+                        tally.absorb(&r);
+                    }
+                }
+            }
+            chunk.clear();
+        };
+        world.for_each_endpoint(t, |ep| {
+            chunk.push(ep);
+            if chunk.len() == shard_size {
+                absorb_chunk(&mut chunk, &mut interner);
+            }
+        });
+        if !chunk.is_empty() {
+            absorb_chunk(&mut chunk, &mut interner);
+        }
+    }
+    stream.finish();
+
+    for ((hg, _), tally) in hg_ases.iter().zip(&onnet) {
+        fps.insert(learn_header_fingerprints_from_tallies(
+            hg.spec().keyword,
+            tally,
+            &global,
+            &interner,
+        ));
+    }
+    fps
+}
+
+/// Pick the reference-fingerprint learner the config asks for.
+fn reference_fingerprints(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+) -> HeaderFingerprints {
+    match &config.sharding {
+        Some(s) => learn_reference_fingerprints_sharded(
+            world,
+            engine,
+            config.header_reference_snapshot,
+            s.shard_size,
+        ),
+        None => learn_reference_fingerprints(world, engine, config.header_reference_snapshot),
+    }
+}
+
 /// Run the longitudinal study for `engine` over `world`.
 pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> StudySeries {
-    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let header_fps = reference_fingerprints(world, engine, config);
     let mut ctx = PipelineContext::new(
         world.pki().root_store().clone(),
         world.org_db(),
@@ -239,6 +359,17 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
     let mut fold = NetflixFold::default();
 
     for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
+        if let Some(sharding) = &config.sharding {
+            let outcome = process_snapshot_sharded(world, engine, t, &ctx, sharding)
+                .expect("sharded snapshot processing failed");
+            let Some(result) = outcome else {
+                continue;
+            };
+            let ip_to_as = world.ip_to_as(t);
+            fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
+            snapshots.push(result);
+            continue;
+        }
         let Some(obs) = observe_snapshot(world, engine, t) else {
             continue;
         };
@@ -270,7 +401,7 @@ pub fn run_study_checkpointed(
     config: &StudyConfig,
     store: &CheckpointStore,
 ) -> Result<StudySeries, CheckpointError> {
-    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let header_fps = reference_fingerprints(world, engine, config);
     let mut ctx = PipelineContext::new(
         world.pki().root_store().clone(),
         world.org_db(),
@@ -294,16 +425,29 @@ pub fn run_study_checkpointed(
     }
 
     for t in next..=end {
-        let Some(obs) = observe_snapshot(world, engine, t) else {
-            // Record skips too, so the completed prefix stays contiguous
-            // in snapshot indices and the resume point is unambiguous.
-            store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
-            continue;
+        let result = if let Some(sharding) = &config.sharding {
+            match process_snapshot_sharded(world, engine, t, &ctx, sharding)? {
+                Some(result) => result,
+                None => {
+                    // Record skips too, so the completed prefix stays
+                    // contiguous in snapshot indices and the resume point
+                    // is unambiguous.
+                    store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
+                    continue;
+                }
+            }
+        } else {
+            let Some(obs) = observe_snapshot(world, engine, t) else {
+                store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
+                continue;
+            };
+            let corpus =
+                SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
+            process_corpus(&corpus, &ctx)
         };
-        let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
-        let result = process_corpus(&corpus, &ctx);
+        let ip_to_as = world.ip_to_as(t);
         let (initial, with_expired, with_non_tls) =
-            fold.push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
+            fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
         store.save(&SnapshotCheckpoint {
             snapshot_idx: t,
             processed: true,
@@ -360,7 +504,7 @@ pub fn run_study_parallel(
     config: &StudyConfig,
     threads: usize,
 ) -> StudySeries {
-    let header_fps = learn_reference_fingerprints(world, engine, config.header_reference_snapshot);
+    let header_fps = reference_fingerprints(world, engine, config);
     let mut ctx = PipelineContext::new(
         world.pki().root_store().clone(),
         world.org_db(),
@@ -382,21 +526,30 @@ pub fn run_study_parallel(
     // degrades that snapshot to an empty placeholder (flagged in its
     // quality report) instead of aborting the study.
     let outputs: Vec<Option<SnapOut>> = parallel_map_isolated(&ts, ctx.threads, 1, |&t| {
-        let obs = observe_snapshot(world, engine, t)?;
-        // Build the corpus explicitly so validation shares the study-wide
-        // cache; its frozen interner is what makes the share-nothing
-        // worker safe to run without locks.
-        let corpus = SnapshotCorpus::build(
-            &obs,
-            &inner.roots,
-            &standard_validate_options(),
-            inner.validation_cache.as_deref(),
-        );
-        let result = process_corpus(&corpus, &inner);
+        let result = if let Some(sharding) = &config.sharding {
+            // Sharded workers write disjoint per-snapshot spill
+            // subdirectories, so they never contend on segments. An I/O
+            // failure panics here and degrades this snapshot only.
+            process_snapshot_sharded(world, engine, t, &inner, sharding)
+                .expect("sharded snapshot processing failed")?
+        } else {
+            let obs = observe_snapshot(world, engine, t)?;
+            // Build the corpus explicitly so validation shares the
+            // study-wide cache; its frozen interner is what makes the
+            // share-nothing worker safe to run without locks.
+            let corpus = SnapshotCorpus::build(
+                &obs,
+                &inner.roots,
+                &standard_validate_options(),
+                inner.validation_cache.as_deref(),
+            );
+            process_corpus(&corpus, &inner)
+        };
+        let ip_to_as = world.ip_to_as(t);
         let http_only_origins = result
             .http_only_ips
             .iter()
-            .map(|&ip| (ip, corpus.ip_to_as.lookup(ip).to_vec()))
+            .map(|&ip| (ip, ip_to_as.lookup(ip).to_vec()))
             .collect();
         Some((result, http_only_origins))
     })
@@ -473,12 +626,13 @@ pub struct DeltaStudyEngine<'w> {
     /// contiguous prefix starting exactly at `first_snapshot`.
     first_snapshot: usize,
     last_snapshot: usize,
+    /// Streaming sharded processing, when the config asks for it.
+    sharding: Option<ShardingConfig>,
 }
 
 impl<'w> DeltaStudyEngine<'w> {
     pub fn new(world: &'w HgWorld, engine: ScanEngine, config: &StudyConfig) -> Self {
-        let header_fps =
-            learn_reference_fingerprints(world, &engine, config.header_reference_snapshot);
+        let header_fps = reference_fingerprints(world, &engine, config);
         let cache = Arc::new(ValidationCache::new());
         let mut ctx = PipelineContext::new(
             world.pki().root_store().clone(),
@@ -503,6 +657,7 @@ impl<'w> DeltaStudyEngine<'w> {
             adopted: std::collections::BTreeMap::new(),
             first_snapshot: config.snapshots.0,
             last_snapshot: config.snapshots.1.min(world.n_snapshots() - 1),
+            sharding: config.sharding.clone(),
         }
     }
 
@@ -554,30 +709,47 @@ impl<'w> DeltaStudyEngine<'w> {
         if let Some(&processed) = self.adopted.get(&t) {
             return Ok(processed);
         }
-        let Some(obs) = observe_snapshot(self.world, &self.engine, t) else {
+        let outcome = if let Some(sharding) = &self.sharding {
+            process_snapshot_sharded_delta(
+                self.world,
+                &self.engine,
+                t,
+                &self.ctx,
+                sharding,
+                self.state.as_ref(),
+            )?
+        } else if let Some(obs) = observe_snapshot(self.world, &self.engine, t) {
+            let chain_rows = obs.cert.chain_digests();
+            let corpus = SnapshotCorpus::build(
+                &obs,
+                &self.ctx.roots,
+                &standard_validate_options(),
+                self.ctx.validation_cache.as_deref(),
+            );
+            Some(process_corpus_delta(
+                &corpus,
+                &self.ctx,
+                chain_rows,
+                self.state.as_ref(),
+            ))
+        } else {
+            None
+        };
+        let Some((result, evidence, mut report)) = outcome else {
             if let Some(store) = &self.store {
                 store.save(&SnapshotCheckpoint::skipped(t, self.fold.sorted_history()))?;
             }
             return Ok(false);
         };
-        let chain_rows = obs.cert.chain_digests();
-        let corpus = SnapshotCorpus::build(
-            &obs,
-            &self.ctx.roots,
-            &standard_validate_options(),
-            self.ctx.validation_cache.as_deref(),
-        );
-        let (result, evidence, mut report) =
-            process_corpus_delta(&corpus, &self.ctx, chain_rows, self.state.as_ref());
         let (hits, misses) = self.cache.hit_stats();
         report.chains_replayed = hits - self.cache_mark.0;
         report.chains_revalidated = misses - self.cache_mark.1;
         self.cache_mark = (hits, misses);
 
         // The §6.2 Netflix fold, identical to `run_study`'s.
-        let (initial, with_expired, with_non_tls) = self
-            .fold
-            .push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
+        let ip_to_as = self.world.ip_to_as(t);
+        let (initial, with_expired, with_non_tls) =
+            self.fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
 
         if let Some(store) = &self.store {
             store.save(&SnapshotCheckpoint {

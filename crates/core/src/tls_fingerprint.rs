@@ -30,6 +30,19 @@ pub struct TlsFingerprint {
 }
 
 impl TlsFingerprint {
+    /// Rebuild a fingerprint from raw parts. The sharded consumer maps a
+    /// study-wide on-net name set (kept as strings across shards) into one
+    /// shard's host pool; `dns_syms` must arrive sorted and deduplicated,
+    /// exactly as [`learn_tls_fingerprints`] would have produced it.
+    pub(crate) fn from_parts(keyword: String, dns_syms: Vec<HostSym>, onnet_certs: usize) -> Self {
+        debug_assert!(dns_syms.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            keyword,
+            dns_syms,
+            onnet_certs,
+        }
+    }
+
     /// Whether a certificate's Organization matches this HG (§4.2's
     /// case-insensitive substring search).
     pub fn org_matches(&self, org: Option<&str>) -> bool {

@@ -55,6 +55,17 @@ impl ValidationStats {
         }
         self.invalid_total() as f64 / self.total_records as f64
     }
+
+    /// Fold another stats block into this one. Validation is a per-record
+    /// decision, so stats over disjoint record partitions (the streaming
+    /// corpus shards) sum exactly to the stats of the whole stream.
+    pub fn merge(&mut self, other: &ValidationStats) {
+        self.total_records += other.total_records;
+        self.valid += other.valid;
+        for (&reason, &n) in &other.invalid {
+            *self.invalid.entry(reason).or_insert(0) += n;
+        }
+    }
 }
 
 /// Options for validation. `ignore_expiry_for_org` supports the §6.2

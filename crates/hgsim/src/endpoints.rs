@@ -6,7 +6,7 @@
 use crate::scenario::{Countermeasure, HgWorld};
 use crate::spec::{interpolate_anchors, interpolate_pair, Hg, ALL_HGS};
 use netsim::AsId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use timebase::Timestamp;
 use tlssim::{ServerConfig, ServerMode};
@@ -90,14 +90,34 @@ impl EndpointSet {
 
     /// Generate the snapshot's endpoints. Deterministic per world + index.
     pub fn generate(world: &HgWorld, t: usize) -> Self {
-        let mut gen = Generator::new(world, t);
-        gen.hypergiant_endpoints();
-        gen.cert_only_endpoints();
-        gen.cloudflare_customers();
-        gen.oddballs();
-        gen.background();
-        gen.finish()
+        let mut endpoints = Vec::new();
+        for_each_endpoint(world, t, |ep| endpoints.push(ep));
+        let mut by_ip = HashMap::with_capacity(endpoints.len());
+        for (i, ep) in endpoints.iter().enumerate() {
+            // IPs are already deduplicated by the generator, so every
+            // insert is fresh and indices stay first-writer ordered.
+            by_ip.insert(ep.ip, i as u32);
+        }
+        EndpointSet {
+            snapshot_idx: t,
+            endpoints,
+            by_ip,
+        }
     }
+}
+
+/// Stream the snapshot's endpoints through `emit` in generation order —
+/// the same order (and the same first-writer-wins IP dedup) as
+/// [`EndpointSet::generate`], but without ever materializing the full
+/// set. This is the producer side of the sharded corpus pipeline: peak
+/// memory is one endpoint plus the IP dedup set.
+pub fn for_each_endpoint<F: FnMut(Endpoint)>(world: &HgWorld, t: usize, emit: F) {
+    let mut gen = Generator::new(world, t, emit);
+    gen.hypergiant_endpoints();
+    gen.cert_only_endpoints();
+    gen.cloudflare_customers();
+    gen.oddballs();
+    gen.background();
 }
 
 /// splitmix64 — cheap deterministic hashing for IP/choice derivation.
@@ -157,18 +177,18 @@ const CERT_ONLY: &[CertOnlyRule] = &[
     ),
 ];
 
-struct Generator<'a> {
+struct Generator<'a, F: FnMut(Endpoint)> {
     world: &'a HgWorld,
     t: usize,
     scan_time: Timestamp,
-    endpoints: Vec<Endpoint>,
-    by_ip: HashMap<u32, u32>,
+    seen: HashSet<u32>,
+    emit: F,
     /// Per-HG certificate profile chains for this snapshot.
     profiles: HashMap<Hg, Vec<Arc<Vec<bytes::Bytes>>>>,
 }
 
-impl<'a> Generator<'a> {
-    fn new(world: &'a HgWorld, t: usize) -> Self {
+impl<'a, F: FnMut(Endpoint)> Generator<'a, F> {
+    fn new(world: &'a HgWorld, t: usize, emit: F) -> Self {
         let scan_time = world.snapshot_date(t).midnight().plus_seconds(12 * 3600);
         let mut profiles = HashMap::new();
         for hg in ALL_HGS {
@@ -178,8 +198,8 @@ impl<'a> Generator<'a> {
             world,
             t,
             scan_time,
-            endpoints: Vec::new(),
-            by_ip: HashMap::new(),
+            seen: HashSet::new(),
+            emit,
             profiles,
         }
     }
@@ -187,9 +207,8 @@ impl<'a> Generator<'a> {
     fn push(&mut self, ep: Endpoint) {
         // First writer wins on IP collisions (rare hash collisions between
         // background and HG replicas).
-        if let std::collections::hash_map::Entry::Vacant(e) = self.by_ip.entry(ep.ip) {
-            e.insert(self.endpoints.len() as u32);
-            self.endpoints.push(ep);
+        if self.seen.insert(ep.ip) {
+            (self.emit)(ep);
         }
     }
 
@@ -537,14 +556,6 @@ impl<'a> Generator<'a> {
                 http_headers: headers.clone(),
                 https_headers: Some(headers),
             });
-        }
-    }
-
-    fn finish(self) -> EndpointSet {
-        EndpointSet {
-            snapshot_idx: self.t,
-            endpoints: self.endpoints,
-            by_ip: self.by_ip,
         }
     }
 }

@@ -83,6 +83,27 @@ impl ScenarioConfig {
         }
     }
 
+    /// An enlarged world for the streaming/sharded pipeline: hundreds of
+    /// thousands of ASes and several hundred thousand endpoints per late
+    /// snapshot (roughly 3× the paper world per snapshot, millions over a
+    /// study). A monolithic interned corpus is uncomfortably large at
+    /// this scale — the world is meant to be observed through the sharded
+    /// producer (`--shard-size`/`--spill-dir`), which bounds peak memory
+    /// by shard size instead of snapshot size. Sized so the CI
+    /// bounded-memory smoke (`reproduce --scale large shard-stats` under
+    /// `ulimit -v`) finishes in minutes, not tens of minutes.
+    pub fn large() -> Self {
+        Self {
+            seed: 7,
+            topology: TopologyConfig::large(7),
+            footprint_scale: 1.5,
+            ip_scale: 2.0,
+            background_ips: (100_000, 300_000),
+            bgp_noise: BgpNoiseConfig::default(),
+            countermeasures: Vec::new(),
+        }
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.topology.seed = seed;
@@ -222,6 +243,14 @@ impl HgWorld {
     /// paper scale — callers stream snapshots one at a time).
     pub fn endpoints(&self, t: usize) -> EndpointSet {
         EndpointSet::generate(self, t)
+    }
+
+    /// Stream a snapshot's endpoints through `emit` without materializing
+    /// the full set: same order and IP dedup as [`HgWorld::endpoints`],
+    /// but peak memory stays one endpoint plus the dedup set. This is the
+    /// producer entry point of the sharded corpus pipeline.
+    pub fn for_each_endpoint<F: FnMut(crate::Endpoint)>(&self, t: usize, emit: F) {
+        crate::endpoints::for_each_endpoint(self, t, emit);
     }
 
     /// Per-snapshot IP-to-AS map (App. A.1), cached.
@@ -715,6 +744,21 @@ mod tests {
             .filter(|e| e.attribution == Attribution::OffNet(Hg::Google))
             .count();
         assert!(google_off > 100, "google off-nets: {google_off}");
+    }
+
+    #[test]
+    fn streaming_endpoints_match_materialized_set() {
+        let w = world();
+        let eps = w.endpoints(18);
+        let mut streamed = Vec::new();
+        w.for_each_endpoint(18, |ep| streamed.push(ep));
+        assert_eq!(streamed.len(), eps.len());
+        for (a, b) in streamed.iter().zip(eps.endpoints()) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.true_as, b.true_as);
+            assert_eq!(a.http_headers, b.http_headers);
+            assert_eq!(a.https_headers, b.https_headers);
+        }
     }
 
     #[test]

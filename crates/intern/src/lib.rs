@@ -140,6 +140,45 @@ impl Pool {
         }
         self.table = table;
     }
+
+    /// The pool's serializable parts: the flat string buffer and the
+    /// `(start, len)` span list, in id order. The probe table is an
+    /// acceleration structure and is rebuilt by [`Pool::from_parts`].
+    pub fn raw_parts(&self) -> (&str, &[(u32, u32)]) {
+        (&self.buf, &self.spans)
+    }
+
+    /// Rebuild a pool from serialized parts. Ids are the span positions,
+    /// so a round trip through `raw_parts` → `from_parts` preserves every
+    /// symbol. Panics if a span reaches outside `buf` or splits a UTF-8
+    /// boundary (corrupt input should have been caught by the segment
+    /// checksum first).
+    pub fn from_parts(buf: String, spans: Vec<(u32, u32)>) -> Self {
+        let mut pool = Pool {
+            buf,
+            spans,
+            table: Vec::new(),
+        };
+        if pool.spans.is_empty() {
+            return pool;
+        }
+        let mut len = 64;
+        while (pool.spans.len() + 1) * 4 >= len * 3 {
+            len *= 2;
+        }
+        let mut table = vec![0u32; len];
+        let mask = len - 1;
+        for id in 0..pool.spans.len() as u32 {
+            let s = pool.resolve(id);
+            let mut i = (fnv1a(s) as usize) & mask;
+            while table[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            table[i] = id + 1;
+        }
+        pool.table = table;
+        pool
+    }
 }
 
 impl std::fmt::Debug for Pool {
@@ -272,6 +311,26 @@ impl<K> SymTable<K> {
 
     pub fn heap_bytes(&self) -> usize {
         self.pool.heap_bytes()
+    }
+
+    /// The typed symbol for a raw dense id, bounds-checked against the
+    /// pool — the only way to mint a `Sym` from serialized data.
+    pub fn sym_for_index(&self, id: u32) -> Option<Sym<K>> {
+        ((id as usize) < self.pool.len()).then(|| Sym::new(id))
+    }
+
+    /// The table's serializable parts (see [`Pool::raw_parts`]).
+    pub fn raw_parts(&self) -> (&str, &[(u32, u32)]) {
+        self.pool.raw_parts()
+    }
+
+    /// Rebuild a typed table from serialized parts (see
+    /// [`Pool::from_parts`]).
+    pub fn from_parts(buf: String, spans: Vec<(u32, u32)>) -> Self {
+        Self {
+            pool: Pool::from_parts(buf, spans),
+            _kind: PhantomData,
+        }
     }
 }
 
@@ -574,6 +633,37 @@ mod tests {
         d.write_u32(7);
         d.write_u64(9);
         assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_keeps_probing() {
+        let mut p = Pool::default();
+        for i in 0..3000 {
+            p.intern(&format!("edge-{}.cdn.example", (i * 7919) % 2003));
+        }
+        let (buf, spans) = p.raw_parts();
+        let q = Pool::from_parts(buf.to_owned(), spans.to_vec());
+        assert_eq!(q.len(), p.len());
+        for (id, s) in p.iter() {
+            assert_eq!(q.resolve(id), s);
+            assert_eq!(q.get(s), Some(id), "rebuilt table must find {s}");
+        }
+        // The rebuilt pool keeps interning with the same dense ids.
+        let mut q = q;
+        let next = q.intern("fresh.example");
+        assert_eq!(next as usize, p.len());
+        // Empty round trip.
+        let empty = Pool::from_parts(String::new(), Vec::new());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.get("x"), None);
+    }
+
+    #[test]
+    fn sym_for_index_is_bounds_checked() {
+        let mut t: SymTable<Hosts> = SymTable::default();
+        let a = t.intern("a.example");
+        assert_eq!(t.sym_for_index(0), Some(a));
+        assert_eq!(t.sym_for_index(1), None);
     }
 
     #[test]

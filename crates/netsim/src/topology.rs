@@ -67,6 +67,18 @@ impl TopologyConfig {
             content_as_slots: 30,
         }
     }
+
+    /// An enlarged world (~3.4x the paper's AS counts) for the streaming
+    /// sharded pipeline: hundreds of thousands of ASes.
+    pub fn large(seed: u64) -> Self {
+        Self {
+            seed,
+            n_ases_start: 150_000,
+            n_ases_end: 240_000,
+            n_snapshots: 31,
+            content_as_slots: 60,
+        }
+    }
 }
 
 /// The generated AS-level Internet.

@@ -15,7 +15,7 @@
 //! all rates at zero is a byte-identical no-op.
 
 use crate::engine::mix;
-use crate::scan::{CertScanSnapshot, HttpRecord, HttpScanSnapshot};
+use crate::scan::{CertScanRecord, CertScanSnapshot, HttpRecord, HttpScanSnapshot};
 use bytes::Bytes;
 use intern::Interner;
 use std::collections::BTreeMap;
@@ -236,49 +236,12 @@ impl FaultPlan {
     }
 
     /// Corrupt a certificate snapshot in place, recording exact counts.
+    /// One-chunk wrapper over [`FaultPlan::cert_session`], so the
+    /// monolithic and streaming paths share every decision.
     pub(crate) fn apply_cert(&self, snap: &mut CertScanSnapshot) {
-        let t = snap.snapshot_idx;
-        let mut stats = FaultStats::default();
-        if self.coin(FaultClass::EmptySnapshot, t, 0xe321) {
-            snap.records.clear();
-            stats.add(FaultClass::EmptySnapshot, 1);
-            self.store(t, STREAM_CERT, stats);
-            return;
-        }
-        let mut out = Vec::with_capacity(snap.records.len());
-        for mut rec in snap.records.drain(..) {
-            let key = u64::from(rec.ip);
-            // The DER corruptions are mutually exclusive per record (first
-            // coin in precedence order wins), so injected counts map 1:1
-            // onto quarantine reasons.
-            if self.coin(FaultClass::TruncatedDer, t, key) {
-                truncate_leaf(
-                    &mut rec.chain_der,
-                    self.draw(FaultClass::TruncatedDer, t, key),
-                );
-                stats.add(FaultClass::TruncatedDer, 1);
-            } else if self.coin(FaultClass::GarbageDer, t, key) {
-                garbage_leaf(
-                    &mut rec.chain_der,
-                    self.draw(FaultClass::GarbageDer, t, key),
-                );
-                stats.add(FaultClass::GarbageDer, 1);
-            } else if self.coin(FaultClass::BitFlippedDer, t, key) {
-                bit_flip_leaf(
-                    &mut rec.chain_der,
-                    self.draw(FaultClass::BitFlippedDer, t, key),
-                );
-                stats.add(FaultClass::BitFlippedDer, 1);
-            }
-            let duplicated = self.coin(FaultClass::DuplicateIp, t, key);
-            if duplicated {
-                out.push(rec.clone());
-                stats.add(FaultClass::DuplicateIp, 1);
-            }
-            out.push(rec);
-        }
-        snap.records = out;
-        self.store(t, STREAM_CERT, stats);
+        let mut session = self.cert_session(snap.snapshot_idx);
+        session.apply_chunk(&mut snap.records);
+        session.finish();
     }
 
     /// Corrupt a banner snapshot in place, recording exact counts.
@@ -288,42 +251,38 @@ impl FaultPlan {
     /// interns nothing, keeping symbol assignment byte-identical to a
     /// plan-free scan.
     pub(crate) fn apply_http(&self, snap: &mut HttpScanSnapshot, interner: &mut Interner) {
-        let t = snap.snapshot_idx;
-        let stream = if snap.port == 443 {
-            STREAM_HTTPS443
-        } else {
-            STREAM_HTTP80
-        };
-        // Salt the record key with the port so the two banner streams draw
-        // independent coins for the same IP.
-        let salt = u64::from(snap.port) << 40;
+        let mut session = self.http_session(snap.snapshot_idx, snap.port);
+        session.apply_chunk(&mut snap.records, interner);
+        session.finish();
+    }
+
+    /// Start a chunked certificate fault pass (the streaming producer's
+    /// equivalent of [`FaultPlan::apply_cert`]). Coins are keyed per
+    /// record, so chunking cannot change any decision; counts accumulate
+    /// across chunks into the same single ledger entry.
+    pub(crate) fn cert_session(&self, t: usize) -> CertFaultSession<'_> {
         let mut stats = FaultStats::default();
-        let mut out = Vec::with_capacity(snap.records.len());
-        for mut rec in snap.records.drain(..) {
-            let key = u64::from(rec.ip) ^ salt;
-            if self.coin(FaultClass::MojibakeHeader, t, key) {
-                mojibake_header(
-                    &mut rec,
-                    self.draw(FaultClass::MojibakeHeader, t, key),
-                    interner,
-                );
-                stats.add(FaultClass::MojibakeHeader, 1);
-            } else if self.coin(FaultClass::OversizedHeader, t, key) {
-                oversize_header(
-                    &mut rec,
-                    self.draw(FaultClass::OversizedHeader, t, key),
-                    interner,
-                );
-                stats.add(FaultClass::OversizedHeader, 1);
-            }
-            if self.coin(FaultClass::DuplicateIp, t, key) {
-                out.push(rec.clone());
-                stats.add(FaultClass::DuplicateIp, 1);
-            }
-            out.push(rec);
+        let empty = self.coin(FaultClass::EmptySnapshot, t, 0xe321);
+        if empty {
+            stats.add(FaultClass::EmptySnapshot, 1);
         }
-        snap.records = out;
-        self.store(t, stream, stats);
+        CertFaultSession {
+            plan: self,
+            t,
+            empty,
+            stats,
+        }
+    }
+
+    /// Start a chunked banner fault pass (the streaming equivalent of
+    /// [`FaultPlan::apply_http`]).
+    pub(crate) fn http_session(&self, t: usize, port: u16) -> HttpFaultSession<'_> {
+        HttpFaultSession {
+            plan: self,
+            t,
+            port,
+            stats: FaultStats::default(),
+        }
     }
 
     fn store(&self, t: usize, stream: u8, stats: FaultStats) {
@@ -354,6 +313,120 @@ impl FaultPlan {
             merged.merge(stats);
         }
         merged
+    }
+}
+
+/// Chunk-by-chunk certificate corruption with one accumulated ledger
+/// entry. Per-record coins are pure functions of (class, snapshot, IP),
+/// so feeding the record stream through chunks of any size corrupts
+/// exactly the records [`FaultPlan::apply_cert`] would — the monolithic
+/// path and the streaming path stay byte-identical. A resumed producer
+/// that reuses on-disk segments skips rebuilt chunks, so its ledger entry
+/// covers only the chunks actually re-scanned (the quarantine counts
+/// inside the segments stay exact either way).
+pub(crate) struct CertFaultSession<'p> {
+    plan: &'p FaultPlan,
+    t: usize,
+    empty: bool,
+    stats: FaultStats,
+}
+
+impl CertFaultSession<'_> {
+    /// Whether the EmptySnapshot coin fired: every chunk's records are
+    /// dropped (endpoints are still admitted for scan-health parity).
+    pub(crate) fn empty_snapshot(&self) -> bool {
+        self.empty
+    }
+
+    pub(crate) fn apply_chunk(&mut self, records: &mut Vec<CertScanRecord>) {
+        if self.empty {
+            records.clear();
+            return;
+        }
+        let t = self.t;
+        let mut out = Vec::with_capacity(records.len());
+        for mut rec in records.drain(..) {
+            let key = u64::from(rec.ip);
+            if self.plan.coin(FaultClass::TruncatedDer, t, key) {
+                truncate_leaf(
+                    &mut rec.chain_der,
+                    self.plan.draw(FaultClass::TruncatedDer, t, key),
+                );
+                self.stats.add(FaultClass::TruncatedDer, 1);
+            } else if self.plan.coin(FaultClass::GarbageDer, t, key) {
+                garbage_leaf(
+                    &mut rec.chain_der,
+                    self.plan.draw(FaultClass::GarbageDer, t, key),
+                );
+                self.stats.add(FaultClass::GarbageDer, 1);
+            } else if self.plan.coin(FaultClass::BitFlippedDer, t, key) {
+                bit_flip_leaf(
+                    &mut rec.chain_der,
+                    self.plan.draw(FaultClass::BitFlippedDer, t, key),
+                );
+                self.stats.add(FaultClass::BitFlippedDer, 1);
+            }
+            if self.plan.coin(FaultClass::DuplicateIp, t, key) {
+                out.push(rec.clone());
+                self.stats.add(FaultClass::DuplicateIp, 1);
+            }
+            out.push(rec);
+        }
+        *records = out;
+    }
+
+    pub(crate) fn finish(self) {
+        self.plan.store(self.t, STREAM_CERT, self.stats);
+    }
+}
+
+/// Chunk-by-chunk banner corruption with one accumulated ledger entry
+/// (see [`CertFaultSession`] for the equivalence argument).
+pub(crate) struct HttpFaultSession<'p> {
+    plan: &'p FaultPlan,
+    t: usize,
+    port: u16,
+    stats: FaultStats,
+}
+
+impl HttpFaultSession<'_> {
+    pub(crate) fn apply_chunk(&mut self, records: &mut Vec<HttpRecord>, interner: &mut Interner) {
+        let t = self.t;
+        let salt = u64::from(self.port) << 40;
+        let mut out = Vec::with_capacity(records.len());
+        for mut rec in records.drain(..) {
+            let key = u64::from(rec.ip) ^ salt;
+            if self.plan.coin(FaultClass::MojibakeHeader, t, key) {
+                mojibake_header(
+                    &mut rec,
+                    self.plan.draw(FaultClass::MojibakeHeader, t, key),
+                    interner,
+                );
+                self.stats.add(FaultClass::MojibakeHeader, 1);
+            } else if self.plan.coin(FaultClass::OversizedHeader, t, key) {
+                oversize_header(
+                    &mut rec,
+                    self.plan.draw(FaultClass::OversizedHeader, t, key),
+                    interner,
+                );
+                self.stats.add(FaultClass::OversizedHeader, 1);
+            }
+            if self.plan.coin(FaultClass::DuplicateIp, t, key) {
+                out.push(rec.clone());
+                self.stats.add(FaultClass::DuplicateIp, 1);
+            }
+            out.push(rec);
+        }
+        *records = out;
+    }
+
+    pub(crate) fn finish(self) {
+        let stream = if self.port == 443 {
+            STREAM_HTTPS443
+        } else {
+            STREAM_HTTP80
+        };
+        self.plan.store(self.t, stream, self.stats);
     }
 }
 

@@ -16,10 +16,10 @@ mod zgrab;
 
 pub use engine::{EngineId, ScanEngine};
 pub use faults::{FaultClass, FaultPlan, FaultStats, MAX_HEADER_VALUE_LEN};
-pub use observe::{observe_snapshot, SnapshotObservations};
+pub use observe::{covers_snapshot, observe_snapshot, SnapshotObservations};
 pub use scan::{
-    scan_certificates, scan_http_headers, CertScanRecord, CertScanSnapshot, HttpRecord,
-    HttpScanSnapshot,
+    scan_certificates, scan_http_headers, CertScanRecord, CertScanSnapshot, CertScanStream,
+    HttpRecord, HttpScanSnapshot, HttpScanStream,
 };
 pub use transient::{
     RetryConfig, ScanHealth, ScanSession, TransientClass, TransientPolicy, STREAM_CERT,

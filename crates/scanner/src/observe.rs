@@ -49,15 +49,8 @@ pub fn observe_snapshot(
     engine: &ScanEngine,
     t: usize,
 ) -> Option<SnapshotObservations> {
-    if t < engine.active_since {
+    if !covers_snapshot(engine, t) {
         return None;
-    }
-    // Fault injection can remove whole snapshots from the corpus, exactly
-    // like a missing month in a real scan archive.
-    if let Some(plan) = &engine.faults {
-        if plan.drops_snapshot(t) {
-            return None;
-        }
     }
     let n = world.n_snapshots();
     let eps = world.endpoints(t);
@@ -74,6 +67,25 @@ pub fn observe_snapshot(
         ip_to_as: world.ip_to_as(t),
         snapshot_idx: t,
     })
+}
+
+/// Whether `engine`'s corpus covers snapshot `t` at all: the engine is
+/// active and fault injection did not drop the month from the archive.
+/// This is the gate [`observe_snapshot`] applies before scanning, exposed
+/// so the streaming producer can decide coverage without generating a
+/// single endpoint.
+pub fn covers_snapshot(engine: &ScanEngine, t: usize) -> bool {
+    if t < engine.active_since {
+        return false;
+    }
+    // Fault injection can remove whole snapshots from the corpus, exactly
+    // like a missing month in a real scan archive.
+    if let Some(plan) = &engine.faults {
+        if plan.drops_snapshot(t) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

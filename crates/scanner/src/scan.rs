@@ -1,9 +1,10 @@
 //! Certificate and HTTP(S)-banner scans over an endpoint set.
 
 use crate::engine::ScanEngine;
+use crate::faults::{CertFaultSession, HttpFaultSession};
 use crate::transient::{ScanHealth, ScanSession, STREAM_CERT, STREAM_HTTP80, STREAM_HTTPS443};
 use bytes::Bytes;
-use hgsim::EndpointSet;
+use hgsim::{Endpoint, EndpointSet};
 use intern::{Digest64, HeaderNameSym, HeaderValueSym, Interner};
 use timebase::Date;
 use tlssim::{TlsClient, TlsEndpoint};
@@ -191,6 +192,166 @@ pub fn scan_http_headers(
     Some(snap)
 }
 
+/// A certificate scan fed endpoint chunks instead of a whole snapshot:
+/// one TLS client, one [`ScanSession`] (health, retries, breakers) and
+/// one fault pass persist across chunks, so the concatenation of the
+/// per-chunk record vectors is byte-identical to the record stream of
+/// [`scan_certificates`] over the same endpoints in the same order, and
+/// [`CertScanStream::finish`] yields the identical [`ScanHealth`].
+///
+/// This is the scanner side of the sharded corpus producer: a chunk's
+/// records can be validated, interned, frozen to a segment and dropped
+/// before the next chunk is generated.
+pub struct CertScanStream<'e> {
+    client: TlsClient,
+    session: ScanSession<'e>,
+    faults: Option<CertFaultSession<'e>>,
+}
+
+impl<'e> CertScanStream<'e> {
+    pub fn new(engine: &'e ScanEngine, t: usize, n_snapshots: usize) -> Self {
+        Self {
+            client: TlsClient::new([0x5cu8; 32]),
+            session: ScanSession::new(engine, t, n_snapshots, STREAM_CERT),
+            faults: engine.faults.as_deref().map(|p| p.cert_session(t)),
+        }
+    }
+
+    /// Scan one endpoint chunk, returning its (fault-applied) records.
+    pub fn scan_chunk(&mut self, eps: &[Endpoint]) -> Vec<CertScanRecord> {
+        // When the EmptySnapshot fault fired, records are dropped but
+        // endpoints are still admitted so health matches the monolithic
+        // scan (which fetches first and clears afterwards).
+        let fetch = !self.faults.as_ref().is_some_and(|f| f.empty_snapshot());
+        let mut records = Vec::new();
+        for ep in eps {
+            if !self.session.admit(ep.ip, ep.true_as) {
+                continue;
+            }
+            if !fetch {
+                continue;
+            }
+            let endpoint = TlsEndpoint::new(ep.tls.clone());
+            match self.client.fetch_chain(&endpoint, None) {
+                Ok(chain) if !chain.is_empty() => records.push(CertScanRecord {
+                    ip: ep.ip,
+                    chain_der: chain,
+                }),
+                _ => {}
+            }
+        }
+        if let Some(f) = &mut self.faults {
+            f.apply_chunk(&mut records);
+        }
+        records
+    }
+
+    /// Admit a chunk's endpoints without fetching: the segment-reuse path
+    /// of a resumed study, where the chunk's records already live in a
+    /// valid on-disk segment but the scan health must still account for
+    /// every target.
+    pub fn admit_chunk(&mut self, eps: &[Endpoint]) {
+        for ep in eps {
+            self.session.admit(ep.ip, ep.true_as);
+        }
+    }
+
+    /// Close the stream: store the fault ledger entry and return the
+    /// accumulated health.
+    pub fn finish(self) -> ScanHealth {
+        if let Some(f) = self.faults {
+            f.finish();
+        }
+        self.session.finish()
+    }
+}
+
+/// The banner-scan counterpart of [`CertScanStream`]. `new` returns
+/// `None` under exactly the gates of [`scan_http_headers`] (bad port,
+/// engine not yet active, HTTPS headers not in the corpus yet).
+pub struct HttpScanStream<'e> {
+    session: ScanSession<'e>,
+    port: u16,
+    faults: Option<HttpFaultSession<'e>>,
+}
+
+impl<'e> HttpScanStream<'e> {
+    pub fn new(engine: &'e ScanEngine, t: usize, port: u16, n_snapshots: usize) -> Option<Self> {
+        if port != 80 && port != 443 {
+            return None;
+        }
+        if t < engine.active_since {
+            return None;
+        }
+        if port == 443 {
+            match engine.https_headers_since {
+                Some(since) if t >= since => {}
+                _ => return None,
+            }
+        }
+        let stream = if port == 80 {
+            STREAM_HTTP80
+        } else {
+            STREAM_HTTPS443
+        };
+        Some(Self {
+            session: ScanSession::new(engine, t, n_snapshots, stream),
+            port,
+            faults: engine.faults.as_deref().map(|p| p.http_session(t, port)),
+        })
+    }
+
+    /// Scan one endpoint chunk, interning headers into `interner` (the
+    /// per-shard interner in the sharded pipeline).
+    pub fn scan_chunk(&mut self, eps: &[Endpoint], interner: &mut Interner) -> Vec<HttpRecord> {
+        let mut records = Vec::new();
+        for ep in eps {
+            if !self.session.admit(ep.ip, ep.true_as) {
+                continue;
+            }
+            let headers = if self.port == 80 {
+                Some(&ep.http_headers)
+            } else {
+                ep.https_headers.as_ref()
+            };
+            if let Some(headers) = headers {
+                if !headers.is_empty() {
+                    records.push(HttpRecord {
+                        ip: ep.ip,
+                        headers: headers
+                            .iter()
+                            .map(|(n, v)| {
+                                (
+                                    intern_header_name(interner, n),
+                                    interner.header_values.intern(v),
+                                )
+                            })
+                            .collect(),
+                    });
+                }
+            }
+        }
+        if let Some(f) = &mut self.faults {
+            f.apply_chunk(&mut records, interner);
+        }
+        records
+    }
+
+    /// Admit a chunk's endpoints without interning (segment-reuse path).
+    pub fn admit_chunk(&mut self, eps: &[Endpoint]) {
+        for ep in eps {
+            self.session.admit(ep.ip, ep.true_as);
+        }
+    }
+
+    pub fn finish(self) -> ScanHealth {
+        if let Some(f) = self.faults {
+            f.finish();
+        }
+        self.session.finish()
+    }
+}
+
 /// Intern a header name lowercased, allocating only when the wire form
 /// actually carries uppercase bytes.
 pub(crate) fn intern_header_name(interner: &mut Interner, name: &str) -> HeaderNameSym {
@@ -328,6 +489,85 @@ mod tests {
         let mut j = Interner::default();
         let again = scan_http_headers(&eps, &ScanEngine::rapid7(), 80, 31, &mut j).unwrap();
         assert_eq!(snap.records, again.records);
+    }
+
+    #[test]
+    fn chunked_streams_match_monolithic_scans() {
+        use crate::faults::{FaultClass, FaultPlan};
+        use std::sync::Arc;
+        let w = world();
+        let eps = w.endpoints(30);
+        let date = w.snapshot_date(30);
+        // Exercise the fault path too: per-record coins must not change
+        // with chunking, and the accumulated ledger must match.
+        let plan = || Arc::new(FaultPlan::uniform_record_faults(11, 0.1));
+        let mono_engine = ScanEngine::rapid7().with_faults(plan());
+        let stream_engine = ScanEngine::rapid7().with_faults(plan());
+
+        let mono_cert = scan_certificates(&eps, &mono_engine, date, 31);
+        let mut mono_interner = Interner::default();
+        let mono_http = scan_http_headers(&eps, &mono_engine, 80, 31, &mut mono_interner).unwrap();
+        let mono_https =
+            scan_http_headers(&eps, &mono_engine, 443, 31, &mut mono_interner).unwrap();
+
+        let mut cert = CertScanStream::new(&stream_engine, 30, 31);
+        let mut http = HttpScanStream::new(&stream_engine, 30, 80, 31).unwrap();
+        let mut https = HttpScanStream::new(&stream_engine, 30, 443, 31).unwrap();
+        assert!(HttpScanStream::new(&stream_engine, 5, 443, 31).is_none());
+        let mut stream_interner = Interner::default();
+        let mut cert_records = Vec::new();
+        let mut http_records = Vec::new();
+        let mut https_records = Vec::new();
+        for chunk in eps.endpoints().chunks(777) {
+            cert_records.extend(cert.scan_chunk(chunk));
+            http_records.extend(http.scan_chunk(chunk, &mut stream_interner));
+            https_records.extend(https.scan_chunk(chunk, &mut stream_interner));
+        }
+        assert_eq!(cert_records.len(), mono_cert.records.len());
+        for (a, b) in cert_records.iter().zip(&mono_cert.records) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.chain_der, b.chain_der);
+        }
+        assert_eq!(cert.finish(), mono_cert.health);
+        assert_eq!(http.finish(), mono_http.health);
+        assert_eq!(https.finish(), mono_https.health);
+        // Banner symbols differ between the two interners only if the
+        // interleaving changed (http80 and https443 alternate per chunk
+        // in the stream); compare resolved strings instead.
+        let resolve = |records: &[HttpRecord], i: &Interner| -> Vec<(u32, Vec<(String, String)>)> {
+            records
+                .iter()
+                .map(|r| {
+                    (
+                        r.ip,
+                        r.headers
+                            .iter()
+                            .map(|(n, v)| {
+                                (
+                                    i.header_names.resolve(*n).to_owned(),
+                                    i.header_values.resolve(*v).to_owned(),
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            resolve(&http_records, &stream_interner),
+            resolve(&mono_http.records, &mono_interner)
+        );
+        assert_eq!(
+            resolve(&https_records, &stream_interner),
+            resolve(&mono_https.records, &mono_interner)
+        );
+        // Identical fault ledgers, including duplicate-IP injections.
+        let (mono_plan, stream_plan) = (
+            mono_engine.faults.as_ref().unwrap(),
+            stream_engine.faults.as_ref().unwrap(),
+        );
+        assert_eq!(mono_plan.injected_for(30), stream_plan.injected_for(30));
+        assert!(mono_plan.injected_for(30).count(FaultClass::DuplicateIp) > 0);
     }
 
     #[test]

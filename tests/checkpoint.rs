@@ -3,7 +3,10 @@
 //! uninterrupted run — for the sequential and the incremental driver,
 //! clean and under injected faults/transients alike — and checkpoint
 //! corruption or configuration drift must surface as typed errors with
-//! remediation, never as silent wrong answers.
+//! remediation, never as silent wrong answers. The sharded pipeline
+//! composes with checkpoints: segments orphaned by a mid-snapshot crash
+//! are reused on resume, and a shifted start adopts the §6.2 fold
+//! history the artifacts carry (asserted here, not merely probed).
 //!
 //! `OFFNET_FAULT_RATE` (shared with `tests/incremental.rs` and the CI
 //! kill/resume job) sets the corruption rate for the faulted comparison.
@@ -12,7 +15,7 @@ use hgsim::{HgWorld, ScenarioConfig};
 use offnet_bench::render_study;
 use offnet_core::{
     run_study, run_study_checkpointed, run_study_incremental_checkpointed, study_fingerprint,
-    CheckpointDriver, CheckpointError, CheckpointStore, StudyConfig,
+    CheckpointDriver, CheckpointError, CheckpointStore, ShardingConfig, StudyConfig,
 };
 use scanner::{FaultPlan, ScanEngine, TransientPolicy};
 use std::path::PathBuf;
@@ -227,5 +230,145 @@ fn corrupt_checkpoint_is_rejected_then_recoverable() {
     s.wipe().expect("wipe");
     let rerun = run_study_checkpointed(w, &engine, &cfg, &s).expect("rerun after wipe");
     assert_eq!(render_study(&uninterrupted), render_study(&rerun));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sharded checkpointed run killed *mid-snapshot* — segments spilled but
+/// the snapshot artifact never written: the resumed run renders
+/// byte-identical to an uninterrupted in-memory study, reuses the
+/// orphaned segments instead of rescanning, and a damaged segment is
+/// rebuilt in isolation.
+#[test]
+fn sharded_kill_resume_reuses_spilled_segments() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let full_range = (20, 27);
+    let uninterrupted = run_study(w, &engine, &config(full_range));
+
+    let ckpt_dir = temp_dir("shard-seq");
+    let spill_dir = temp_dir("shard-seq-spill");
+    let sharded = |range: (usize, usize)| StudyConfig {
+        sharding: Some(ShardingConfig::new(400, spill_dir.clone())),
+        ..config(range)
+    };
+
+    // "Kill mid-snapshot 24": run the 20..=24 prefix to completion, then
+    // delete the t=24 artifact. Its segments stay spilled on disk — the
+    // state a crash leaves behind between the spill and the save.
+    let killed_cfg = sharded((20, 24));
+    let s = store(
+        &ckpt_dir,
+        &engine,
+        &killed_cfg,
+        CheckpointDriver::Sequential,
+    );
+    run_study_checkpointed(w, &engine, &killed_cfg, &s).expect("killed prefix run");
+    std::fs::remove_file(ckpt_dir.join("snap_0024.ckpt")).expect("drop mid-snapshot artifact");
+
+    let resume_cfg = sharded(full_range);
+    let s = store(
+        &ckpt_dir,
+        &engine,
+        &resume_cfg,
+        CheckpointDriver::Sequential,
+    );
+    let resumed = run_study_checkpointed(w, &engine, &resume_cfg, &s).expect("resumed run");
+    assert_eq!(
+        render_study(&uninterrupted),
+        render_study(&resumed),
+        "sharded resume diverged from the uninterrupted in-memory run"
+    );
+    let ledger = resume_cfg.sharding.as_ref().unwrap().ledger.clone();
+    let rows = ledger.rows();
+    // t=20..=23 were adopted from artifacts (their segments untouched);
+    // t=24 reused every orphaned segment; t=25..=27 built fresh.
+    assert!(ledger.segments_reused() > 0, "orphaned segments rescanned");
+    assert!(
+        rows.iter()
+            .all(|r| r.snapshot_idx != 24 || (r.reused && r.segment_bytes > 0)),
+        "t=24 segments were rebuilt instead of reused: {rows:?}"
+    );
+    assert!(
+        rows.iter().any(|r| r.snapshot_idx == 25 && !r.reused),
+        "post-kill snapshots should build fresh segments"
+    );
+
+    // Crash again at t=24, this time with one segment also lost: exactly
+    // that segment rebuilds, the rest are admitted from disk, and the
+    // rendering still matches.
+    std::fs::remove_file(ckpt_dir.join("snap_0024.ckpt")).expect("drop artifact again");
+    let victim = spill_dir.join("t0024").join("shard_0001.seg");
+    std::fs::remove_file(&victim).expect("lose one segment");
+    let rerun_cfg = sharded(full_range);
+    let s = store(&ckpt_dir, &engine, &rerun_cfg, CheckpointDriver::Sequential);
+    let rerun = run_study_checkpointed(w, &engine, &rerun_cfg, &s).expect("second resume");
+    assert_eq!(render_study(&uninterrupted), render_study(&rerun));
+    let ledger = rerun_cfg.sharding.as_ref().unwrap().ledger.clone();
+    assert_eq!(ledger.segments_built(), 1, "only the lost segment rebuilds");
+    assert!(ledger.segments_reused() > 0);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
+
+/// The study fingerprint deliberately excludes the snapshot range, so a
+/// checkpoint directory written under `start=20` is adopted by a
+/// `start=25` resume. That resume is **not** a fresh `(25,30)` study:
+/// adopted artifacts carry the §6.2 fold's cumulative certificate-history
+/// IP set from t=20..24, so the non-TLS restoration sees more history
+/// than a cold start. The resumed tail equals the full study's tail —
+/// the longitudinal semantics — while the history-free variants match
+/// the fresh run exactly.
+#[test]
+fn start_shift_resume_adopts_fold_history() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    // The range straddles the Netflix expired-certificate window, so the
+    // pre-shift snapshots contribute history the shifted tail consults.
+    let full_cfg = config((14, 22));
+    let dir = temp_dir("shift");
+    let s = store(&dir, &engine, &full_cfg, CheckpointDriver::Sequential);
+    let full = run_study_checkpointed(w, &engine, &full_cfg, &s).expect("seed the dir");
+
+    let tail_cfg = config((18, 22));
+    // Same fingerprint despite the shifted range — documented behavior.
+    assert_eq!(
+        study_fingerprint(w, &engine, &full_cfg, CheckpointDriver::Sequential),
+        study_fingerprint(w, &engine, &tail_cfg, CheckpointDriver::Sequential),
+    );
+    let s = store(&dir, &engine, &tail_cfg, CheckpointDriver::Sequential);
+    let resumed = run_study_checkpointed(w, &engine, &tail_cfg, &s).expect("shifted resume");
+    let fresh = run_study(w, &engine, &tail_cfg);
+
+    // Per-snapshot processing is position-independent: identical rows.
+    assert_eq!(resumed.snapshots.len(), fresh.snapshots.len());
+    for (r, f) in resumed.snapshots.iter().zip(&fresh.snapshots) {
+        assert_eq!(r.snapshot_idx, f.snapshot_idx);
+        assert_eq!(r.total_ips_with_certs, f.total_ips_with_certs);
+        assert_eq!(r.http_only_ips, f.http_only_ips);
+    }
+    // History-free fold variants match the fresh run.
+    assert_eq!(resumed.netflix.initial, fresh.netflix.initial);
+    assert_eq!(resumed.netflix.with_expired, fresh.netflix.with_expired);
+    // The history-dependent variant equals the full study's tail…
+    assert_eq!(
+        resumed.netflix.with_non_tls,
+        full.netflix.with_non_tls[full.netflix.with_non_tls.len() - resumed.snapshots.len()..],
+        "shifted resume diverged from the full study's tail"
+    );
+    // …and dominates the cold start pointwise: extra history can only
+    // restore more non-TLS ASes, never fewer.
+    for (t, (r, f)) in resumed
+        .netflix
+        .with_non_tls
+        .iter()
+        .zip(&fresh.netflix.with_non_tls)
+        .enumerate()
+    {
+        assert!(r >= f, "snapshot {t}: resumed {r} < fresh {f}");
+    }
+    assert_ne!(
+        resumed.netflix.with_non_tls, fresh.netflix.with_non_tls,
+        "expected the adopted t=14..17 history to restore extra ASes"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -64,12 +64,27 @@ pub fn pct(f: f64) -> String {
     format!("{:.1}%", 100.0 * f)
 }
 
+/// The shared scaffolding behind [`quality_table`] and
+/// [`scan_health_table`]: one row per snapshot from its quality report,
+/// then a `total` row from the study-wide aggregate.
+fn per_snapshot_table(
+    series: &offnet_core::StudySeries,
+    headers: &[&str],
+    row: impl Fn(String, &offnet_core::DataQualityReport) -> Vec<String>,
+) -> String {
+    let mut rows = Vec::with_capacity(series.snapshots.len() + 1);
+    for snap in &series.snapshots {
+        rows.push(row(snapshot_label(snap.snapshot_idx), &snap.quality));
+    }
+    rows.push(row("total".to_owned(), &series.aggregate_quality()));
+    table(headers, &rows)
+}
+
 /// Render a study's per-snapshot data-quality accounting: records seen,
 /// quarantined-by-reason counts, and degraded stages, with a study-wide
 /// total row. Quiet snapshots (nothing quarantined, nothing degraded)
 /// still appear so gaps in the corpus are visible.
 pub fn quality_table(series: &offnet_core::StudySeries) -> String {
-    let mut rows = Vec::with_capacity(series.snapshots.len() + 1);
     let row = |label: String, q: &offnet_core::DataQualityReport| -> Vec<String> {
         let reasons = if q.quarantined.is_empty() {
             "-".to_owned()
@@ -96,11 +111,8 @@ pub fn quality_table(series: &offnet_core::StudySeries) -> String {
             degraded,
         ]
     };
-    for snap in &series.snapshots {
-        rows.push(row(snapshot_label(snap.snapshot_idx), &snap.quality));
-    }
-    rows.push(row("total".to_owned(), &series.aggregate_quality()));
-    table(
+    per_snapshot_table(
+        series,
         &[
             "snapshot",
             "certs",
@@ -109,7 +121,7 @@ pub fn quality_table(series: &offnet_core::StudySeries) -> String {
             "reasons",
             "degraded",
         ],
-        &rows,
+        row,
     )
 }
 
@@ -196,7 +208,8 @@ pub fn scan_health_table(series: &offnet_core::StudySeries) -> String {
                 .join(" ")
         }
     };
-    let row = |label: String, h: &scanner::ScanHealth| -> Vec<String> {
+    let row = |label: String, q: &offnet_core::DataQualityReport| -> Vec<String> {
+        let h = &q.scan;
         vec![
             label,
             h.targets.to_string(),
@@ -210,12 +223,8 @@ pub fn scan_health_table(series: &offnet_core::StudySeries) -> String {
             h.backoff_wait_s.to_string(),
         ]
     };
-    let mut rows = Vec::with_capacity(series.snapshots.len() + 1);
-    for snap in &series.snapshots {
-        rows.push(row(snapshot_label(snap.snapshot_idx), &snap.quality.scan));
-    }
-    rows.push(row("total".to_owned(), &series.aggregate_quality().scan));
-    table(
+    per_snapshot_table(
+        series,
         &[
             "snapshot",
             "targets",
@@ -228,7 +237,7 @@ pub fn scan_health_table(series: &offnet_core::StudySeries) -> String {
             "unreachable",
             "wait(s)",
         ],
-        &rows,
+        row,
     )
 }
 
@@ -448,5 +457,17 @@ mod csv_tests {
     #[test]
     fn empty_rows() {
         assert_eq!(csv(&["only"], &[]), "only\n");
+    }
+
+    #[test]
+    fn header_escaping() {
+        let out = csv(&["a,b", "c\"d", "e\nf"], &[]);
+        assert_eq!(out, "\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+    }
+
+    #[test]
+    fn empty_cells_stay_unquoted() {
+        let out = csv(&["a", "b"], &[vec![String::new(), "x".into()]]);
+        assert_eq!(out, "a,b\n,x\n");
     }
 }

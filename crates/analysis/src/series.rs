@@ -27,17 +27,30 @@ pub struct Table3Row {
 pub fn table3(series: &StudySeries) -> Vec<Table3Row> {
     let mut rows = Vec::new();
     for hg in ALL_HGS {
-        let confirmed = series.confirmed_series(hg);
-        let certs_only = series.candidate_series(hg);
-        let (max_idx, max_val) = confirmed
-            .iter()
-            .enumerate()
+        // One allocation-free pass per series: track first, last, and max
+        // as the counts stream by.
+        let (mut start_confirmed, mut end_confirmed) = (0, 0);
+        let (mut max_idx, mut max_val) = (0, 0);
+        for (i, v) in series.confirmed_counts(hg).enumerate() {
+            if i == 0 {
+                start_confirmed = v;
+            }
+            end_confirmed = v;
             // On ties prefer the latest snapshot, matching a footprint that
             // is still at its maximum at the end of the study.
-            .max_by_key(|(i, v)| (**v, *i))
-            .map(|(i, v)| (i, *v))
-            .unwrap_or((0, 0));
-        if max_val == 0 && *certs_only.iter().max().unwrap_or(&0) == 0 {
+            if v >= max_val {
+                (max_idx, max_val) = (i, v);
+            }
+        }
+        let (mut start_certs_only, mut end_certs_only, mut max_certs_only) = (0, 0, 0);
+        for (i, v) in series.candidate_counts(hg).enumerate() {
+            if i == 0 {
+                start_certs_only = v;
+            }
+            end_certs_only = v;
+            max_certs_only = max_certs_only.max(v);
+        }
+        if max_val == 0 && max_certs_only == 0 {
             continue; // the paper omits HGs with no inferred footprint
         }
         let max_snapshot_label = {
@@ -49,12 +62,12 @@ pub fn table3(series: &StudySeries) -> Vec<Table3Row> {
         };
         rows.push(Table3Row {
             hg,
-            start_confirmed: confirmed[0],
-            start_certs_only: certs_only[0],
+            start_confirmed,
+            start_certs_only,
             max_confirmed: max_val,
             max_snapshot: max_snapshot_label,
-            end_confirmed: *confirmed.last().unwrap_or(&0),
-            end_certs_only: *certs_only.last().unwrap_or(&0),
+            end_confirmed,
+            end_certs_only,
         });
     }
     rows.sort_by_key(|r| std::cmp::Reverse(r.max_confirmed));

@@ -6,7 +6,7 @@
 //!             [--threads N] [--sequential] [--incremental]
 //!             [--fault-rate R] [--fault-seed N] [--transient-rate R]
 //!             [--checkpoint-dir DIR] [--resume | --no-resume]
-//!             [--shard-size N] [--spill-dir DIR]
+//!             [--shard-size N] [--spill-dir DIR] [--artifact-out DIR]
 //!             <experiment|all>
 //!
 //! With `--csv DIR`, figure series are additionally written as CSV files
@@ -56,6 +56,12 @@
 //! and a rerun over the same spill directory reuses valid segments
 //! instead of rescanning.
 //!
+//! `--artifact-out DIR` freezes each study into a versioned, checksummed
+//! result artifact at `DIR/<engine>.offna` as it completes. Rendering a
+//! loaded artifact is byte-identical to rendering the live study (pinned
+//! by `tests/artifact.rs`), and `offnet-query` serves footprint queries
+//! straight from the frozen file.
+//!
 //! `corpus-stats` prints the interned-corpus memory accounting,
 //! `cache-stats` the validation-cache and delta-engine reuse counters,
 //! and `shard-stats` the sharded pipeline's per-segment spill ledger;
@@ -90,6 +96,7 @@ struct Cli {
     resume: bool,
     shard_size: Option<usize>,
     spill_dir: Option<std::path::PathBuf>,
+    artifact_out: Option<std::path::PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -118,6 +125,7 @@ fn parse_args() -> Cli {
     let mut resume = true;
     let mut shard_size = None;
     let mut spill_dir = None;
+    let mut artifact_out = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -195,9 +203,14 @@ fn parse_args() -> Cli {
                     args.next().expect("--spill-dir needs a directory"),
                 ))
             }
+            "--artifact-out" => {
+                artifact_out = Some(std::path::PathBuf::from(
+                    args.next().expect("--artifact-out needs a directory"),
+                ))
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper|large] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] [--transient-rate R] [--checkpoint-dir DIR] [--resume|--no-resume] [--shard-size N] [--spill-dir DIR] <experiment...|all>"
+                    "usage: reproduce [--scale small|paper|large] [--seed N] [--threads N] [--sequential] [--incremental] [--fault-rate R] [--fault-seed N] [--transient-rate R] [--checkpoint-dir DIR] [--resume|--no-resume] [--shard-size N] [--spill-dir DIR] [--artifact-out DIR] <experiment...|all>"
                 );
                 std::process::exit(0);
             }
@@ -224,6 +237,7 @@ fn parse_args() -> Cli {
         resume,
         shard_size,
         spill_dir,
+        artifact_out,
         experiments,
     }
 }
@@ -249,6 +263,9 @@ struct Fixtures {
     /// Streaming sharded processing for every study, when `--shard-size`
     /// was given.
     sharding: Option<offnet_core::ShardingConfig>,
+    /// Freeze each study into `DIR/<engine>.offna` when `--artifact-out`
+    /// was given.
+    artifact_dir: Option<std::path::PathBuf>,
     r7: OnceLock<StudySeries>,
     /// Delta-engine reuse accounting for the Rapid7 study; populated only
     /// under `--incremental` (kept beside the series so rendered study
@@ -311,6 +328,7 @@ impl Fixtures {
             checkpoint_dir: cli.checkpoint_dir.clone(),
             resume: cli.resume,
             sharding,
+            artifact_dir: cli.artifact_out.clone(),
             r7: OnceLock::new(),
             r7_reports: OnceLock::new(),
             cs: OnceLock::new(),
@@ -357,8 +375,13 @@ impl Fixtures {
         config: &StudyConfig,
         label: &str,
     ) -> (StudySeries, Option<Vec<offnet_core::DeltaReport>>) {
+        let artifact_out = self
+            .artifact_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.offna", engine.id.name().to_lowercase())));
         let config = &StudyConfig {
             sharding: self.sharding.clone(),
+            artifact_out: artifact_out.clone(),
             ..config.clone()
         };
         let start = Instant::now();
@@ -426,6 +449,9 @@ impl Fixtures {
             "[reproduce] {label} study: {:.2}s ({mode})",
             start.elapsed().as_secs_f64()
         );
+        if let Some(path) = &artifact_out {
+            eprintln!("[reproduce] wrote study artifact {}", path.display());
+        }
         (series, reports)
     }
 

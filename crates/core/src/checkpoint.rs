@@ -334,10 +334,24 @@ pub fn study_fingerprint(
     config: &StudyConfig,
     driver: CheckpointDriver,
 ) -> u64 {
+    fingerprint_with_tag(world, engine, config, driver.tag())
+}
+
+/// The shared fingerprint chain behind [`study_fingerprint`] and
+/// [`crate::artifact::artifact_fingerprint`]: everything that shapes study
+/// output, salted with a caller-chosen tag (the driver kind for
+/// checkpoints; a driver-independent constant for result artifacts, which
+/// are byte-identical across drivers).
+pub(crate) fn fingerprint_with_tag(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    driver_tag: u64,
+) -> u64 {
     let sc = world.config();
     let mut h = mix(0x0ff5_e7c4_ecb9_0a17);
     h = mix(h ^ u64::from(CHECKPOINT_VERSION));
-    h = mix(h ^ driver.tag());
+    h = mix(h ^ driver_tag);
     // World.
     h = mix(h ^ sc.seed);
     h = mix(h ^ sc.footprint_scale.to_bits());
@@ -402,7 +416,7 @@ const CHAIN_ERRORS: [ChainError; 9] = [
     ChainError::TooLong,
 ];
 
-const RECORD_ERRORS: [RecordError; 11] = [
+pub(crate) const RECORD_ERRORS: [RecordError; 11] = [
     RecordError::MalformedDer,
     RecordError::DuplicateIp,
     RecordError::Expired,
@@ -439,7 +453,7 @@ fn invalid_reason_from_tag(tag: u8) -> Option<InvalidReason> {
     }
 }
 
-fn record_error_tag(r: RecordError) -> u8 {
+pub(crate) fn record_error_tag(r: RecordError) -> u8 {
     RECORD_ERRORS
         .iter()
         .position(|&e| e == r)

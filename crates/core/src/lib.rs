@@ -35,6 +35,7 @@
 //! println!("google off-nets inferred in {} ASes", google.confirmed_ases.len());
 //! ```
 
+pub mod artifact;
 pub mod baselines;
 pub mod candidates;
 pub mod checkpoint;
@@ -51,6 +52,9 @@ pub mod tls_fingerprint;
 pub mod validate;
 pub mod validation_cache;
 
+pub use artifact::{
+    artifact_fingerprint, ArtifactBuilder, ArtifactError, StudyArtifact, ARTIFACT_VERSION,
+};
 pub use candidates::{find_candidates, CandidateSet};
 pub use checkpoint::{
     study_fingerprint, CheckpointDriver, CheckpointError, CheckpointStore, SnapshotCheckpoint,

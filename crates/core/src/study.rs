@@ -1,6 +1,7 @@
 //! Longitudinal study driver: the full 2013-10 … 2021-04 analysis over one
 //! scan engine, including the §6.2 Netflix restorations.
 
+use crate::artifact::{artifact_fingerprint, ArtifactBuilder, ArtifactError};
 use crate::checkpoint::{CheckpointError, CheckpointStore, SnapshotCheckpoint};
 use crate::confirm::ConfirmMode;
 use crate::corpus::SnapshotCorpus;
@@ -35,6 +36,11 @@ pub struct StudyConfig {
     /// pipeline ([`crate::shard`]): bounded peak memory, spilled segments,
     /// byte-identical rendered output.
     pub sharding: Option<ShardingConfig>,
+    /// When set, the study's results are also sealed into a
+    /// [`crate::artifact::StudyArtifact`] at this path (batch drivers
+    /// write it once at the end; the incremental engine re-persists after
+    /// every append).
+    pub artifact_out: Option<std::path::PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -45,6 +51,7 @@ impl Default for StudyConfig {
             candidate_options: Default::default(),
             snapshots: (0, 30),
             sharding: None,
+            artifact_out: None,
         }
     }
 }
@@ -61,65 +68,31 @@ pub struct NetflixVariants {
     pub with_non_tls: Vec<usize>,
 }
 
-/// The order-dependent §6.2 Netflix fold, shared by every study driver:
-/// per snapshot it pushes the three footprint variants and grows the
-/// cumulative certificate-history IP set the non-TLS restoration consults.
-#[derive(Debug, Clone, Default)]
-struct NetflixFold {
-    variants: NetflixVariants,
-    /// Cumulative IPs ever seen serving a (possibly expired) Netflix
-    /// certificate — the history the non-TLS restoration consults.
-    ip_history: HashSet<u32>,
+/// One [`ArtifactBuilder`] per study run: every driver accumulates
+/// through it (snapshot results, the §6.2 fold, reuse reports), so the
+/// emitted artifact cannot drift from the in-memory series.
+fn new_builder(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    config: &StudyConfig,
+    header_fps: HeaderFingerprints,
+) -> ArtifactBuilder {
+    let mut builder = ArtifactBuilder::new(
+        engine.id,
+        header_fps,
+        artifact_fingerprint(world, engine, config),
+    );
+    if let Some(path) = &config.artifact_out {
+        builder.attach_path(path);
+    }
+    builder
 }
 
-impl NetflixFold {
-    /// Fold one snapshot's result. `origins_of` maps an HTTP-only IP to
-    /// its AS origins at this snapshot (drivers differ only in where that
-    /// lookup lives). Returns the `(initial, with_expired, with_non_tls)`
-    /// triple pushed, so checkpoints can record it.
-    fn push(
-        &mut self,
-        result: &SnapshotResult,
-        origins_of: impl Fn(u32) -> Vec<AsId>,
-    ) -> (usize, usize, usize) {
-        let nf = &result.per_hg[&Hg::Netflix];
-        let initial = nf.confirmed_ases.len();
-        let with_expired = nf.with_expired_ases.len();
-
-        // Non-TLS restoration: HTTP-only IPs with Netflix certificate
-        // history map back to their ASes.
-        let mut with_non_tls: BTreeSet<AsId> = nf.with_expired_ases.clone();
-        for &ip in &result.http_only_ips {
-            if self.ip_history.contains(&ip) {
-                with_non_tls.extend(origins_of(ip));
-            }
-        }
-        let with_non_tls = with_non_tls.len();
-
-        self.variants.initial.push(initial);
-        self.variants.with_expired.push(with_expired);
-        self.variants.with_non_tls.push(with_non_tls);
-        self.ip_history.extend(nf.with_expired_ips.iter().copied());
-        self.ip_history.extend(nf.confirmed_ips.iter().copied());
-        (initial, with_expired, with_non_tls)
-    }
-
-    /// The cumulative IP history in checkpoint-stable (sorted) order.
-    fn sorted_history(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.ip_history.iter().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    /// Restore the fold to its state just after `ckpt`'s snapshot.
-    fn adopt(&mut self, ckpt: &SnapshotCheckpoint) {
-        if ckpt.processed {
-            self.variants.initial.push(ckpt.netflix_initial);
-            self.variants.with_expired.push(ckpt.netflix_with_expired);
-            self.variants.with_non_tls.push(ckpt.netflix_with_non_tls);
-        }
-        self.ip_history = ckpt.netflix_ip_history.iter().copied().collect();
-    }
+/// Seal a batch driver's builder: persist the artifact (when
+/// `artifact_out` asked for one) and unwrap the series.
+fn seal(builder: ArtifactBuilder) -> StudySeries {
+    builder.persist().expect("study artifact write failed");
+    builder.finish().0
 }
 
 /// The full longitudinal result for one engine.
@@ -134,20 +107,29 @@ pub struct StudySeries {
 }
 
 impl StudySeries {
-    /// Confirmed AS-count series for one HG.
-    pub fn confirmed_series(&self, hg: Hg) -> Vec<usize> {
+    /// Confirmed AS counts per snapshot for one HG, without allocating.
+    pub fn confirmed_counts(&self, hg: Hg) -> impl Iterator<Item = usize> + '_ {
         self.snapshots
             .iter()
-            .map(|s| s.per_hg[&hg].confirmed_ases.len())
-            .collect()
+            .map(move |s| s.per_hg[&hg].confirmed_ases.len())
     }
 
-    /// Certificate-only (candidate) AS-count series for one HG.
-    pub fn candidate_series(&self, hg: Hg) -> Vec<usize> {
+    /// Certificate-only (candidate) AS counts per snapshot for one HG,
+    /// without allocating.
+    pub fn candidate_counts(&self, hg: Hg) -> impl Iterator<Item = usize> + '_ {
         self.snapshots
             .iter()
-            .map(|s| s.per_hg[&hg].candidate_ases.len())
-            .collect()
+            .map(move |s| s.per_hg[&hg].candidate_ases.len())
+    }
+
+    /// [`Self::confirmed_counts`] collected into a `Vec`.
+    pub fn confirmed_series(&self, hg: Hg) -> Vec<usize> {
+        self.confirmed_counts(hg).collect()
+    }
+
+    /// [`Self::candidate_counts`] collected into a `Vec`.
+    pub fn candidate_series(&self, hg: Hg) -> Vec<usize> {
+        self.candidate_counts(hg).collect()
     }
 
     /// Confirmed AS set at a snapshot offset.
@@ -355,8 +337,7 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
     ctx.candidate_options = config.candidate_options.clone();
     ctx.confirm_mode = config.confirm_mode;
 
-    let mut snapshots = Vec::new();
-    let mut fold = NetflixFold::default();
+    let mut builder = new_builder(world, engine, config, header_fps);
 
     for t in config.snapshots.0..=config.snapshots.1.min(world.n_snapshots() - 1) {
         if let Some(sharding) = &config.sharding {
@@ -366,8 +347,7 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
                 continue;
             };
             let ip_to_as = world.ip_to_as(t);
-            fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
-            snapshots.push(result);
+            builder.push_snapshot(result, |ip| ip_to_as.lookup(ip).to_vec());
             continue;
         }
         let Some(obs) = observe_snapshot(world, engine, t) else {
@@ -377,16 +357,10 @@ pub fn run_study(world: &HgWorld, engine: &ScanEngine, config: &StudyConfig) -> 
         // owns the frozen interner the downstream stages resolve through.
         let corpus = SnapshotCorpus::build(&obs, &ctx.roots, &standard_validate_options(), None);
         let result = process_corpus(&corpus, &ctx);
-        fold.push(&result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
-        snapshots.push(result);
+        builder.push_snapshot(result, |ip| corpus.ip_to_as.lookup(ip).to_vec());
     }
 
-    StudySeries {
-        engine: engine.id,
-        snapshots,
-        netflix: fold.variants,
-        header_fps,
-    }
+    seal(builder)
 }
 
 /// Crash-resumable variant of [`run_study`]: after each snapshot
@@ -413,15 +387,11 @@ pub fn run_study_checkpointed(
     let start = config.snapshots.0;
     let end = config.snapshots.1.min(world.n_snapshots() - 1);
 
-    let mut snapshots = Vec::new();
-    let mut fold = NetflixFold::default();
+    let mut builder = new_builder(world, engine, config, header_fps);
     let mut next = start;
     for ckpt in adopt_contiguous_prefix(store, start, end)? {
-        fold.adopt(&ckpt);
+        builder.adopt_checkpoint(&ckpt);
         next = ckpt.snapshot_idx + 1;
-        if ckpt.processed {
-            snapshots.push(ckpt.result);
-        }
     }
 
     for t in next..=end {
@@ -432,13 +402,13 @@ pub fn run_study_checkpointed(
                     // Record skips too, so the completed prefix stays
                     // contiguous in snapshot indices and the resume point
                     // is unambiguous.
-                    store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
+                    store.save(&SnapshotCheckpoint::skipped(t, builder.netflix_history()))?;
                     continue;
                 }
             }
         } else {
             let Some(obs) = observe_snapshot(world, engine, t) else {
-                store.save(&SnapshotCheckpoint::skipped(t, fold.sorted_history()))?;
+                store.save(&SnapshotCheckpoint::skipped(t, builder.netflix_history()))?;
                 continue;
             };
             let corpus =
@@ -447,27 +417,21 @@ pub fn run_study_checkpointed(
         };
         let ip_to_as = world.ip_to_as(t);
         let (initial, with_expired, with_non_tls) =
-            fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
+            builder.push_snapshot(result.clone(), |ip| ip_to_as.lookup(ip).to_vec());
         store.save(&SnapshotCheckpoint {
             snapshot_idx: t,
             processed: true,
-            result: result.clone(),
+            result,
             netflix_initial: initial,
             netflix_with_expired: with_expired,
             netflix_with_non_tls: with_non_tls,
-            netflix_ip_history: fold.sorted_history(),
+            netflix_ip_history: builder.netflix_history(),
             evidence: None,
             report: None,
         })?;
-        snapshots.push(result);
     }
 
-    Ok(StudySeries {
-        engine: engine.id,
-        snapshots,
-        netflix: fold.variants,
-        header_fps,
-    })
+    Ok(seal(builder))
 }
 
 /// Load `store` and keep the contiguous run of checkpoints starting
@@ -563,23 +527,16 @@ pub fn run_study_parallel(
 
     // The §6.2 non-TLS restoration consults the cumulative IP history, so
     // it must run in snapshot order — but it is cheap set arithmetic.
-    let mut snapshots = Vec::new();
-    let mut fold = NetflixFold::default();
+    let mut builder = new_builder(world, engine, config, header_fps);
     for (result, http_only_origins) in outputs.into_iter().flatten() {
         let origin_map: std::collections::HashMap<u32, Vec<AsId>> =
             http_only_origins.into_iter().collect();
-        fold.push(&result, |ip| {
+        builder.push_snapshot(result, |ip| {
             origin_map.get(&ip).cloned().unwrap_or_default()
         });
-        snapshots.push(result);
     }
 
-    StudySeries {
-        engine: engine.id,
-        snapshots,
-        netflix: fold.variants,
-        header_fps,
-    }
+    seal(builder)
 }
 
 /// The incremental study's output: the same [`StudySeries`] `run_study`
@@ -607,12 +564,12 @@ pub struct DeltaStudyEngine<'w> {
     world: &'w HgWorld,
     engine: ScanEngine,
     ctx: PipelineContext,
-    header_fps: HeaderFingerprints,
     cache: Arc<ValidationCache>,
     state: Option<DeltaState>,
-    snapshots: Vec<SnapshotResult>,
-    fold: NetflixFold,
-    reports: Vec<DeltaReport>,
+    /// Accumulated results, fold state, and reuse reports — and, when an
+    /// artifact path is attached, the on-disk artifact each append
+    /// re-persists.
+    builder: ArtifactBuilder,
     /// Cache (hits, misses) totals at the end of the previous append, so
     /// each report carries per-snapshot deltas.
     cache_mark: (u64, u64),
@@ -642,16 +599,14 @@ impl<'w> DeltaStudyEngine<'w> {
         .with_validation_cache(cache.clone());
         ctx.candidate_options = config.candidate_options.clone();
         ctx.confirm_mode = config.confirm_mode;
+        let builder = new_builder(world, &engine, config, header_fps);
         Self {
             world,
             engine,
             ctx,
-            header_fps,
             cache,
             state: None,
-            snapshots: Vec::new(),
-            fold: NetflixFold::default(),
-            reports: Vec::new(),
+            builder,
             cache_mark: (0, 0),
             store: None,
             adopted: std::collections::BTreeMap::new(),
@@ -671,21 +626,56 @@ impl<'w> DeltaStudyEngine<'w> {
     pub fn with_checkpoints(mut self, store: CheckpointStore) -> Result<Self, CheckpointError> {
         for ckpt in adopt_contiguous_prefix(&store, self.first_snapshot, self.last_snapshot)? {
             self.adopted.insert(ckpt.snapshot_idx, ckpt.processed);
-            self.fold.adopt(&ckpt);
+            self.builder.adopt_checkpoint(&ckpt);
             if ckpt.processed {
-                self.reports.push(ckpt.report.unwrap_or(DeltaReport {
+                self.builder.push_report(ckpt.report.unwrap_or(DeltaReport {
                     snapshot_idx: ckpt.snapshot_idx,
                     full_compute: true,
                     ..Default::default()
                 }));
                 self.state = ckpt.evidence.map(|evidence| DeltaState {
                     evidence,
-                    result: ckpt.result.clone(),
+                    result: ckpt.result,
                 });
-                self.snapshots.push(ckpt.result);
             }
         }
         self.store = Some(store);
+        Ok(self)
+    }
+
+    /// Attach `path` as the on-disk [`crate::artifact::StudyArtifact`]
+    /// this engine appends to. When a valid artifact (written under the
+    /// same config fingerprint) already exists there, its snapshots are
+    /// adopted: appends for those indices return the recorded outcome
+    /// without recomputing, and later appends extend the artifact in
+    /// place — each one re-persisted atomically. A missing file starts a
+    /// fresh artifact; a mismatched or corrupt one is a typed
+    /// [`ArtifactError`]. The artifact stores results, not delta
+    /// evidence, so the first live append after adoption is a full
+    /// compute — correct, just slower, exactly like resuming from a
+    /// checkpoint prefix whose tail has no evidence.
+    pub fn with_artifact(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, ArtifactError> {
+        let adopted = self.builder.adopt_from_path(path)?;
+        let mut missing_reports = Vec::new();
+        for (i, s) in self.builder.snapshots().iter().enumerate().take(adopted) {
+            self.adopted.insert(s.snapshot_idx, true);
+            // An artifact written by a batch driver carries no reuse
+            // reports; synthesize full-compute markers so reports stay
+            // aligned with snapshots.
+            if i >= self.builder.reports().len() {
+                missing_reports.push(s.snapshot_idx);
+            }
+        }
+        for snapshot_idx in missing_reports {
+            self.builder.push_report(DeltaReport {
+                snapshot_idx,
+                full_compute: true,
+                ..Default::default()
+            });
+        }
         Ok(self)
     }
 
@@ -737,7 +727,10 @@ impl<'w> DeltaStudyEngine<'w> {
         };
         let Some((result, evidence, mut report)) = outcome else {
             if let Some(store) = &self.store {
-                store.save(&SnapshotCheckpoint::skipped(t, self.fold.sorted_history()))?;
+                store.save(&SnapshotCheckpoint::skipped(
+                    t,
+                    self.builder.netflix_history(),
+                ))?;
             }
             return Ok(false);
         };
@@ -748,8 +741,9 @@ impl<'w> DeltaStudyEngine<'w> {
 
         // The §6.2 Netflix fold, identical to `run_study`'s.
         let ip_to_as = self.world.ip_to_as(t);
-        let (initial, with_expired, with_non_tls) =
-            self.fold.push(&result, |ip| ip_to_as.lookup(ip).to_vec());
+        let (initial, with_expired, with_non_tls) = self
+            .builder
+            .push_snapshot(result.clone(), |ip| ip_to_as.lookup(ip).to_vec());
 
         if let Some(store) = &self.store {
             store.save(&SnapshotCheckpoint {
@@ -759,24 +753,23 @@ impl<'w> DeltaStudyEngine<'w> {
                 netflix_initial: initial,
                 netflix_with_expired: with_expired,
                 netflix_with_non_tls: with_non_tls,
-                netflix_ip_history: self.fold.sorted_history(),
+                netflix_ip_history: self.builder.netflix_history(),
                 evidence: Some(evidence.clone()),
                 report: Some(report),
             })?;
         }
 
-        self.state = Some(DeltaState {
-            evidence,
-            result: result.clone(),
-        });
-        self.snapshots.push(result);
-        self.reports.push(report);
+        self.state = Some(DeltaState { evidence, result });
+        self.builder.push_report(report);
+        // Re-persist after every append, so the on-disk artifact always
+        // reflects the grown prefix.
+        self.builder.persist().expect("study artifact write failed");
         Ok(true)
     }
 
     /// Per-snapshot reuse reports so far.
     pub fn reports(&self) -> &[DeltaReport] {
-        &self.reports
+        self.builder.reports()
     }
 
     /// The shared §4.1 validation cache (for its lifetime counters).
@@ -785,15 +778,9 @@ impl<'w> DeltaStudyEngine<'w> {
     }
 
     pub fn finish(self) -> IncrementalStudy {
-        IncrementalStudy {
-            series: StudySeries {
-                engine: self.engine.id,
-                snapshots: self.snapshots,
-                netflix: self.fold.variants,
-                header_fps: self.header_fps,
-            },
-            reports: self.reports,
-        }
+        self.builder.persist().expect("study artifact write failed");
+        let (series, reports) = self.builder.finish();
+        IncrementalStudy { series, reports }
     }
 }
 

@@ -1,0 +1,276 @@
+//! Study-artifact equivalence: a study frozen to disk and loaded back
+//! must render byte-identical output to the live series, whichever of
+//! the four drivers produced it — sequential, snapshot-parallel,
+//! checkpointed, or the incremental delta engine — clean and under
+//! injected faults alike. The incremental engine must also append to an
+//! existing on-disk artifact and land exactly where an uninterrupted
+//! run does.
+//!
+//! `OFFNET_FAULT_RATE` (used by the CI artifact-equivalence job) sets
+//! the injected corruption rate for the faulted comparison (default 0.1).
+
+use hgsim::{HgWorld, ScenarioConfig, ALL_HGS};
+use offnet_bench::render_study;
+use offnet_core::{
+    run_study, run_study_checkpointed, run_study_incremental, run_study_parallel, ArtifactError,
+    CheckpointDriver, CheckpointStore, DeltaStudyEngine, StudyArtifact, StudyConfig,
+};
+use offnet_query::FrozenStudy;
+use scanner::{FaultPlan, ScanEngine};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn world() -> &'static HgWorld {
+    static W: OnceLock<HgWorld> = OnceLock::new();
+    W.get_or_init(|| HgWorld::generate(ScenarioConfig::small()))
+}
+
+fn fault_rate() -> f64 {
+    std::env::var("OFFNET_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// A unique scratch path per call, so parallel tests never collide.
+fn temp_dir() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "offnet-artifact-test-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Render the artifact at `path` after a disk round trip.
+fn render_loaded(path: &std::path::Path) -> String {
+    render_study(
+        &StudyArtifact::load(path)
+            .expect("load artifact")
+            .to_series(),
+    )
+}
+
+#[test]
+fn every_driver_freezes_a_render_identical_artifact() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let dir = temp_dir();
+    let config = |name: &str| StudyConfig {
+        artifact_out: Some(dir.join(format!("{name}.offna"))),
+        ..Default::default()
+    };
+
+    let sequential = render_study(&run_study(w, &engine, &config("sequential")));
+    let parallel = render_study(&run_study_parallel(w, &engine, &config("parallel"), 4));
+    let incremental =
+        render_study(&run_study_incremental(w, &engine, &config("incremental")).series);
+    let ckpt_config = config("checkpointed");
+    let store = CheckpointStore::open(
+        dir.join("ckpts"),
+        offnet_core::study_fingerprint(w, &engine, &ckpt_config, CheckpointDriver::Sequential),
+    )
+    .expect("open store");
+    let checkpointed =
+        render_study(&run_study_checkpointed(w, &engine, &ckpt_config, &store).expect("ckpt run"));
+
+    for (name, direct) in [
+        ("sequential", &sequential),
+        ("parallel", &parallel),
+        ("incremental", &incremental),
+        ("checkpointed", &checkpointed),
+    ] {
+        assert_eq!(
+            *direct,
+            render_loaded(&dir.join(format!("{name}.offna"))),
+            "{name}: loaded artifact renders differently from the live study"
+        );
+        assert_eq!(
+            *direct, sequential,
+            "{name}: drivers disagree before the artifact is even involved"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_artifacts_round_trip_across_drivers() {
+    let w = world();
+    let rate = fault_rate();
+    let dir = temp_dir();
+    // Same plan seed on both sides: fault injection is deterministic per
+    // (seed, snapshot), so both drivers see identical corrupted scans.
+    let engine =
+        || ScanEngine::rapid7().with_faults(Arc::new(FaultPlan::uniform_record_faults(11, rate)));
+    let config = |name: &str| StudyConfig {
+        snapshots: (14, 24),
+        artifact_out: Some(dir.join(format!("{name}.offna"))),
+        ..Default::default()
+    };
+
+    let plan = Arc::new(FaultPlan::uniform_record_faults(11, rate));
+    let full = run_study(
+        w,
+        &ScanEngine::rapid7().with_faults(plan.clone()),
+        &config("full"),
+    );
+    assert!(
+        !plan.injected_total().is_empty(),
+        "plan injected nothing at rate {rate}; the faulted comparison is vacuous"
+    );
+    let inc = run_study_incremental(w, &engine(), &config("incremental"));
+
+    let full_render = render_study(&full);
+    assert_eq!(full_render, render_study(&inc.series));
+    assert_eq!(full_render, render_loaded(&dir.join("full.offna")));
+    assert_eq!(full_render, render_loaded(&dir.join("incremental.offna")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The incremental engine adopts an on-disk artifact prefix and extends
+/// it in place: a run killed after a few appends is continued by a fresh
+/// engine on the same path, and both the finished series and the
+/// re-loaded artifact land byte-identical to an uninterrupted run.
+#[test]
+fn incremental_append_to_existing_artifact_round_trips() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let config = StudyConfig {
+        snapshots: (14, 24),
+        ..Default::default()
+    };
+    let dir = temp_dir();
+    let path = dir.join("grown.offna");
+
+    // First engine: append a prefix, then drop without finish() — the
+    // artifact on disk holds whatever was persisted per-append.
+    let mut first = DeltaStudyEngine::new(w, engine.clone(), &config)
+        .with_artifact(&path)
+        .expect("fresh artifact");
+    for t in 14..=18 {
+        first.append_snapshot(t);
+    }
+    drop(first);
+    let prefix_rows = StudyArtifact::load(&path).expect("prefix").snapshots.len();
+    assert!(prefix_rows > 0, "prefix persisted nothing");
+
+    // Second engine: adopt the prefix and run the full range.
+    let mut second = DeltaStudyEngine::new(w, engine.clone(), &config)
+        .with_artifact(&path)
+        .expect("adopt prefix");
+    for t in 14..=24 {
+        second.append_snapshot(t);
+    }
+    let grown = second.finish();
+
+    let reference = run_study(w, &engine, &config);
+    assert_eq!(
+        render_study(&reference),
+        render_study(&grown.series),
+        "grown-from-artifact series diverged from an uninterrupted run"
+    );
+    assert_eq!(render_study(&reference), render_loaded(&path));
+    // Adoption must be visible in the reuse reports: the prefix engine's
+    // genuine reports survive the disk round trip, and the first live
+    // append is a full compute (the artifact stores results, not delta
+    // evidence), after which deltas resume.
+    assert_eq!(grown.reports.len(), grown.series.snapshots.len());
+    assert!(grown.reports[0].full_compute, "t0 must be full");
+    assert!(
+        grown.reports[1..prefix_rows]
+            .iter()
+            .all(|r| !r.full_compute),
+        "adopted prefix lost its genuine delta reports"
+    );
+    assert!(
+        grown.reports[prefix_rows].full_compute,
+        "first append after adoption must recompute in full"
+    );
+    assert!(
+        grown.reports[prefix_rows + 1..]
+            .iter()
+            .all(|r| !r.full_compute),
+        "deltas must resume after the post-adoption full compute"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_artifacts_fail_typed_not_loud() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let dir = temp_dir();
+    let path = dir.join("victim.offna");
+    let config = StudyConfig {
+        snapshots: (24, 26),
+        artifact_out: Some(path.clone()),
+        ..Default::default()
+    };
+    run_study(w, &engine, &config);
+
+    let pristine = std::fs::read(&path).expect("artifact bytes");
+    // Flip one payload byte: checksum mismatch, typed and remediated.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(&path, &flipped).expect("write flipped");
+    let err = StudyArtifact::load(&path).expect_err("corrupt artifact must not load");
+    assert!(matches!(err, ArtifactError::Corrupt { .. }), "{err}");
+    assert!(
+        err.to_string().contains("delete the artifact file"),
+        "error must carry its remediation: {err}"
+    );
+    // Truncation is equally typed.
+    std::fs::write(&path, &pristine[..pristine.len() / 3]).expect("write truncated");
+    assert!(
+        StudyArtifact::load(&path).is_err(),
+        "truncated artifact loaded"
+    );
+    // And the incremental engine surfaces the same typed error instead of
+    // adopting garbage.
+    std::fs::write(&path, &flipped).expect("write flipped again");
+    let adopt = DeltaStudyEngine::new(w, engine, &config).with_artifact(&path);
+    assert!(adopt.is_err(), "engine adopted a corrupt artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The query layer's frozen tables must agree with the series they were
+/// frozen from: growth curves equal the per-snapshot confirmed counts,
+/// and point lookups match set membership.
+#[test]
+fn frozen_study_agrees_with_live_series() {
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let dir = temp_dir();
+    let path = dir.join("query.offna");
+    let config = StudyConfig {
+        artifact_out: Some(path.clone()),
+        ..Default::default()
+    };
+    let series = run_study(w, &engine, &config);
+    let frozen = FrozenStudy::load(&path).expect("load frozen");
+
+    assert_eq!(frozen.n_rows(), series.snapshots.len());
+    for hg in ALL_HGS {
+        assert_eq!(
+            frozen.growth_curve(hg),
+            series.confirmed_series(hg),
+            "{hg}: frozen growth curve diverged"
+        );
+    }
+    for (row, snap) in series.snapshots.iter().enumerate() {
+        assert_eq!(frozen.snapshot_idx(row), snap.snapshot_idx);
+        for hg in ALL_HGS {
+            let live = &snap.per_hg[&hg].confirmed_ases;
+            let frozen_ases = frozen.ases_hosting(hg, row);
+            assert_eq!(frozen_ases.len(), live.len(), "{hg} row {row}");
+            for asn in frozen_ases {
+                assert!(frozen.hosts(hg, row, *asn), "{hg} row {row} as {asn}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -616,19 +616,23 @@ fn shard_stats(fx: &Fixtures) {
         sharding: Some(sharding.clone()),
         ..Default::default()
     };
+    let workers = sharding.workers.unwrap_or_else(default_thread_count).max(1);
+    let depth = sharding.depth.unwrap_or(workers + 2);
     let start = Instant::now();
     let series = run_study(&fx.world, &fx.engine(ScanEngine::rapid7()), &config);
     eprintln!(
-        "[reproduce] shard-stats study: {:.2}s ({} endpoints/shard)",
+        "[reproduce] shard-stats study: {:.2}s ({} endpoints/shard, {workers} workers, depth {depth})",
         start.elapsed().as_secs_f64(),
         sharding.shard_size
     );
     print!("{}", analysis::shard_stats_table(&sharding.ledger.rows()));
     println!(
-        "segments: {} built, {} reused; peak resident shard {} (snapshots processed: {})",
+        "segments: {} built, {} reused; largest shard {}, peak resident {} \
+         (bound: depth {depth} x shard; snapshots processed: {})",
         sharding.ledger.segments_built(),
         sharding.ledger.segments_reused(),
         analysis::humanize_bytes(sharding.ledger.peak_shard_interned_bytes()),
+        analysis::humanize_bytes(sharding.ledger.peak_resident_interned_bytes()),
         series.snapshots.len(),
     );
 }

@@ -33,6 +33,7 @@
 //! [`run_study_checkpointed`]: crate::study::run_study_checkpointed
 //! [`run_study_incremental_checkpointed`]: crate::study::run_study_incremental_checkpointed
 
+use crate::codec::{self, EnvelopeIssue};
 use crate::delta::{DeltaReport, HgEvidence, SnapshotEvidence};
 use crate::errors::{DataQualityReport, RecordError};
 use crate::pipeline::{HgSnapshotResult, SnapshotResult};
@@ -41,7 +42,6 @@ use crate::validate::{InvalidReason, ValidationStats};
 use hgsim::{Hg, HgWorld, ALL_HGS};
 use netsim::AsId;
 use scanner::{ScanEngine, ScanHealth, TransientClass};
-use sha2sim::Sha256;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use x509::ChainError;
@@ -111,6 +111,24 @@ impl CheckpointError {
             path: path.to_path_buf(),
             detail: detail.into(),
         }
+    }
+}
+
+/// Map a shared-codec envelope failure onto checkpoint error variants.
+/// Fingerprint comparison is *not* handled here — callers decide whether
+/// a mismatch is `ConfigMismatch` (checkpoints) or `Corrupt` (segments).
+pub(crate) fn envelope_checkpoint_error(issue: EnvelopeIssue, path: &Path) -> CheckpointError {
+    match issue {
+        EnvelopeIssue::Io(p, e) => CheckpointError::io(&p, e),
+        EnvelopeIssue::BadMagic => CheckpointError::BadMagic {
+            path: path.to_path_buf(),
+        },
+        EnvelopeIssue::BadVersion { found } => CheckpointError::VersionMismatch {
+            path: path.to_path_buf(),
+            found,
+            expected: CHECKPOINT_VERSION,
+        },
+        EnvelopeIssue::Corrupt(detail) => CheckpointError::corrupt(path, detail),
     }
 }
 
@@ -230,39 +248,15 @@ impl CheckpointStore {
     /// Atomically persist one snapshot's checkpoint.
     pub fn save(&self, ckpt: &SnapshotCheckpoint) -> Result<(), CheckpointError> {
         let payload = encode_checkpoint(ckpt);
-        let mut file = Vec::with_capacity(payload.len() + 60);
-        file.extend_from_slice(MAGIC);
-        file.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-        file.extend_from_slice(&self.fingerprint.to_le_bytes());
-        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        file.extend_from_slice(&payload);
-        file.extend_from_slice(&Sha256::digest(&payload));
         let path = self.path_for(ckpt.snapshot_idx);
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &file).map_err(|e| CheckpointError::io(&tmp, e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| CheckpointError::io(&path, e))
+        codec::write_envelope(&path, MAGIC, CHECKPOINT_VERSION, self.fingerprint, &payload)
+            .map_err(|(p, e)| CheckpointError::io(&p, e))
     }
 
     /// Parse and validate one artifact file.
     pub fn load(&self, path: &Path) -> Result<SnapshotCheckpoint, CheckpointError> {
-        let bytes = std::fs::read(path).map_err(|e| CheckpointError::io(path, e))?;
-        if bytes.len() < MAGIC.len() + 4 + 8 + 8 || &bytes[..MAGIC.len()] != MAGIC {
-            return Err(CheckpointError::BadMagic {
-                path: path.to_path_buf(),
-            });
-        }
-        let mut at = MAGIC.len();
-        let version = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-        at += 4;
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::VersionMismatch {
-                path: path.to_path_buf(),
-                found: version,
-                expected: CHECKPOINT_VERSION,
-            });
-        }
-        let fingerprint = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-        at += 8;
+        let (fingerprint, payload) = codec::read_envelope(path, MAGIC, CHECKPOINT_VERSION)
+            .map_err(|issue| envelope_checkpoint_error(issue, path))?;
         if fingerprint != self.fingerprint {
             return Err(CheckpointError::ConfigMismatch {
                 path: path.to_path_buf(),
@@ -270,22 +264,7 @@ impl CheckpointStore {
                 expected: self.fingerprint,
             });
         }
-        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize;
-        at += 8;
-        let Some(rest) = bytes.get(at..) else {
-            return Err(CheckpointError::corrupt(path, "truncated header"));
-        };
-        if rest.len() != len + 32 {
-            return Err(CheckpointError::corrupt(
-                path,
-                format!("payload length {} != declared {len} + 32", rest.len()),
-            ));
-        }
-        let (payload, checksum) = rest.split_at(len);
-        if Sha256::digest(payload) != checksum[..32] {
-            return Err(CheckpointError::corrupt(path, "checksum mismatch"));
-        }
-        decode_checkpoint(payload, path)
+        decode_checkpoint(&payload, path)
     }
 
     /// Load every artifact in the directory, sorted by snapshot index.
@@ -467,7 +446,7 @@ fn transient_tag(c: TransientClass) -> u8 {
         .expect("transient class in tag table") as u8
 }
 
-fn hg_tag(hg: Hg) -> u8 {
+pub(crate) fn hg_tag(hg: Hg) -> u8 {
     ALL_HGS
         .iter()
         .position(|&h| h == hg)
@@ -992,6 +971,7 @@ fn decode_report(d: &mut Dec) -> Result<DeltaReport, CheckpointError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sha2sim::Sha256;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A process-unique temp directory per test.

@@ -39,6 +39,7 @@ pub mod artifact;
 pub mod baselines;
 pub mod candidates;
 pub mod checkpoint;
+pub(crate) mod codec;
 pub mod confirm;
 pub mod corpus;
 pub mod delta;
@@ -53,7 +54,8 @@ pub mod validate;
 pub mod validation_cache;
 
 pub use artifact::{
-    artifact_fingerprint, ArtifactBuilder, ArtifactError, StudyArtifact, ARTIFACT_VERSION,
+    artifact_fingerprint, read_artifact_payload, ArtifactBuilder, ArtifactError, ArtifactTables,
+    StudyArtifact, ARTIFACT_VERSION,
 };
 pub use candidates::{find_candidates, CandidateSet};
 pub use checkpoint::{
@@ -77,7 +79,8 @@ pub use pipeline::{
     HgSnapshotResult, PipelineContext, SnapshotResult,
 };
 pub use shard::{
-    segment_fingerprint, segment_path, ShardLedger, ShardStat, ShardingConfig, SEGMENT_VERSION,
+    process_snapshot_sharded, segment_fingerprint, segment_path, ShardLedger, ShardStat,
+    ShardingConfig, SEGMENT_VERSION,
 };
 pub use study::{
     run_study, run_study_checkpointed, run_study_incremental, run_study_incremental_checkpointed,

@@ -8,7 +8,9 @@
 //! scheduling.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Environment variable overriding the worker count (unset means one
 /// worker per available core).
@@ -192,6 +194,198 @@ where
     parallel_map(&indexed, threads, |&(i, item)| run_one(i, item))
 }
 
+/// A counting gate: the bounded-depth admission control of
+/// [`bounded_pipeline`]. Permits are taken by the feeder and returned by
+/// the ordered fold, so `fed - folded <= depth` at all times.
+struct Gate {
+    permits: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    fn new(n: usize) -> Self {
+        Gate {
+            permits: std::sync::Mutex::new(n),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wait for a permit. Returns `false` when the pipeline aborted while
+    /// waiting (an error downstream), so the feeder stops instead of
+    /// deadlocking against a fold that will never run.
+    fn acquire(&self, abort: &AtomicBool) -> bool {
+        let mut p = self.permits.lock().expect("gate mutex");
+        loop {
+            if abort.load(Ordering::Acquire) {
+                return false;
+            }
+            if *p > 0 {
+                *p -= 1;
+                return true;
+            }
+            p = self.cv.wait(p).expect("gate mutex");
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("gate mutex") += 1;
+        self.cv.notify_one();
+    }
+
+    /// Wake every waiter so they observe the abort flag.
+    fn wake_all(&self) {
+        let _hold = self.permits.lock().expect("gate mutex");
+        self.cv.notify_all();
+    }
+}
+
+/// A bounded-depth produce/consume pipeline with a strictly ordered fold.
+///
+/// `feed` runs on the calling thread and pushes work items through the
+/// provided closure; each item is stamped with its push index. Up to
+/// `workers` scoped threads run `work(index, item)` concurrently, and a
+/// dedicated fold thread applies `fold(index, result)` **in push order**
+/// (a reorder buffer holds early finishers). The gate bounds the number
+/// of items that have been fed but not yet folded to `depth`, so with
+/// item-sized payloads peak memory is `depth × item`, independent of the
+/// input length.
+///
+/// Determinism: because the fold observes results in push order, any pure
+/// `work` yields a fold sequence identical to the serial
+/// `for (i, t) in items { fold(i, work(i, t)?)? }` — which is exactly
+/// what runs inline (no threads at all) when `workers <= 1`.
+///
+/// The push closure returns `false` once the pipeline has aborted (some
+/// `work` or `fold` returned an error); the feeder should stop then. The
+/// first error observed is returned; `feed`'s own error is returned only
+/// when the pipeline itself saw none.
+pub fn bounded_pipeline<T, R, E, Feed, Work, Fold>(
+    workers: usize,
+    depth: usize,
+    feed: Feed,
+    work: Work,
+    mut fold: Fold,
+) -> Result<(), E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    Feed: FnOnce(&mut dyn FnMut(T) -> bool) -> Result<(), E>,
+    Work: Fn(usize, T) -> Result<R, E> + Sync,
+    Fold: FnMut(usize, R) -> Result<(), E> + Send,
+{
+    if workers <= 1 {
+        // Inline serial path: the escape hatch that makes
+        // `OFFNET_THREADS=1` runs thread-free and trivially deterministic.
+        let mut first_err: Option<E> = None;
+        let mut idx = 0usize;
+        let feed_res = feed(
+            &mut |item| match work(idx, item).and_then(|r| fold(idx, r)) {
+                Ok(()) => {
+                    idx += 1;
+                    true
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    false
+                }
+            },
+        );
+        return match first_err {
+            Some(e) => Err(e),
+            None => feed_res,
+        };
+    }
+
+    let depth = depth.max(1);
+    let gate = Gate::new(depth);
+    let abort = AtomicBool::new(false);
+    let first_err: Mutex<Option<E>> = Mutex::new(None);
+    let (task_tx, task_rx) = mpsc::channel::<(usize, T)>();
+    let task_rx = Mutex::new(task_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Result<R, E>)>();
+
+    let feed_res = std::thread::scope(|scope| {
+        let gate = &gate;
+        let abort = &abort;
+        let first_err = &first_err;
+        let task_rx = &task_rx;
+        let work = &work;
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                let msg = task_rx.lock().recv();
+                let Ok((i, item)) = msg else { break };
+                if abort.load(Ordering::Acquire) {
+                    continue; // drain the queue without computing
+                }
+                if res_tx.send((i, work(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx); // workers hold the remaining clones
+
+        let fold = &mut fold;
+        scope.spawn(move || {
+            let mut next = 0usize;
+            let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+            let fail = |e: E| {
+                let mut slot = first_err.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                abort.store(true, Ordering::Release);
+                gate.wake_all();
+            };
+            for (i, r) in res_rx.iter() {
+                if abort.load(Ordering::Acquire) {
+                    continue; // drain so workers never block on send
+                }
+                match r {
+                    Err(e) => fail(e),
+                    Ok(r) => {
+                        pending.insert(i, r);
+                        // Fold every newly contiguous result, releasing
+                        // one permit per item actually retired.
+                        while let Some(r) = pending.remove(&next) {
+                            match fold(next, r) {
+                                Ok(()) => {
+                                    next += 1;
+                                    gate.release();
+                                }
+                                Err(e) => {
+                                    fail(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut pushed = 0usize;
+        let feed_res = feed(&mut |item| {
+            if !gate.acquire(abort) {
+                return false;
+            }
+            if task_tx.send((pushed, item)).is_err() {
+                return false;
+            }
+            pushed += 1;
+            true
+        });
+        drop(task_tx); // close the queue: workers, then the fold, exit
+        feed_res
+    });
+
+    match first_err.into_inner() {
+        Some(e) => Err(e),
+        None => feed_res,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +485,143 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn run_pipeline(
+        workers: usize,
+        depth: usize,
+        n: u64,
+    ) -> Result<Vec<(usize, u64)>, &'static str> {
+        let mut folded = Vec::new();
+        bounded_pipeline(
+            workers,
+            depth,
+            |push| {
+                for i in 0..n {
+                    if !push(i) {
+                        break;
+                    }
+                }
+                Ok(())
+            },
+            |_, item: u64| {
+                // Skew the finish order: early items run longest.
+                for _ in 0..(n - item) * 500 {
+                    std::hint::black_box(item);
+                }
+                Ok(item * 3)
+            },
+            |i, r| {
+                folded.push((i, r));
+                Ok(())
+            },
+        )?;
+        Ok(folded)
+    }
+
+    #[test]
+    fn bounded_pipeline_folds_in_push_order_at_any_width() {
+        let expect: Vec<(usize, u64)> = (0..200u64).map(|i| (i as usize, i * 3)).collect();
+        for (workers, depth) in [(1, 1), (2, 3), (4, 6), (8, 2)] {
+            assert_eq!(
+                run_pipeline(workers, depth, 200).unwrap(),
+                expect,
+                "workers={workers} depth={depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_pipeline_bounds_in_flight_items() {
+        // fed - folded can never exceed depth: sample the gauge from the
+        // workers, where every in-flight item passes through.
+        let fed = AtomicUsize::new(0);
+        let folded_n = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let depth = 3usize;
+        bounded_pipeline::<_, _, (), _, _, _>(
+            4,
+            depth,
+            |push| {
+                for i in 0..300u32 {
+                    if !push(i) {
+                        break;
+                    }
+                    // Counted only once admitted through the gate, so the
+                    // worker-side gauge can undercount but never overshoot.
+                    fed.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(())
+            },
+            |_, item| {
+                let gauge = fed.load(Ordering::SeqCst) - folded_n.load(Ordering::SeqCst);
+                peak.fetch_max(gauge, Ordering::SeqCst);
+                Ok(item)
+            },
+            |_, _| {
+                folded_n.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(folded_n.load(Ordering::SeqCst), 300);
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= depth, "peak in-flight {peak} exceeds depth {depth}");
+    }
+
+    #[test]
+    fn bounded_pipeline_propagates_errors_and_stops_feeding() {
+        for workers in [1, 4] {
+            let mut folded = 0usize;
+            let res = bounded_pipeline(
+                workers,
+                2,
+                |push| {
+                    for i in 0..10_000u32 {
+                        if !push(i) {
+                            break;
+                        }
+                    }
+                    Ok(())
+                },
+                |_, item| {
+                    if item == 5 {
+                        Err("work failed at 5")
+                    } else {
+                        Ok(item)
+                    }
+                },
+                |_, _| {
+                    folded += 1;
+                    Ok(())
+                },
+            );
+            assert_eq!(res, Err("work failed at 5"), "workers={workers}");
+            assert!(folded <= 5, "fold ran past the failed item: {folded}");
+        }
+
+        // Fold errors surface the same way.
+        let res = bounded_pipeline(
+            4,
+            4,
+            |push| {
+                for i in 0..100u32 {
+                    if !push(i) {
+                        break;
+                    }
+                }
+                Ok(())
+            },
+            |_, item| Ok(item),
+            |i, _| {
+                if i == 7 {
+                    Err("fold failed at 7")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(res, Err("fold failed at 7"));
     }
 
     #[test]

@@ -11,24 +11,46 @@
 //! compact on-disk **segment**, extracts the small cross-shard
 //! accumulators (§4.1 stats, on-net fingerprint names, AS unions, evidence
 //! digests), and drops the shard before the next one is generated. A
-//! consumer pass then maps segments back one at a time to run the per-HG
-//! §4.3–§4.5 stages, merging per-shard partial results.
+//! consumer pass then maps segments back to run the per-HG §4.3–§4.5
+//! stages, merging per-shard partial results.
 //!
-//! Peak memory is O(shard) + O(merged summaries), never O(snapshot) — and
-//! because shards are contiguous chunks of the *same* record stream the
-//! monolithic path scans (fault coins are pure per-record functions, IPs
-//! are unique per snapshot, and an endpoint's certificate and banner
-//! records always share a chunk), every per-record decision — validation
-//! dedup, banner quarantine, candidate filtering, confirmation — is local
-//! to a shard and concatenates in shard order to exactly the monolithic
-//! result. `render_study` output is byte-identical across the two paths;
-//! `tests/sharded.rs` pins this.
+//! Peak memory is O(depth × shard) + O(merged summaries), never
+//! O(snapshot) — and because shards are contiguous chunks of the *same*
+//! record stream the monolithic path scans (fault coins are pure
+//! per-record functions, IPs are unique per snapshot, and an endpoint's
+//! certificate and banner records always share a chunk), every per-record
+//! decision — validation dedup, banner quarantine, candidate filtering,
+//! confirmation — is local to a shard and concatenates in shard order to
+//! exactly the monolithic result. `render_study` output is byte-identical
+//! across the two paths; `tests/sharded.rs` pins this.
 //!
 //! Segments are checksummed, fingerprinted and written atomically (tmp +
 //! rename), mirroring [`CheckpointStore`](crate::CheckpointStore): a
 //! killed producer resumes by *reusing* every valid segment on disk —
 //! admitting (not rescanning) those chunks keeps the scan-health and
 //! fault ledgers exact — and rebuilding only what is missing or stale.
+//!
+//! **Pipelined produce.** The serial spine of the producer is only what
+//! is genuinely order-dependent: the endpoint walk, the stateful
+//! scan/admit sessions, and the reuse decision. Everything CPU-heavy
+//! about freezing a shard — §4.1 chain validation, interning, columnar
+//! encode, SHA-256, atomic persist — runs on a
+//! [`bounded_pipeline`] worker pool,
+//! and an ordered fold absorbs shard summaries strictly by shard index,
+//! so rendered output is byte-identical at any `OFFNET_THREADS`. The
+//! pipeline admits at most `depth` shards between feed and fold, keeping
+//! peak memory at `depth × shard` ([`ShardLedger`] tracks the realized
+//! high-water mark). The consumer pass fans segments over
+//! [`parallel_map`] and merges per-shard
+//! accumulators in shard order for the same byte-identity guarantee.
+//!
+//! **Zero-copy admission.** A v2 segment payload leads with a compact
+//! *summary section* — every cross-shard accumulator (validation stats,
+//! AS unions, chain digests, §4.2 on-net names, delta evidence) encoded
+//! as aligned little-endian columns. Warm admission decodes only that
+//! section, borrowing the integer columns straight from the loaded
+//! buffer (via the shared envelope codec); the corpus body behind it is
+//! touched only by the consumer pass.
 //!
 //! Two deliberate behavioral notes, both invisible at equal inputs:
 //!
@@ -43,7 +65,11 @@
 
 use crate::candidates::{find_candidates, is_cloudflare_free_san};
 use crate::checkpoint::{
-    decode_validation, encode_validation, engine_tag, mix, CheckpointError, Dec, Enc,
+    decode_validation, encode_validation, engine_tag, hg_tag, mix, CheckpointError, Dec, Enc,
+};
+use crate::codec::{
+    self, dec_str_ref, dec_u32_col, dec_u64_col, enc_u32_col, enc_u64_col, EnvelopeIssue, U32Col,
+    U64Col,
 };
 use crate::confirm::{
     confirm_candidates, BannerIndex, BannerQuality, CompiledFingerprints, ConfirmMode, Port,
@@ -51,6 +77,7 @@ use crate::confirm::{
 use crate::corpus::{measure_memory_parts, SnapshotCorpus};
 use crate::delta::{CorpusDelta, DeltaReport, DeltaState, HgEvidence, SnapshotEvidence};
 use crate::errors::{DataQualityReport, RecordError};
+use crate::parallel::{bounded_pipeline, parallel_map};
 use crate::pipeline::{
     standard_validate_options, HgSnapshotResult, PipelineContext, SnapshotResult,
 };
@@ -63,7 +90,6 @@ use scanner::{
     covers_snapshot, CertScanSnapshot, CertScanStream, HttpRecord, HttpScanSnapshot,
     HttpScanStream, ScanEngine, ScanHealth,
 };
-use sha2sim::Sha256;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,8 +97,9 @@ use std::sync::{Arc, Mutex};
 use x509::Certificate;
 
 /// Segment format version. Bumping it invalidates (and silently rebuilds)
-/// every on-disk segment.
-pub const SEGMENT_VERSION: u32 = 1;
+/// every on-disk segment. Version 2 added the summary section in front of
+/// the corpus body (zero-copy admission).
+pub const SEGMENT_VERSION: u32 = 2;
 
 const SEGMENT_MAGIC: &[u8; 8] = b"OFFNSSEG";
 
@@ -80,13 +107,21 @@ const SEGMENT_MAGIC: &[u8; 8] = b"OFFNSSEG";
 #[derive(Debug, Clone)]
 pub struct ShardingConfig {
     /// Maximum endpoints per shard (clamped to ≥ 1). Peak memory scales
-    /// with this, not with the snapshot.
+    /// with this (times the pipeline depth), not with the snapshot.
     pub shard_size: usize,
     /// Segment directory; per-snapshot subdirectories (`t0007/`) are
     /// created inside it, so parallel drivers never collide.
     pub spill_dir: PathBuf,
     /// Shared build/reuse accounting, readable after the run.
     pub ledger: Arc<ShardLedger>,
+    /// Shard-freeze / segment-consume worker count. `None` defers to the
+    /// pipeline context's `threads` (i.e. `OFFNET_THREADS`); `1` runs
+    /// thread-free.
+    pub workers: Option<usize>,
+    /// Bounded produce-pipeline depth: shards fed but not yet folded.
+    /// `None` means `workers + 2` — enough slack to keep the pool busy
+    /// while the fold catches up, still O(1) shards resident.
+    pub depth: Option<usize>,
 }
 
 impl ShardingConfig {
@@ -95,7 +130,29 @@ impl ShardingConfig {
             shard_size,
             spill_dir: spill_dir.into(),
             ledger: Arc::new(ShardLedger::default()),
+            workers: None,
+            depth: None,
         }
+    }
+
+    /// Pin the produce/consume worker count (overrides `OFFNET_THREADS`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Pin the bounded produce-pipeline depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth.max(1));
+        self
+    }
+
+    fn resolved_workers(&self, ctx: &PipelineContext) -> usize {
+        self.workers.unwrap_or(ctx.threads).max(1)
+    }
+
+    fn resolved_depth(&self, workers: usize) -> usize {
+        self.depth.unwrap_or(workers + 2).max(1)
     }
 }
 
@@ -120,12 +177,18 @@ pub struct ShardStat {
 }
 
 /// Cross-thread build/reuse ledger for a sharded study (the parallel
-/// driver's workers all record into the same instance).
+/// driver's workers and the produce pipeline all record into the same
+/// instance).
 #[derive(Debug, Default)]
 pub struct ShardLedger {
     built: AtomicUsize,
     reused: AtomicUsize,
     rows: Mutex<Vec<ShardStat>>,
+    /// Interned bytes of shards resident right now (guard-scoped).
+    resident_now: AtomicUsize,
+    /// High-water mark of `resident_now` — the realized peak the
+    /// `depth × shard` memory bound is about.
+    resident_peak: AtomicUsize,
 }
 
 impl ShardLedger {
@@ -144,8 +207,7 @@ impl ShardLedger {
         rows
     }
 
-    /// Largest single-shard interned footprint seen so far — the resident
-    /// high-water mark the bounded-memory claim is about.
+    /// Largest single-shard interned footprint seen so far.
     pub fn peak_shard_interned_bytes(&self) -> usize {
         self.rows
             .lock()
@@ -156,6 +218,14 @@ impl ShardLedger {
             .unwrap_or(0)
     }
 
+    /// Largest *concurrent* interned footprint: the sum of every shard
+    /// resident at once across produce workers and consume workers. With
+    /// the pipelined producer this is bounded by
+    /// `max(depth, workers) × max-shard-interned`.
+    pub fn peak_resident_interned_bytes(&self) -> usize {
+        self.resident_peak.load(Ordering::Relaxed)
+    }
+
     fn record(&self, stat: ShardStat) {
         if stat.reused {
             self.reused.fetch_add(1, Ordering::Relaxed);
@@ -163,6 +233,31 @@ impl ShardLedger {
             self.built.fetch_add(1, Ordering::Relaxed);
         }
         self.rows.lock().expect("shard ledger lock").push(stat);
+    }
+
+    /// Account `bytes` as resident until the returned guard drops.
+    fn resident_guard(&self, bytes: usize) -> ResidentGuard<'_> {
+        let now = self.resident_now.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.resident_peak.fetch_max(now, Ordering::SeqCst);
+        ResidentGuard {
+            ledger: self,
+            bytes,
+        }
+    }
+}
+
+/// RAII residency accounting: subtracts its bytes from the ledger's
+/// resident gauge on drop.
+struct ResidentGuard<'a> {
+    ledger: &'a ShardLedger,
+    bytes: usize,
+}
+
+impl Drop for ResidentGuard<'_> {
+    fn drop(&mut self) {
+        self.ledger
+            .resident_now
+            .fetch_sub(self.bytes, Ordering::SeqCst);
     }
 }
 
@@ -207,64 +302,70 @@ pub fn segment_fingerprint(
 }
 
 // ---------------------------------------------------------------------------
-// Segment envelope: magic · version · fingerprint · len · payload · sha256.
+// Segment envelope (shared codec) and v2 payload framing.
 // ---------------------------------------------------------------------------
 
 fn write_segment(path: &Path, fingerprint: u64, payload: &[u8]) -> Result<(), CheckpointError> {
-    let mut file = Vec::with_capacity(payload.len() + 60);
-    file.extend_from_slice(SEGMENT_MAGIC);
-    file.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
-    file.extend_from_slice(&fingerprint.to_le_bytes());
-    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    file.extend_from_slice(payload);
-    file.extend_from_slice(&Sha256::digest(payload));
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &file).map_err(|e| CheckpointError::io(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::io(path, e))
+    codec::write_envelope(path, SEGMENT_MAGIC, SEGMENT_VERSION, fingerprint, payload)
+        .map_err(|(p, e)| CheckpointError::io(&p, e))
 }
 
 /// Read and fully validate one segment, returning its payload.
 fn read_segment(path: &Path, fingerprint: u64) -> Result<Vec<u8>, CheckpointError> {
-    let bytes = std::fs::read(path).map_err(|e| CheckpointError::io(path, e))?;
-    let header = SEGMENT_MAGIC.len() + 4 + 8 + 8;
-    if bytes.len() < header + 32 || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-        return Err(CheckpointError::corrupt(path, "bad segment magic"));
-    }
-    let mut at = SEGMENT_MAGIC.len();
-    let version = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-    at += 4;
-    if version != SEGMENT_VERSION {
-        return Err(CheckpointError::corrupt(
-            path,
-            format!("segment version {version} != {SEGMENT_VERSION}"),
-        ));
-    }
-    let found = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-    at += 8;
+    let (found, payload) = codec::read_envelope(path, SEGMENT_MAGIC, SEGMENT_VERSION).map_err(
+        |issue| match issue {
+            EnvelopeIssue::Io(p, e) => CheckpointError::io(&p, e),
+            EnvelopeIssue::BadMagic => CheckpointError::corrupt(path, "bad segment magic"),
+            EnvelopeIssue::BadVersion { found } => CheckpointError::corrupt(
+                path,
+                format!("segment version {found} != {SEGMENT_VERSION}"),
+            ),
+            EnvelopeIssue::Corrupt(detail) => CheckpointError::corrupt(path, detail),
+        },
+    )?;
     if found != fingerprint {
         return Err(CheckpointError::corrupt(
             path,
             "segment fingerprint mismatch (stale scenario/engine/shard config)",
         ));
     }
-    let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize;
-    at += 8;
-    let rest = &bytes[at..];
-    if rest.len() != len + 32 {
+    Ok(payload)
+}
+
+/// v2 payload framing: `u64 summary_len · summary · body`. The summary
+/// starts 8 bytes in, so its 8-aligned columns stay aligned in the file.
+fn frame_segment(summary: &[u8], body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + summary.len() + body.len());
+    payload.extend_from_slice(&(summary.len() as u64).to_le_bytes());
+    payload.extend_from_slice(summary);
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Split a validated payload into its (summary, body) sections.
+fn split_segment_payload<'a>(
+    payload: &'a [u8],
+    path: &Path,
+) -> Result<(&'a [u8], &'a [u8]), CheckpointError> {
+    if payload.len() < 8 {
         return Err(CheckpointError::corrupt(
             path,
-            format!("payload length {} != declared {len} + 32", rest.len()),
+            "segment truncated before summary",
         ));
     }
-    let (payload, checksum) = rest.split_at(len);
-    if Sha256::digest(payload) != checksum[..32] {
-        return Err(CheckpointError::corrupt(path, "segment checksum mismatch"));
+    let n = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) as usize;
+    let rest = &payload[8..];
+    if n > rest.len() {
+        return Err(CheckpointError::corrupt(
+            path,
+            "segment summary length out of range",
+        ));
     }
-    Ok(payload.to_vec())
+    Ok(rest.split_at(n))
 }
 
 // ---------------------------------------------------------------------------
-// Segment payload codec.
+// Segment body codec (the full per-shard corpus).
 // ---------------------------------------------------------------------------
 
 /// One resident shard: its corpus plus the shard-scoped summaries the
@@ -355,7 +456,7 @@ fn dec_http(
     }))
 }
 
-/// Serialize one built shard into a segment payload. The interner pools
+/// Serialize one built shard into a segment body. The interner pools
 /// are the *corpus* pools (scanner pools plus SAN host interning), so the
 /// stored SAN/banner symbol indices resolve against them on load.
 fn encode_shard(
@@ -390,11 +491,13 @@ fn encode_shard(
     e.buf
 }
 
-/// Rebuild a shard from a validated segment payload. Everything cheap to
+/// Rebuild a shard from a validated segment body. Everything cheap to
 /// recompute (Cloudflare flags, per-HG org indices, the banner index and
 /// its quality counters, memory stats) is rederived from the decoded
 /// tables rather than stored; chain verification is *not* redone — the
-/// stored valids are the §4.1 survivors.
+/// stored valids are the §4.1 survivors. Callers overwrite
+/// `memory.segment_bytes` with the full payload length (the body slice
+/// excludes the summary section).
 fn decode_shard(
     payload: &[u8],
     expected_idx: usize,
@@ -524,8 +627,335 @@ fn decode_shard(
 }
 
 // ---------------------------------------------------------------------------
-// Producer: chunk the endpoint stream, build or reuse segments, accumulate
-// the cross-shard summaries.
+// Segment summary codec: the admission section.
+// ---------------------------------------------------------------------------
+
+/// One §4.2 contribution in a shard summary: an HG whose shard-local
+/// on-net fingerprint learned at least one certificate.
+struct HgSummaryEntry<'a> {
+    hg: Hg,
+    onnet_certs: usize,
+    names: Vec<&'a str>,
+}
+
+/// One HG's delta-evidence slice, columns borrowed from the summary.
+struct HgEvidenceRef<'a> {
+    hg: Hg,
+    /// Per member certificate (corpus order): its evidence digest.
+    member_digests: U64Col<'a>,
+    /// One byte per member: 1 when the member IP had an indexed banner.
+    banner_flags: &'a [u8],
+    /// Banner digests for exactly the flagged members, in member order.
+    flagged_banner_digests: U64Col<'a>,
+    cells: U32Col<'a>,
+}
+
+/// Borrowed decode of a segment's summary section: everything the
+/// producer's fold absorbs. Integer columns are aligned LE slices viewed
+/// in place — warm admission never re-materializes them.
+struct ShardSummaryRef<'a> {
+    snapshot_idx: usize,
+    endpoints: usize,
+    total_ips_with_certs: usize,
+    interned_bytes: usize,
+    string_model_bytes: usize,
+    validation: ValidationStats,
+    banner_quality: BannerQuality,
+    as_set: U32Col<'a>,
+    http_only_ips: U32Col<'a>,
+    chain_ips: U32Col<'a>,
+    chain_digests: U64Col<'a>,
+    hg_entries: Vec<HgSummaryEntry<'a>>,
+    /// Delta evidence: cert rows in corpus (valids) order…
+    cert_ips: U32Col<'a>,
+    cert_digests: U64Col<'a>,
+    /// …banner rows sorted by IP…
+    banner_ips: U32Col<'a>,
+    banner_digests: U64Col<'a>,
+    /// …and per-HG membership/banner/cell streams.
+    hg_evidence: Vec<HgEvidenceRef<'a>>,
+}
+
+/// Serialize a built shard's summary section: every cross-shard
+/// accumulator contribution, precomputed at build time so admission never
+/// touches the corpus body. Evidence is *always* encoded (it does not
+/// enter the fingerprint), so plain and delta drivers share segments.
+/// Digest recipes are identical to [`SnapshotEvidence::build`].
+fn encode_summary(shard: &Shard, endpoints: usize, ctx: &PipelineContext) -> Vec<u8> {
+    let c = &shard.corpus;
+    let mut e = Enc::default();
+    e.usize(c.snapshot_idx);
+    e.usize(endpoints);
+    e.usize(c.total_ips_with_certs);
+    e.usize(c.memory.interned_bytes);
+    e.usize(c.memory.string_model_bytes);
+    encode_validation(&mut e, &c.validation);
+    let q = &c.banners.quality;
+    e.usize(q.records_seen);
+    e.usize(q.oversized);
+    e.usize(q.mojibake);
+    e.usize(q.duplicate_ip);
+    enc_u32_col(&mut e, shard.as_set.len(), shard.as_set.iter().map(|a| a.0));
+    enc_u32_col(
+        &mut e,
+        c.http_only_ips.len(),
+        c.http_only_ips.iter().copied(),
+    );
+    enc_u32_col(
+        &mut e,
+        shard.chain_rows.len(),
+        shard.chain_rows.iter().map(|&(ip, _)| ip),
+    );
+    enc_u64_col(
+        &mut e,
+        shard.chain_rows.len(),
+        shard.chain_rows.iter().map(|&(_, dg)| dg),
+    );
+
+    // §4.2 contributions: shard-local on-net names and certificate
+    // counts, resolved to strings so they bridge per-shard symbol spaces.
+    let mut entries: Vec<(Hg, usize, Vec<String>)> = Vec::new();
+    for hg in ALL_HGS {
+        let idx = c.hg_std_indices(hg);
+        if idx.is_empty() {
+            continue;
+        }
+        let fp = learn_tls_fingerprints(hg.spec().keyword, &ctx.hg_ases[&hg], c, idx);
+        if fp.onnet_certs == 0 {
+            continue;
+        }
+        let names = fp.resolved_names(&c.interner).map(str::to_owned).collect();
+        entries.push((hg, fp.onnet_certs, names));
+    }
+    e.usize(entries.len());
+    for (hg, onnet_certs, names) in &entries {
+        e.u8(hg_tag(*hg));
+        e.usize(*onnet_certs);
+        e.usize(names.len());
+        for n in names {
+            e.str(n);
+        }
+    }
+
+    // Delta evidence, one shard's slice of `SnapshotEvidence::build`.
+    let name_digests = c.interner.header_names().digests();
+    let value_digests = c.interner.header_values().digests();
+    let cert_digests: Vec<u64> = c
+        .valids
+        .iter()
+        .map(|vc| {
+            let mut d = Digest64::new();
+            d.write_u32(vc.ip);
+            d.write(&vc.leaf.fingerprint().0);
+            d.write_u8(u8::from(vc.expiry_exempted));
+            let ases = c.ip_to_as.lookup(vc.ip);
+            d.write_u64(ases.len() as u64);
+            for a in ases {
+                d.write_u32(a.0);
+            }
+            d.finish()
+        })
+        .collect();
+    enc_u32_col(&mut e, c.valids.len(), c.valids.iter().map(|vc| vc.ip));
+    enc_u64_col(&mut e, cert_digests.len(), cert_digests.iter().copied());
+
+    let banner_ips: BTreeSet<u32> = Port::ALL
+        .iter()
+        .flat_map(|&p| c.banners.indexed_ips(p))
+        .collect();
+    let digest_banner_ip = |ip: u32| -> u64 {
+        let mut d = Digest64::new();
+        for &port in &Port::ALL {
+            match c.banners.get(port, ip) {
+                None => d.write_u8(0),
+                Some(row) => {
+                    d.write_u8(1);
+                    d.write_u64(row.len() as u64);
+                    for (n, v) in row {
+                        d.write_u64(name_digests[n.index() as usize]);
+                        d.write_u64(value_digests[v.index() as usize]);
+                    }
+                }
+            }
+        }
+        d.finish()
+    };
+    let banner_map: HashMap<u32, u64> = banner_ips
+        .iter()
+        .map(|&ip| (ip, digest_banner_ip(ip)))
+        .collect();
+    enc_u32_col(&mut e, banner_ips.len(), banner_ips.iter().copied());
+    enc_u64_col(
+        &mut e,
+        banner_ips.len(),
+        banner_ips.iter().map(|ip| banner_map[ip]),
+    );
+
+    type HgEvidenceRow = (Hg, Vec<u64>, Vec<u8>, Vec<u64>, BTreeSet<AsId>);
+    let mut hg_ev: Vec<HgEvidenceRow> = Vec::new();
+    for hg in ALL_HGS {
+        let members = c.hg_all_indices(hg);
+        if members.is_empty() {
+            continue;
+        }
+        let mut digests = Vec::with_capacity(members.len());
+        let mut flags = Vec::with_capacity(members.len());
+        let mut flagged = Vec::new();
+        let mut cells = BTreeSet::new();
+        for &i in members {
+            let ip = c.valids[i as usize].ip;
+            digests.push(cert_digests[i as usize]);
+            match banner_map.get(&ip) {
+                None => flags.push(0u8),
+                Some(&dg) => {
+                    flags.push(1u8);
+                    flagged.push(dg);
+                }
+            }
+            cells.extend(c.ip_to_as.lookup(ip).iter().copied());
+        }
+        hg_ev.push((hg, digests, flags, flagged, cells));
+    }
+    e.usize(hg_ev.len());
+    for (hg, digests, flags, flagged, cells) in &hg_ev {
+        e.u8(hg_tag(*hg));
+        enc_u64_col(&mut e, digests.len(), digests.iter().copied());
+        e.bytes(flags);
+        enc_u64_col(&mut e, flagged.len(), flagged.iter().copied());
+        enc_u32_col(&mut e, cells.len(), cells.iter().map(|a| a.0));
+    }
+    e.buf
+}
+
+fn hg_from_tag(tag: u8, path: &Path) -> Result<Hg, CheckpointError> {
+    ALL_HGS
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| CheckpointError::corrupt(path, "HG tag out of range"))
+}
+
+/// Decode a summary section, borrowing every column from `bytes`.
+fn decode_summary<'a>(
+    bytes: &'a [u8],
+    path: &'a Path,
+) -> Result<ShardSummaryRef<'a>, CheckpointError> {
+    let mut d = Dec {
+        buf: bytes,
+        pos: 0,
+        path,
+    };
+    let snapshot_idx = d.usize()?;
+    let endpoints = d.usize()?;
+    let total_ips_with_certs = d.usize()?;
+    let interned_bytes = d.usize()?;
+    let string_model_bytes = d.usize()?;
+    let validation = decode_validation(&mut d)?;
+    let banner_quality = BannerQuality {
+        records_seen: d.usize()?,
+        oversized: d.usize()?,
+        mojibake: d.usize()?,
+        duplicate_ip: d.usize()?,
+    };
+    let as_set = dec_u32_col(&mut d)?;
+    let http_only_ips = dec_u32_col(&mut d)?;
+    let chain_ips = dec_u32_col(&mut d)?;
+    let chain_digests = dec_u64_col(&mut d)?;
+    if chain_ips.len() != chain_digests.len() {
+        return Err(CheckpointError::corrupt(
+            path,
+            "chain column length mismatch",
+        ));
+    }
+    let n_entries = d.count(3)?;
+    let mut hg_entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let hg = hg_from_tag(d.u8()?, path)?;
+        let onnet_certs = d.usize()?;
+        let n_names = d.count(8)?;
+        let mut names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            names.push(dec_str_ref(&mut d)?);
+        }
+        hg_entries.push(HgSummaryEntry {
+            hg,
+            onnet_certs,
+            names,
+        });
+    }
+    let cert_ips = dec_u32_col(&mut d)?;
+    let cert_digests = dec_u64_col(&mut d)?;
+    if cert_ips.len() != cert_digests.len() {
+        return Err(CheckpointError::corrupt(
+            path,
+            "cert column length mismatch",
+        ));
+    }
+    let banner_ips = dec_u32_col(&mut d)?;
+    let banner_digests = dec_u64_col(&mut d)?;
+    if banner_ips.len() != banner_digests.len() {
+        return Err(CheckpointError::corrupt(
+            path,
+            "banner column length mismatch",
+        ));
+    }
+    let n_ev = d.count(4)?;
+    let mut hg_evidence = Vec::with_capacity(n_ev);
+    for _ in 0..n_ev {
+        let hg = hg_from_tag(d.u8()?, path)?;
+        let member_digests = dec_u64_col(&mut d)?;
+        let n_flags = d.count(1)?;
+        let banner_flags = d.take(n_flags)?;
+        let flagged_banner_digests = dec_u64_col(&mut d)?;
+        let cells = dec_u32_col(&mut d)?;
+        let n_flagged = banner_flags.iter().filter(|&&f| f != 0).count();
+        if banner_flags.len() != member_digests.len() || flagged_banner_digests.len() != n_flagged {
+            return Err(CheckpointError::corrupt(
+                path,
+                "evidence column length mismatch",
+            ));
+        }
+        hg_evidence.push(HgEvidenceRef {
+            hg,
+            member_digests,
+            banner_flags,
+            flagged_banner_digests,
+            cells,
+        });
+    }
+    d.finish()?;
+    Ok(ShardSummaryRef {
+        snapshot_idx,
+        endpoints,
+        total_ips_with_certs,
+        interned_bytes,
+        string_model_bytes,
+        validation,
+        banner_quality,
+        as_set,
+        http_only_ips,
+        chain_ips,
+        chain_digests,
+        hg_entries,
+        cert_ips,
+        cert_digests,
+        banner_ips,
+        banner_digests,
+        hg_evidence,
+    })
+}
+
+/// Validate a payload's summary section for admission: it must decode
+/// cleanly and belong to snapshot `t`. Returns an owned copy of the
+/// summary bytes; the corpus body is never touched.
+fn probe_summary(payload: &[u8], t: usize, path: &Path) -> Option<Vec<u8>> {
+    let (summary, _body) = split_segment_payload(payload, path).ok()?;
+    let s = decode_summary(summary, path).ok()?;
+    (s.snapshot_idx == t).then(|| summary.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Producer: chunk the endpoint stream, build or reuse segments through the
+// bounded pipeline, fold the cross-shard summaries in shard order.
 // ---------------------------------------------------------------------------
 
 /// Per-HG evidence accumulator for the sharded delta path. The membership
@@ -589,116 +1019,52 @@ impl Produced {
         }
     }
 
-    /// Fold one resident shard into the cross-shard summaries (then the
-    /// caller drops it).
-    fn absorb(&mut self, shard: &Shard, ctx: &PipelineContext) {
-        let c = &shard.corpus;
-        self.validation.merge(&c.validation);
-        self.banner_quality.merge(&c.banners.quality);
-        self.total_ips_with_certs += c.total_ips_with_certs;
-        self.as_union.extend(shard.as_set.iter().copied());
-        self.http_only_ips.extend_from_slice(&c.http_only_ips);
-        self.chain_rows.extend_from_slice(&shard.chain_rows);
+    /// Fold one shard's summary into the cross-shard accumulators. Both
+    /// freshly built and admitted shards land here, through the same
+    /// decoded representation — one absorption path, so rendered output
+    /// cannot depend on which shards were reused.
+    fn absorb_summary(&mut self, s: &ShardSummaryRef<'_>) {
+        self.validation.merge(&s.validation);
+        self.banner_quality.merge(&s.banner_quality);
+        self.total_ips_with_certs += s.total_ips_with_certs;
+        self.as_union.extend(s.as_set.iter().map(AsId));
+        self.http_only_ips.extend(s.http_only_ips.iter());
+        self.chain_rows
+            .extend(s.chain_ips.iter().zip(s.chain_digests.iter()));
 
         // §4.2 contributions: the global on-net fingerprint is the union
         // of per-shard on-net name sets (each contributing certificate
         // lives in exactly one shard).
-        for hg in ALL_HGS {
-            let idx = c.hg_std_indices(hg);
-            if idx.is_empty() {
-                continue;
-            }
-            let fp = learn_tls_fingerprints(hg.spec().keyword, &ctx.hg_ases[&hg], c, idx);
-            if fp.onnet_certs == 0 {
-                continue;
-            }
+        for entry in &s.hg_entries {
             self.hg_names
-                .entry(hg)
+                .entry(entry.hg)
                 .or_default()
-                .extend(fp.resolved_names(&c.interner).map(str::to_owned));
-            *self.hg_onnet_certs.entry(hg).or_insert(0) += fp.onnet_certs;
+                .extend(entry.names.iter().map(|&n| n.to_owned()));
+            *self.hg_onnet_certs.entry(entry.hg).or_insert(0) += entry.onnet_certs;
         }
 
         if let Some(ev) = &mut self.evidence {
-            absorb_evidence(ev, c);
-        }
-    }
-}
-
-/// Per-shard slice of [`SnapshotEvidence::build`]: identical digest
-/// recipes, accumulated across shards in corpus order.
-fn absorb_evidence(ev: &mut EvidenceAccum, c: &SnapshotCorpus) {
-    let name_digests = c.interner.header_names().digests();
-    let value_digests = c.interner.header_values().digests();
-
-    let cert_digests: Vec<u64> = c
-        .valids
-        .iter()
-        .map(|vc| {
-            let mut d = Digest64::new();
-            d.write_u32(vc.ip);
-            d.write(&vc.leaf.fingerprint().0);
-            d.write_u8(u8::from(vc.expiry_exempted));
-            let ases = c.ip_to_as.lookup(vc.ip);
-            d.write_u64(ases.len() as u64);
-            for a in ases {
-                d.write_u32(a.0);
-            }
-            d.finish()
-        })
-        .collect();
-    ev.cert_rows.extend(
-        c.valids
-            .iter()
-            .zip(&cert_digests)
-            .map(|(vc, &dg)| (vc.ip, dg)),
-    );
-
-    let banner_ips: BTreeSet<u32> = Port::ALL
-        .iter()
-        .flat_map(|&p| c.banners.indexed_ips(p))
-        .collect();
-    let digest_banner_ip = |ip: u32| -> u64 {
-        let mut d = Digest64::new();
-        for &port in &Port::ALL {
-            match c.banners.get(port, ip) {
-                None => d.write_u8(0),
-                Some(row) => {
-                    d.write_u8(1);
-                    d.write_u64(row.len() as u64);
-                    for (n, v) in row {
-                        d.write_u64(name_digests[n.index() as usize]);
-                        d.write_u64(value_digests[v.index() as usize]);
+            ev.cert_rows
+                .extend(s.cert_ips.iter().zip(s.cert_digests.iter()));
+            ev.banner_rows
+                .extend(s.banner_ips.iter().zip(s.banner_digests.iter()));
+            for h in &s.hg_evidence {
+                let acc = ev.per_hg.entry(h.hg).or_default();
+                acc.member_digests.extend(h.member_digests.iter());
+                // Replay the banner digest write sequence exactly as the
+                // monolithic `SnapshotEvidence::build` emits it.
+                let mut flagged = h.flagged_banner_digests.iter();
+                for &flag in h.banner_flags {
+                    if flag == 0 {
+                        acc.banners.write_u8(0);
+                    } else {
+                        acc.banners.write_u8(1);
+                        acc.banners
+                            .write_u64(flagged.next().expect("flag count validated at decode"));
                     }
                 }
+                acc.cells.extend(h.cells.iter().map(AsId));
             }
-        }
-        d.finish()
-    };
-    let banner_map: HashMap<u32, u64> = banner_ips
-        .iter()
-        .map(|&ip| (ip, digest_banner_ip(ip)))
-        .collect();
-    ev.banner_rows
-        .extend(banner_ips.iter().map(|&ip| (ip, banner_map[&ip])));
-
-    for hg in ALL_HGS {
-        let members = c.hg_all_indices(hg);
-        if members.is_empty() {
-            continue;
-        }
-        let acc = ev.per_hg.entry(hg).or_default();
-        for &i in members {
-            let ip = c.valids[i as usize].ip;
-            acc.member_digests.push(cert_digests[i as usize]);
-            match banner_map.get(&ip) {
-                None => acc.banners.write_u8(0),
-                Some(&dg) => {
-                    acc.banners.write_u8(1);
-                    acc.banners.write_u64(dg);
-                }
-            }
-            acc.cells.extend(c.ip_to_as.lookup(ip).iter().copied());
         }
     }
 }
@@ -740,10 +1106,37 @@ fn finish_evidence(
     }
 }
 
+/// One unit of pipeline work: a chunk to freeze, or a valid on-disk
+/// segment to admit (passed through so the fold sees shards in order).
+enum ShardTask {
+    Admit {
+        summary: Vec<u8>,
+        segment_bytes: usize,
+        path: PathBuf,
+        fingerprint: u64,
+    },
+    Build {
+        obs: Box<scanner::SnapshotObservations>,
+        endpoints: usize,
+        path: PathBuf,
+        fingerprint: u64,
+    },
+}
+
+/// What a worker hands the ordered fold for one shard.
+struct ShardDone {
+    summary: Vec<u8>,
+    segment_bytes: usize,
+    reused: bool,
+    path: PathBuf,
+    fingerprint: u64,
+}
+
 /// Producer pass: walk the endpoint stream in `shard_size` chunks; per
 /// chunk, either reuse a valid on-disk segment (admitting its endpoints
-/// into the streams for health parity) or scan, build, and spill it;
-/// either way absorb the shard's summaries and drop it.
+/// into the streams for health parity) or scan it through the streaming
+/// sessions and hand the observation bundle to the worker pool to freeze.
+/// An ordered fold absorbs each shard's summary by shard index.
 fn produce(
     world: &HgWorld,
     engine: &ScanEngine,
@@ -757,31 +1150,39 @@ fn produce(
     let dir = sharding.spill_dir.join(format!("t{t:04}"));
     std::fs::create_dir_all(&dir).map_err(|e| CheckpointError::io(&dir, e))?;
 
-    let mut cert_stream = CertScanStream::new(engine, t, n);
-    let mut http80 = HttpScanStream::new(engine, t, 80, n);
-    let mut https443 = HttpScanStream::new(engine, t, 443, n);
+    let workers = sharding.resolved_workers(ctx);
+    let depth = sharding.resolved_depth(workers);
 
     let mut acc = Produced::new(want_evidence);
-    let mut chunk: Vec<Endpoint> = Vec::with_capacity(shard_size);
-    let mut shard_idx = 0usize;
-    let mut first_err: Option<CheckpointError> = None;
+    let mut streams_health: Option<ScanHealth> = None;
 
-    {
+    // Feeder (caller thread): the order-dependent spine. The streaming
+    // scan sessions and the reuse probes stay strictly serial; everything
+    // else is pushed through the pipeline.
+    let feed = |push: &mut dyn FnMut(ShardTask) -> bool| -> Result<(), CheckpointError> {
+        let mut cert_stream = CertScanStream::new(engine, t, n);
+        let mut http80 = HttpScanStream::new(engine, t, 80, n);
+        let mut https443 = HttpScanStream::new(engine, t, 443, n);
+        let mut chunk: Vec<Endpoint> = Vec::with_capacity(shard_size);
+        let mut shard_idx = 0usize;
+        let mut stopped = false;
+
         let flush = |chunk: &mut Vec<Endpoint>,
                      shard_idx: usize,
-                     acc: &mut Produced,
+                     push: &mut dyn FnMut(ShardTask) -> bool,
                      cert_stream: &mut CertScanStream,
                      http80: &mut Option<HttpScanStream>,
                      https443: &mut Option<HttpScanStream>|
-         -> Result<(), CheckpointError> {
+         -> bool {
             let path = dir.join(format!("shard_{shard_idx:04}.seg"));
             let fingerprint = segment_fingerprint(world, engine, t, shard_size, shard_idx);
 
             // Reuse path: any read/validation/decode failure simply falls
             // through to a rebuild — segments are a cache, not a source of
-            // truth.
+            // truth. Only the summary section is decoded here; the corpus
+            // body stays untouched until the consumer pass.
             if let Ok(payload) = read_segment(&path, fingerprint) {
-                if let Ok(shard) = decode_shard(&payload, t, engine.id, world.ip_to_as(t), &path) {
+                if let Some(summary) = probe_summary(&payload, t, &path) {
                     cert_stream.admit_chunk(chunk);
                     if let Some(s) = http80.as_mut() {
                         s.admit_chunk(chunk);
@@ -789,25 +1190,20 @@ fn produce(
                     if let Some(s) = https443.as_mut() {
                         s.admit_chunk(chunk);
                     }
-                    sharding.ledger.record(ShardStat {
-                        snapshot_idx: t,
-                        shard_idx,
-                        endpoints: chunk.len(),
-                        segment_bytes: payload.len(),
-                        interned_bytes: shard.corpus.memory.interned_bytes,
-                        string_model_bytes: shard.corpus.memory.string_model_bytes,
-                        reused: true,
-                    });
-                    acc.absorb(&shard, ctx);
-                    acc.segments.push((path, fingerprint));
+                    let segment_bytes = payload.len();
                     chunk.clear();
-                    return Ok(());
+                    return push(ShardTask::Admit {
+                        summary,
+                        segment_bytes,
+                        path,
+                        fingerprint,
+                    });
                 }
             }
 
-            // Build path: scan the chunk through the streaming sessions,
-            // assemble a shard-sized observation bundle, build its corpus,
-            // and spill it.
+            // Build path: scan the chunk through the streaming sessions
+            // (stateful — serial by construction), assemble a shard-sized
+            // observation bundle, and let a worker freeze it.
             let records = cert_stream.scan_chunk(chunk);
             let mut interner = Interner::default();
             let http80_records = http80.as_mut().map(|s| s.scan_chunk(chunk, &mut interner));
@@ -840,95 +1236,159 @@ fn produce(
                 ip_to_as: world.ip_to_as(t),
                 snapshot_idx: t,
             };
-            let chain_rows = obs.cert.chain_digests();
-            let as_set: BTreeSet<AsId> = obs
-                .cert
-                .records
-                .iter()
-                .flat_map(|r| obs.ip_to_as.lookup(r.ip).iter().copied())
-                .collect();
-            let corpus = SnapshotCorpus::build(
-                &obs,
-                &ctx.roots,
-                &standard_validate_options(),
-                ctx.validation_cache.as_deref(),
-            );
-            let shard = Shard {
-                corpus,
-                as_set,
-                chain_rows,
-            };
-            let payload = encode_shard(
-                &shard,
-                chunk.len(),
-                obs.http80.as_ref(),
-                obs.https443.as_ref(),
-            );
-            write_segment(&path, fingerprint, &payload)?;
-            sharding.ledger.record(ShardStat {
-                snapshot_idx: t,
-                shard_idx,
-                endpoints: chunk.len(),
-                segment_bytes: payload.len(),
-                interned_bytes: shard.corpus.memory.interned_bytes,
-                string_model_bytes: shard.corpus.memory.string_model_bytes,
-                reused: false,
-            });
-            acc.absorb(&shard, ctx);
-            acc.segments.push((path, fingerprint));
+            let endpoints = chunk.len();
             chunk.clear();
-            Ok(())
+            push(ShardTask::Build {
+                obs: Box::new(obs),
+                endpoints,
+                path,
+                fingerprint,
+            })
         };
 
         world.for_each_endpoint(t, |ep| {
-            if first_err.is_some() {
+            if stopped {
                 return;
             }
             chunk.push(ep);
             if chunk.len() == shard_size {
-                if let Err(e) = flush(
+                if !flush(
                     &mut chunk,
                     shard_idx,
-                    &mut acc,
+                    push,
                     &mut cert_stream,
                     &mut http80,
                     &mut https443,
                 ) {
-                    first_err = Some(e);
+                    stopped = true;
                 }
                 shard_idx += 1;
             }
         });
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        if !chunk.is_empty() {
-            flush(
+        if !stopped && !chunk.is_empty() {
+            stopped = !flush(
                 &mut chunk,
                 shard_idx,
-                &mut acc,
+                push,
                 &mut cert_stream,
                 &mut http80,
                 &mut https443,
-            )?;
+            );
         }
-    }
+        if !stopped {
+            let mut health = cert_stream.finish();
+            if let Some(s) = http80 {
+                health.merge(&s.finish());
+            }
+            if let Some(s) = https443 {
+                health.merge(&s.finish());
+            }
+            streams_health = Some(health);
+        }
+        Ok(())
+    };
 
-    let mut health = cert_stream.finish();
-    if let Some(s) = http80 {
-        health.merge(&s.finish());
-    }
-    if let Some(s) = https443 {
-        health.merge(&s.finish());
-    }
-    acc.health = health;
+    // Worker: freeze one chunk — §4.1 validation, interning, columnar
+    // encode, checksum, atomic persist. Pure per-shard, so any worker
+    // count yields byte-identical segments and summaries.
+    let work = |_idx: usize, task: ShardTask| -> Result<ShardDone, CheckpointError> {
+        match task {
+            ShardTask::Admit {
+                summary,
+                segment_bytes,
+                path,
+                fingerprint,
+            } => Ok(ShardDone {
+                summary,
+                segment_bytes,
+                reused: true,
+                path,
+                fingerprint,
+            }),
+            ShardTask::Build {
+                obs,
+                endpoints,
+                path,
+                fingerprint,
+            } => {
+                let chain_rows = obs.cert.chain_digests();
+                let as_set: BTreeSet<AsId> = obs
+                    .cert
+                    .records
+                    .iter()
+                    .flat_map(|r| obs.ip_to_as.lookup(r.ip).iter().copied())
+                    .collect();
+                let corpus = SnapshotCorpus::build(
+                    &obs,
+                    &ctx.roots,
+                    &standard_validate_options(),
+                    ctx.validation_cache.as_deref(),
+                );
+                let shard = Shard {
+                    corpus,
+                    as_set,
+                    chain_rows,
+                };
+                let _resident = sharding
+                    .ledger
+                    .resident_guard(shard.corpus.memory.interned_bytes);
+                let summary = encode_summary(&shard, endpoints, ctx);
+                let body = encode_shard(
+                    &shard,
+                    endpoints,
+                    obs.http80.as_ref(),
+                    obs.https443.as_ref(),
+                );
+                let payload = frame_segment(&summary, &body);
+                write_segment(&path, fingerprint, &payload)?;
+                Ok(ShardDone {
+                    summary,
+                    segment_bytes: payload.len(),
+                    reused: false,
+                    path,
+                    fingerprint,
+                })
+            }
+        }
+    };
+
+    // Ordered fold: summaries absorb strictly by shard index, so the
+    // accumulators see exactly the serial sequence.
+    let ledger = &sharding.ledger;
+    let fold = |shard_idx: usize, done: ShardDone| -> Result<(), CheckpointError> {
+        {
+            let s = decode_summary(&done.summary, &done.path)?;
+            if s.snapshot_idx != t {
+                return Err(CheckpointError::corrupt(
+                    &done.path,
+                    "segment snapshot mismatch",
+                ));
+            }
+            ledger.record(ShardStat {
+                snapshot_idx: t,
+                shard_idx,
+                endpoints: s.endpoints,
+                segment_bytes: done.segment_bytes,
+                interned_bytes: s.interned_bytes,
+                string_model_bytes: s.string_model_bytes,
+                reused: done.reused,
+            });
+            acc.absorb_summary(&s);
+        }
+        acc.segments.push((done.path, done.fingerprint));
+        Ok(())
+    };
+
+    bounded_pipeline(workers, depth, feed, work, fold)?;
+
+    acc.health = streams_health.take().unwrap_or_default();
     acc.chain_rows.sort_unstable_by_key(|&(ip, _)| ip);
     Ok(acc)
 }
 
 // ---------------------------------------------------------------------------
-// Consumer: map segments back one at a time, run §4.3–§4.5 per HG per
-// shard, merge the partials.
+// Consumer: map segments back across the worker pool, run §4.3–§4.5 per HG
+// per shard, merge the partials in shard order.
 // ---------------------------------------------------------------------------
 
 /// Cross-shard accumulator for one HG's snapshot result.
@@ -949,6 +1409,25 @@ struct HgAccum {
 }
 
 impl HgAccum {
+    /// Fold `other` (a later shard's partial) into this accumulator.
+    /// Called in shard order, so the IP vectors concatenate exactly as
+    /// the serial per-shard loop appended them; sets union and counts add
+    /// commutatively; a certificate fingerprint's lifetime is identical
+    /// in every shard that sees it, so first-write-wins is stable.
+    fn merge(&mut self, other: HgAccum) {
+        self.candidate_ases.extend(other.candidate_ases);
+        self.confirmed_ases.extend(other.confirmed_ases);
+        self.confirmed_and_ases.extend(other.confirmed_and_ases);
+        self.candidate_ips.extend(other.candidate_ips);
+        self.confirmed_ips.extend(other.confirmed_ips);
+        for (fp, (count, lifetime)) in other.certs {
+            self.certs.entry(fp).or_insert((0, lifetime)).0 += count;
+        }
+        self.onnet_ip_count += other.onnet_ip_count;
+        self.with_expired_ases.extend(other.with_expired_ases);
+        self.with_expired_ips.extend(other.with_expired_ips);
+    }
+
     fn finish(self) -> HgSnapshotResult {
         let mut groups: Vec<u32> = self.certs.values().map(|&(n, _)| n).collect();
         groups.sort_unstable_by(|a, b| b.cmp(a));
@@ -1064,37 +1543,93 @@ fn process_hg_shard(
     acc.confirmed_and_ases.extend(confirmed_and.ases);
 }
 
-/// Consumer pass: load each segment once, run the requested HGs' stages
-/// against it, merge.
+/// Consumer pass: fan segments across the worker pool — each loads once,
+/// runs the requested HGs' stages — then merge the per-shard partials in
+/// shard order (so IP vectors concatenate exactly as the serial loop
+/// appended them).
 fn consume(
     produced: &Produced,
     t: usize,
     world: &HgWorld,
     engine: &ScanEngine,
     ctx: &PipelineContext,
+    sharding: &ShardingConfig,
     hgs: &[Hg],
 ) -> Result<HashMap<Hg, HgSnapshotResult>, CheckpointError> {
-    let mut accums: HashMap<Hg, HgAccum> = hgs.iter().map(|&hg| (hg, HgAccum::default())).collect();
-    for (path, fingerprint) in &produced.segments {
-        let payload = read_segment(path, *fingerprint)?;
-        let shard = decode_shard(&payload, t, engine.id, world.ip_to_as(t), path)?;
-        let compiled = CompiledFingerprints::compile(&ctx.header_fps, &shard.corpus.interner);
-        for &hg in hgs {
-            process_hg_shard(
-                hg,
-                &shard.corpus,
-                ctx,
-                &compiled,
-                produced.hg_names.get(&hg),
-                produced.hg_onnet_certs.get(&hg).copied().unwrap_or(0),
-                accums.get_mut(&hg).expect("accumulator for requested HG"),
-            );
+    let workers = sharding.resolved_workers(ctx);
+    let partials: Vec<Result<Vec<HgAccum>, CheckpointError>> =
+        parallel_map(&produced.segments, workers, |(path, fingerprint)| {
+            let payload = read_segment(path, *fingerprint)?;
+            let (_summary, body) = split_segment_payload(&payload, path)?;
+            let mut shard = decode_shard(body, t, engine.id, world.ip_to_as(t), path)?;
+            shard.corpus.memory.segment_bytes = payload.len();
+            let _resident = sharding
+                .ledger
+                .resident_guard(shard.corpus.memory.interned_bytes);
+            let compiled = CompiledFingerprints::compile(&ctx.header_fps, &shard.corpus.interner);
+            let mut accs: Vec<HgAccum> = hgs.iter().map(|_| HgAccum::default()).collect();
+            for (slot, &hg) in accs.iter_mut().zip(hgs) {
+                process_hg_shard(
+                    hg,
+                    &shard.corpus,
+                    ctx,
+                    &compiled,
+                    produced.hg_names.get(&hg),
+                    produced.hg_onnet_certs.get(&hg).copied().unwrap_or(0),
+                    slot,
+                );
+            }
+            Ok(accs)
+        });
+
+    let mut merged: Vec<HgAccum> = hgs.iter().map(|_| HgAccum::default()).collect();
+    for partial in partials {
+        for (into, from) in merged.iter_mut().zip(partial?) {
+            into.merge(from);
         }
     }
-    Ok(accums
-        .into_iter()
+    Ok(hgs
+        .iter()
+        .copied()
+        .zip(merged)
         .map(|(hg, acc)| (hg, acc.finish()))
         .collect())
+}
+
+/// Bench/diagnostic hook: walk snapshot `t`'s on-disk segments in shard
+/// order and admit each one — summary-only when `full_decode` is false
+/// (the v2 warm path), or through the whole-body corpus decode (the v1
+/// admission cost) when true. Returns the number of segments admitted.
+pub fn admit_segments_for_bench(
+    world: &HgWorld,
+    engine: &ScanEngine,
+    t: usize,
+    sharding: &ShardingConfig,
+    full_decode: bool,
+) -> Result<usize, CheckpointError> {
+    let shard_size = sharding.shard_size.max(1);
+    let mut admitted = 0usize;
+    loop {
+        let path = segment_path(&sharding.spill_dir, t, admitted);
+        if !path.is_file() {
+            return Ok(admitted);
+        }
+        let fingerprint = segment_fingerprint(world, engine, t, shard_size, admitted);
+        let payload = read_segment(&path, fingerprint)?;
+        let (summary, body) = split_segment_payload(&payload, &path)?;
+        if full_decode {
+            let mut shard = decode_shard(body, t, engine.id, world.ip_to_as(t), &path)?;
+            shard.corpus.memory.segment_bytes = payload.len();
+            std::hint::black_box(&shard);
+        } else {
+            let s = decode_summary(summary, &path)?;
+            if s.snapshot_idx != t {
+                return Err(CheckpointError::corrupt(&path, "segment snapshot mismatch"));
+            }
+            std::hint::black_box(&s.chain_digests);
+        }
+        admitted += 1;
+    }
 }
 
 fn assemble_quality(p: &Produced) -> DataQualityReport {
@@ -1130,11 +1665,12 @@ fn assemble_result(
     }
 }
 
-/// The sharded equivalent of observe + [`process_snapshot`]
-/// (crate::process_snapshot): returns `None` when the engine's corpus
+/// The sharded equivalent of observe +
+/// [`process_snapshot`](crate::process_snapshot): returns `None` when
+/// the engine's corpus
 /// does not cover `t`, otherwise the snapshot result with peak memory
-/// bounded by the shard size.
-pub(crate) fn process_snapshot_sharded(
+/// bounded by `depth × shard_size`.
+pub fn process_snapshot_sharded(
     world: &HgWorld,
     engine: &ScanEngine,
     t: usize,
@@ -1145,7 +1681,7 @@ pub(crate) fn process_snapshot_sharded(
         return Ok(None);
     }
     let produced = produce(world, engine, t, ctx, sharding, false)?;
-    let per_hg = consume(&produced, t, world, engine, ctx, &ALL_HGS)?;
+    let per_hg = consume(&produced, t, world, engine, ctx, sharding, &ALL_HGS)?;
     Ok(Some(assemble_result(t, &produced, per_hg)))
 }
 
@@ -1236,7 +1772,7 @@ pub(crate) fn process_snapshot_sharded_delta(
     report.hgs_recomputed = dirty.len();
 
     if !dirty.is_empty() {
-        per_hg.extend(consume(&produced, t, world, engine, ctx, &dirty)?);
+        per_hg.extend(consume(&produced, t, world, engine, ctx, sharding, &dirty)?);
     }
 
     let result = assemble_result(t, &produced, per_hg);

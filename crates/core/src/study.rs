@@ -34,7 +34,11 @@ pub struct StudyConfig {
     pub snapshots: (usize, usize),
     /// When set, snapshots are processed through the streaming sharded
     /// pipeline ([`crate::shard`]): bounded peak memory, spilled segments,
-    /// byte-identical rendered output.
+    /// byte-identical rendered output. Shard freezing fans out over the
+    /// config's `workers` (default: the context's thread count) with a
+    /// bounded `depth` of in-flight shards, so peak memory stays at
+    /// `depth × shard` and the output is byte-identical at any worker
+    /// count.
     pub sharding: Option<ShardingConfig>,
     /// When set, the study's results are also sealed into a
     /// [`crate::artifact::StudyArtifact`] at this path (batch drivers

@@ -13,7 +13,7 @@
 //! queries/sec).
 
 use hgsim::{Hg, ALL_HGS};
-use offnet_core::{ArtifactError, StudyArtifact};
+use offnet_core::{read_artifact_payload, ArtifactError, ArtifactTables, StudyArtifact};
 use std::path::Path;
 use timebase::Snapshot;
 
@@ -69,8 +69,42 @@ pub type Population<'a> = &'a [(u32, u64)];
 impl FrozenStudy {
     /// Load an artifact file and freeze it. Any valid artifact is served,
     /// whatever config fingerprint it carries.
+    ///
+    /// This is the borrowed-load path: the envelope is read and
+    /// checksummed once, then [`ArtifactTables`] makes a single skipping
+    /// pass that exposes the confirmed/candidate columns as raw slices of
+    /// the payload buffer — no symbol pool, no `BTreeSet`s, no
+    /// `SnapshotResult` materialization — and the query tables are built
+    /// straight from those slices. Equivalent to
+    /// `freeze(&StudyArtifact::load(path)?)`, which `tests` pin.
     pub fn load(path: &Path) -> Result<Self, ArtifactError> {
-        Ok(Self::freeze(&StudyArtifact::load(path)?))
+        let (_fingerprint, payload) = read_artifact_payload(path)?;
+        let tables = ArtifactTables::parse(&payload, path)?;
+        Ok(Self::from_tables(&tables))
+    }
+
+    /// Freeze borrowed artifact tables into owned query tables.
+    fn from_tables(tables: &ArtifactTables<'_>) -> Self {
+        let mut confirmed = Ragged::default();
+        let mut candidate = Ragged::default();
+        let snapshot_idxs = tables.snapshot_idxs().to_vec();
+        let labels = snapshot_idxs
+            .iter()
+            .map(|&idx| month_label(idx as usize))
+            .collect();
+        for cell in 0..tables.n_rows() * ALL_HGS.len() {
+            confirmed.push_cell(tables.confirmed_cell(cell));
+            candidate.push_cell(tables.candidate_cell(cell));
+        }
+        let nf = tables.netflix_columns();
+        FrozenStudy {
+            engine: tables.engine(),
+            snapshot_idxs,
+            labels,
+            confirmed,
+            candidate,
+            netflix: [nf[0].clone(), nf[1].clone(), nf[2].clone()],
+        }
     }
 
     /// Freeze a loaded artifact into query tables: one pass, two flat
@@ -327,6 +361,39 @@ mod tests {
         let population = [(5u32, 100u64), (77, 50), (999, 850)];
         assert_eq!(f.coverage(Hg::Google, 0, &population), (100, 1000));
         assert_eq!(f.coverage(Hg::Netflix, 0, &population), (50, 1000));
+    }
+
+    #[test]
+    fn borrowed_load_matches_full_decode_freeze() {
+        let dir = std::env::temp_dir().join(format!("offnet-query-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.offna");
+        let a = artifact();
+        a.write(&path).unwrap();
+
+        let via_tables = FrozenStudy::load(&path).unwrap();
+        let via_decode = FrozenStudy::freeze(&StudyArtifact::load(&path).unwrap());
+        assert_eq!(via_tables.engine(), via_decode.engine());
+        assert_eq!(via_tables.n_rows(), via_decode.n_rows());
+        for row in 0..via_decode.n_rows() {
+            assert_eq!(via_tables.label(row), via_decode.label(row));
+            assert_eq!(via_tables.snapshot_idx(row), via_decode.snapshot_idx(row));
+            assert_eq!(
+                via_tables.netflix_variants(row),
+                via_decode.netflix_variants(row)
+            );
+            for hg in ALL_HGS {
+                assert_eq!(
+                    via_tables.ases_hosting(hg, row),
+                    via_decode.ases_hosting(hg, row)
+                );
+                assert_eq!(
+                    via_tables.ases_candidate(hg, row),
+                    via_decode.ases_candidate(hg, row)
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -206,6 +206,152 @@ fn incremental_driver_sharded_matches() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn pooled_config(
+    base: &StudyConfig,
+    shard_size: usize,
+    dir: &Path,
+    workers: usize,
+    depth: usize,
+) -> StudyConfig {
+    StudyConfig {
+        sharding: Some(
+            ShardingConfig::new(shard_size, dir.to_path_buf())
+                .with_workers(workers)
+                .with_depth(depth),
+        ),
+        ..base.clone()
+    }
+}
+
+#[test]
+fn worker_pool_renders_byte_identical_across_counts() {
+    // The pipelined producer must be invisible in the output: one worker
+    // (inline serial), a pool with a shallow channel, and a pool with a
+    // deep channel all render the same bytes as the monolithic path.
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let base = StudyConfig {
+        snapshots: (17, 21),
+        ..Default::default()
+    };
+    let mono = render_study(&run_study(w, &engine, &base));
+
+    let mut built = Vec::new();
+    for (tag, workers, depth) in [("w1", 1, 1), ("w4s", 4, 2), ("w4d", 4, 9)] {
+        let dir = temp_dir(tag);
+        let cfg = pooled_config(&base, 311, &dir, workers, depth);
+        let rendered = render_study(&run_study(w, &engine, &cfg));
+        assert_eq!(
+            mono, rendered,
+            "diverged at workers={workers} depth={depth}"
+        );
+        built.push(cfg.sharding.as_ref().unwrap().ledger.segments_built());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Same chunking, same work: every configuration built the same
+    // number of segments.
+    assert!(built.windows(2).all(|w| w[0] == w[1]), "{built:?}");
+}
+
+#[test]
+fn faulted_worker_pool_matches_serial() {
+    // Overlapped pipelining under a 10% record-fault plan: fault coins
+    // are per-record, so the worker pool must reproduce the quarantine
+    // accounting bit-for-bit at any worker count.
+    let w = world();
+    let base = StudyConfig {
+        snapshots: (12, 18),
+        ..Default::default()
+    };
+    let mk_engine = || {
+        let plan = Arc::new(FaultPlan::uniform_record_faults(7, 0.10));
+        ScanEngine::rapid7().with_faults(plan)
+    };
+    let mono = render_study(&run_study(w, &mk_engine(), &base));
+
+    let dir_serial = temp_dir("fault-w1");
+    let serial_cfg = pooled_config(&base, 409, &dir_serial, 1, 1);
+    let serial = render_study(&run_study(w, &mk_engine(), &serial_cfg));
+    assert_eq!(mono, serial);
+
+    let dir_pool = temp_dir("fault-w4");
+    let pool_cfg = pooled_config(&base, 409, &dir_pool, 4, 3);
+    let pooled = render_study(&run_study(w, &mk_engine(), &pool_cfg));
+    assert_eq!(mono, pooled, "faulted pool render diverged");
+    let _ = std::fs::remove_dir_all(&dir_serial);
+    let _ = std::fs::remove_dir_all(&dir_pool);
+}
+
+#[test]
+fn kill_resume_reuses_parallel_built_segments() {
+    // Simulate a mid-snapshot kill after a pooled run: delete a suffix of
+    // the segments a 4-worker producer persisted, then resume with the
+    // pool. The surviving parallel-built prefix is admitted, only the
+    // missing tail is rebuilt, and the render never wavers.
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let base = StudyConfig {
+        snapshots: (20, 20),
+        ..Default::default()
+    };
+    let dir = temp_dir("kill");
+    let first_cfg = pooled_config(&base, 400, &dir, 4, 4);
+    let clean = render_study(&run_study(w, &engine, &first_cfg));
+    let n_segments = first_cfg.sharding.as_ref().unwrap().ledger.segments_built();
+    assert!(n_segments >= 4, "want several segments, got {n_segments}");
+
+    let seg_dir = dir.join("t0020");
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    let keep = segs.len() / 2;
+    for path in &segs[keep..] {
+        std::fs::remove_file(path).unwrap();
+    }
+
+    let resume_cfg = pooled_config(&base, 400, &dir, 4, 4);
+    let resumed = render_study(&run_study(w, &engine, &resume_cfg));
+    let ledger = resume_cfg.sharding.as_ref().unwrap().ledger.clone();
+    assert_eq!(clean, resumed, "kill/resume render diverged");
+    assert_eq!(ledger.segments_reused(), keep, "parallel-built prefix lost");
+    assert_eq!(ledger.segments_built(), segs.len() - keep);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resident_memory_stays_within_depth_bound() {
+    // The pipeline admits at most `depth` shards between feed and fold
+    // and the consumer holds at most `workers` decoded shards: the
+    // realized concurrent-residency high-water mark must stay within
+    // max(depth, workers) × the largest single shard.
+    let w = world();
+    let engine = ScanEngine::rapid7();
+    let base = StudyConfig {
+        snapshots: (21, 22),
+        ..Default::default()
+    };
+    let dir = temp_dir("resident");
+    let (workers, depth) = (4, 3);
+    let cfg = pooled_config(&base, 300, &dir, workers, depth);
+    let _ = run_study(w, &engine, &cfg);
+    let ledger = cfg.sharding.as_ref().unwrap().ledger.clone();
+    let largest = ledger.peak_shard_interned_bytes();
+    let peak = ledger.peak_resident_interned_bytes();
+    assert!(
+        peak >= largest,
+        "peak {peak} below a single shard {largest}"
+    );
+    let bound = depth.max(workers) * largest;
+    assert!(
+        peak <= bound,
+        "resident peak {peak} exceeds {}x shard bound {bound}",
+        depth.max(workers)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shard_memory_accounting_invariants() {
     let w = world();
